@@ -1,0 +1,187 @@
+package hpfq
+
+import (
+	"hpfq/internal/core"
+	"hpfq/internal/des"
+	"hpfq/internal/fluid"
+	"hpfq/internal/hier"
+	"hpfq/internal/netsim"
+	"hpfq/internal/packet"
+	"hpfq/internal/sched"
+	"hpfq/internal/shaper"
+	"hpfq/internal/tcp"
+	"hpfq/internal/topo"
+	"hpfq/internal/traffic"
+)
+
+// Algorithm names accepted by New and NewHierarchy.
+const (
+	WF2QPlus = "WF2Q+" // the paper's contribution (§3.4)
+	WFQ      = "WFQ"   // weighted fair queueing / PGPS
+	WF2Q     = "WF2Q"  // worst-case fair WFQ (exact GPS clock)
+	SCFQ     = "SCFQ"  // self-clocked fair queueing
+	SFQ      = "SFQ"   // start-time fair queueing
+	DRR      = "DRR"   // deficit round robin
+	FIFO     = "FIFO"  // no isolation (flat only)
+)
+
+// Bits8KB is the paper's 8 KB packet size in bits.
+const Bits8KB = packet.Bits8KB
+
+// Packet is the unit of service; see internal/packet.
+type Packet = packet.Packet
+
+// NewPacket returns a packet for a session with a length in bits.
+func NewPacket(session int, lengthBits float64) *Packet {
+	return packet.New(session, lengthBits)
+}
+
+// Scheduler is a standalone packet fair queueing server.
+type Scheduler = sched.Scheduler
+
+// NodeScheduler is a PFQ server node usable inside a hierarchy.
+type NodeScheduler = sched.NodeScheduler
+
+// Algorithms lists the registered algorithm names.
+func Algorithms() []string { return sched.Algorithms() }
+
+// New returns a standalone scheduler by algorithm name for a link of the
+// given rate in bits/sec.
+func New(algorithm string, rate float64) (Scheduler, error) {
+	return sched.New(algorithm, rate)
+}
+
+// NewWF2QPlus returns the paper's WF²Q+ scheduler for a link of the given
+// rate in bits/sec.
+func NewWF2QPlus(rate float64) *core.Scheduler { return core.NewScheduler(rate) }
+
+// NewWF2QPlusNode returns a WF²Q+ hierarchical server node with guaranteed
+// rate in bits/sec.
+func NewWF2QPlusNode(rate float64) *core.Node { return core.NewNode(rate) }
+
+// NewNodeByName returns a hierarchical server node by algorithm name (all
+// registered algorithms except FIFO, which has no node form).
+func NewNodeByName(algorithm string, rate float64) (NodeScheduler, error) {
+	return sched.NewNode(algorithm, rate)
+}
+
+// Topology building: a link-sharing tree of service shares.
+type Topology = topo.Node
+
+// Leaf returns a session leaf with a share relative to its siblings.
+func Leaf(name string, share float64, session int) *Topology {
+	return topo.Leaf(name, share, session)
+}
+
+// Interior returns a link-sharing class node.
+func Interior(name string, share float64, children ...*Topology) *Topology {
+	return topo.Interior(name, share, children...)
+}
+
+// Hierarchy is an H-PFQ server (the paper's §4 construction).
+type Hierarchy = hier.Tree
+
+// NewHierarchy builds an H-PFQ server over the topology using the named
+// one-level algorithm at every interior node. H-WF²Q+ is
+// NewHierarchy(top, rate, hpfq.WF2QPlus).
+func NewHierarchy(top *Topology, linkRate float64, algorithm string) (*Hierarchy, error) {
+	return hier.New(top, linkRate, algorithm)
+}
+
+// NewHierarchyWith builds an H-PFQ server with a caller-supplied node
+// constructor, e.g. to mix disciplines per level.
+func NewHierarchyWith(top *Topology, linkRate float64, algorithm string, newNode func(rate float64) NodeScheduler) (*Hierarchy, error) {
+	return hier.Build(top, linkRate, algorithm, newNode)
+}
+
+// Simulation substrate.
+type (
+	// Sim is the discrete-event simulation kernel.
+	Sim = des.Sim
+	// Event is a scheduled simulator callback.
+	Event = des.Event
+	// Link is a fixed-rate output port draining a scheduler.
+	Link = netsim.Link
+	// Queue is the server contract shared by flat schedulers and
+	// hierarchies.
+	Queue = netsim.Queue
+)
+
+// NewSim returns a simulator with the clock at zero.
+func NewSim() *Sim { return des.New() }
+
+// NewLink returns a link of the given rate in bits/sec draining q.
+func NewLink(sim *Sim, rate float64, q Queue) *Link { return netsim.NewLink(sim, rate, q) }
+
+// Fluid reference systems.
+type (
+	// GPS is the one-level fluid server of §2.1.
+	GPS = fluid.GPS
+	// HGPS is the hierarchical fluid server of §2.2.
+	HGPS = fluid.HGPS
+	// GPSClock is the exact GPS virtual time function (eq. 4–5).
+	GPSClock = fluid.Clock
+)
+
+// NewGPS returns a GPS fluid server of the given rate.
+func NewGPS(rate float64) *GPS { return fluid.NewGPS(rate) }
+
+// NewHGPS returns an H-GPS fluid server over a topology.
+func NewHGPS(top *Topology, rate float64) (*HGPS, error) { return fluid.NewHGPS(top, rate) }
+
+// NewGPSClock returns an exact GPS virtual clock.
+func NewGPSClock(rate float64) *GPSClock { return fluid.NewClock(rate) }
+
+// IdealShares computes the instantaneous H-GPS bandwidth of every active
+// session (eq. 8–9); see Fig. 9(b).
+func IdealShares(top *Topology, linkRate float64, active map[int]bool) map[int]float64 {
+	return fluid.IdealShares(top, linkRate, active)
+}
+
+// Traffic sources.
+type (
+	// CBR is a constant bit rate source.
+	CBR = traffic.CBR
+	// OnOff is a deterministic on/off source.
+	OnOff = traffic.OnOff
+	// Poisson is a Poisson packet source.
+	Poisson = traffic.Poisson
+	// Train emits periodic back-to-back packet trains.
+	Train = traffic.Train
+	// Greedy keeps a session continuously backlogged.
+	Greedy = traffic.Greedy
+	// Scheduled is a CBR source active during listed intervals.
+	Scheduled = traffic.Scheduled
+	// Interval is a half-open active period for Scheduled sources.
+	Interval = traffic.Interval
+	// LeakyBucket is a (σ, ρ) regulator.
+	LeakyBucket = traffic.LeakyBucket
+	// Emit delivers generated packets to the system under test.
+	Emit = traffic.Emit
+)
+
+// ToLink returns an Emit that submits packets to a link.
+func ToLink(l *Link) Emit { return traffic.ToLink(l) }
+
+// NewLeakyBucket returns a (σ, ρ) regulator releasing into out.
+func NewLeakyBucket(sim *Sim, sigma, rho float64, out Emit) *LeakyBucket {
+	return traffic.NewLeakyBucket(sim, sigma, rho, out)
+}
+
+// TCPSource is a compact TCP Reno sender/receiver pair (§5.2 workloads).
+type TCPSource = tcp.Source
+
+// Shaper paces real workloads through WF²Q+ in wall-clock time — a
+// dummynet-style egress rate limiter with per-class guarantees. See
+// internal/shaper.
+type Shaper = shaper.Shaper
+
+// NewShaper returns a wall-clock shaper for a virtual link of the given
+// rate in cost units (e.g. bits) per second.
+func NewShaper(rate float64) *Shaper { return shaper.New(rate) }
+
+// NewTCPSource returns a TCP source for a session over a bottleneck link,
+// with fixed non-bottleneck RTT component delay, starting at start.
+func NewTCPSource(sim *Sim, link *Link, session int, segBits, delay, start float64) *TCPSource {
+	return tcp.New(sim, link, session, segBits, delay, start)
+}

@@ -1,0 +1,230 @@
+package hpfq_test
+
+import (
+	"math"
+	"testing"
+
+	"hpfq"
+)
+
+// TestPublicAPIQuickstart is the README quickstart, asserted: a WF²Q+ link
+// delivers guarantees through the public facade.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sim := hpfq.NewSim()
+	sched := hpfq.NewWF2QPlus(10e6)
+	sched.AddSession(0, 7e6)
+	sched.AddSession(1, 3e6)
+	link := hpfq.NewLink(sim, 10e6, sched)
+
+	served := map[int]float64{}
+	link.OnDepart(func(p *hpfq.Packet) {
+		served[p.Session] += p.Length
+		link.Arrive(hpfq.NewPacket(p.Session, 10000))
+	})
+	// Two packets outstanding per session: a session whose queue drains the
+	// instant its packet enters service is not "continuously backlogged" in
+	// the paper's sense, and the fairness guarantees don't apply to it.
+	for s := 0; s < 2; s++ {
+		link.Arrive(hpfq.NewPacket(s, 10000))
+		link.Arrive(hpfq.NewPacket(s, 10000))
+	}
+	sim.Run(10)
+
+	if r := served[0] / 10; math.Abs(r-7e6)/7e6 > 0.03 {
+		t.Errorf("session 0 rate %.0f, want ~7e6", r)
+	}
+	if r := served[1] / 10; math.Abs(r-3e6)/3e6 > 0.03 {
+		t.Errorf("session 1 rate %.0f, want ~3e6", r)
+	}
+}
+
+// TestPublicAPIHierarchy: the README link-sharing snippet through New and
+// NewHierarchy, with every registered algorithm.
+func TestPublicAPIHierarchy(t *testing.T) {
+	top := hpfq.Interior("link", 1,
+		hpfq.Interior("A1", 0.5,
+			hpfq.Leaf("rt", 0.6, 0),
+			hpfq.Leaf("be", 0.4, 1)),
+		hpfq.Leaf("A2", 0.5, 2))
+
+	for _, algo := range []string{hpfq.WF2QPlus, hpfq.WFQ, hpfq.WF2Q, hpfq.SCFQ, hpfq.SFQ, hpfq.DRR} {
+		tree, err := hpfq.NewHierarchy(top, 45e6, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if tree.Name() != "H-"+algo {
+			t.Errorf("Name = %q", tree.Name())
+		}
+		sim := hpfq.NewSim()
+		link := hpfq.NewLink(sim, 45e6, tree)
+		served := map[int]float64{}
+		link.OnDepart(func(p *hpfq.Packet) {
+			served[p.Session] += p.Length
+			link.Arrive(hpfq.NewPacket(p.Session, hpfq.Bits8KB))
+		})
+		for s := 0; s < 3; s++ {
+			link.Arrive(hpfq.NewPacket(s, hpfq.Bits8KB))
+			link.Arrive(hpfq.NewPacket(s, hpfq.Bits8KB))
+		}
+		sim.Run(5)
+		want := map[int]float64{0: 13.5e6, 1: 9e6, 2: 22.5e6}
+		for s, w := range want {
+			if got := served[s] / 5; math.Abs(got-w)/w > 0.06 {
+				t.Errorf("%s: session %d rate %.0f, want %.0f", algo, s, got, w)
+			}
+		}
+	}
+}
+
+// TestPublicAPIFluid: GPS and H-GPS reference systems and IdealShares.
+func TestPublicAPIFluid(t *testing.T) {
+	g := hpfq.NewGPS(1)
+	g.AddSession(0, 0.5)
+	g.Arrive(0, hpfq.NewPacket(0, 2))
+	if end := g.Drain(); math.Abs(end-2) > 1e-9 {
+		t.Errorf("GPS drain at %g, want 2", end)
+	}
+
+	top := hpfq.Interior("r", 1,
+		hpfq.Leaf("a", 0.7, 0),
+		hpfq.Leaf("b", 0.3, 1))
+	h, err := hpfq.NewHGPS(top, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Arrive(0, hpfq.NewPacket(0, 70))
+	h.Arrive(0, hpfq.NewPacket(1, 30))
+	h.Drain()
+	if d := h.Departures(); len(d) != 2 || math.Abs(d[0].Time-10) > 1e-9 {
+		t.Errorf("H-GPS departures %v", d)
+	}
+
+	shares := hpfq.IdealShares(top, 10, map[int]bool{1: true})
+	if shares[1] != 10 {
+		t.Errorf("lone active session share %g, want full link", shares[1])
+	}
+
+	c := hpfq.NewGPSClock(1)
+	c.AddSession(0, 0.5)
+	c.Stamp(0, 1)
+	c.Advance(0.5)
+	if c.V() != 1 {
+		t.Errorf("clock V = %g, want 1", c.V())
+	}
+}
+
+// TestPublicAPITCPAndTraffic: TCP source plus traffic generators through
+// the facade (the tcpfairness example, asserted).
+func TestPublicAPITCPAndTraffic(t *testing.T) {
+	sched, err := hpfq.New(hpfq.WF2QPlus, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.AddSession(0, 4e6)
+	sched.AddSession(1, 6e6)
+	sim := hpfq.NewSim()
+	link := hpfq.NewLink(sim, 10e6, sched)
+	link.SetSessionLimit(0, 20)
+	served := map[int]float64{}
+	link.OnDepart(func(p *hpfq.Packet) { served[p.Session] += p.Length })
+
+	src := hpfq.NewTCPSource(sim, link, 0, 12000, 0.02, 0)
+	src.Run()
+	(&hpfq.CBR{Session: 1, Rate: 9e6, PktBits: 12000, Stop: 10}).
+		Run(sim, hpfq.ToLink(link))
+	sim.Run(10)
+
+	if got := served[0] / 10; got < 3e6 {
+		t.Errorf("TCP got %.0f bps of its 4 Mbps share", got)
+	}
+	if got := served[1] / 10; got > 6.3e6 {
+		t.Errorf("flood got %.0f bps, limited to ~6 Mbps", got)
+	}
+	if src.Delivered() == 0 {
+		t.Error("TCP delivered nothing")
+	}
+}
+
+// TestPublicAPILeakyBucket: the regulator through the facade.
+func TestPublicAPILeakyBucket(t *testing.T) {
+	sim := hpfq.NewSim()
+	var times []float64
+	lb := hpfq.NewLeakyBucket(sim, 1000, 1000, func(p *hpfq.Packet) {
+		times = append(times, sim.Now())
+	})
+	emit := lb.Emit()
+	sim.At(0, func() {
+		for i := 0; i < 5; i++ {
+			emit(hpfq.NewPacket(0, 1000))
+		}
+	})
+	sim.RunAll()
+	// σ = one packet: first at 0, then one per second.
+	want := []float64{0, 1, 2, 3, 4}
+	for i, w := range want {
+		if math.Abs(times[i]-w) > 1e-6 {
+			t.Fatalf("release %d at %g, want %g", i, times[i], w)
+		}
+	}
+}
+
+// TestAlgorithmsList: registry exposure.
+func TestAlgorithmsList(t *testing.T) {
+	got := hpfq.Algorithms()
+	if len(got) != 8 {
+		t.Errorf("Algorithms() = %v", got)
+	}
+	if _, err := hpfq.New("bogus", 1); err == nil {
+		t.Error("bogus algorithm should error")
+	}
+	if _, err := hpfq.NewHierarchy(hpfq.Leaf("x", 1, 0), 1, hpfq.WF2QPlus); err == nil {
+		t.Error("leaf-only topology should error")
+	}
+}
+
+// TestMixedHierarchy: NewHierarchyWith lets callers mix disciplines —
+// WF²Q+ near the root, DRR at a cheap leaf level.
+func TestMixedHierarchy(t *testing.T) {
+	top := hpfq.Interior("root", 1,
+		hpfq.Interior("cheap", 0.5,
+			hpfq.Leaf("a", 0.5, 0),
+			hpfq.Leaf("b", 0.5, 1)),
+		hpfq.Leaf("c", 0.5, 2))
+	depth0 := true
+	tree, err := hpfq.NewHierarchyWith(top, 1e6, "mixed", func(rate float64) hpfq.NodeScheduler {
+		if depth0 {
+			depth0 = false
+			return hpfq.NewWF2QPlusNode(rate)
+		}
+		n, err := hpfq.New(hpfq.DRR, rate)
+		_ = n
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err2 := hpfq.NewNodeByName(hpfq.DRR, rate)
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		return node
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := hpfq.NewSim()
+	link := hpfq.NewLink(sim, 1e6, tree)
+	served := map[int]float64{}
+	link.OnDepart(func(p *hpfq.Packet) {
+		served[p.Session] += p.Length
+		link.Arrive(hpfq.NewPacket(p.Session, 8000))
+	})
+	for s := 0; s < 3; s++ {
+		link.Arrive(hpfq.NewPacket(s, 8000))
+		link.Arrive(hpfq.NewPacket(s, 8000))
+	}
+	sim.Run(10)
+	for s, w := range map[int]float64{0: 0.25e6, 1: 0.25e6, 2: 0.5e6} {
+		if got := served[s] / 10; math.Abs(got-w)/w > 0.06 {
+			t.Errorf("session %d rate %.0f, want %.0f", s, got, w)
+		}
+	}
+}

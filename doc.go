@@ -1,0 +1,50 @@
+// Package hpfq implements Hierarchical Packet Fair Queueing as described in
+// Bennett & Zhang, "Hierarchical Packet Fair Queueing Algorithms"
+// (SIGCOMM 1996): the WF²Q+ scheduling algorithm, hierarchical H-WF²Q+
+// servers built from one-level PFQ server nodes, the baselines the paper
+// compares against (WFQ, WF²Q, SCFQ, SFQ, DRR, FIFO), and the GPS / H-GPS
+// fluid reference systems.
+//
+// # Quick start
+//
+// Create a standalone WF²Q+ scheduler for a 10 Mbps link with two sessions,
+// and drive it on a simulated link:
+//
+//	sim := hpfq.NewSim()
+//	sched := hpfq.NewWF2QPlus(10e6)
+//	sched.AddSession(0, 7e6) // guaranteed 7 Mbps
+//	sched.AddSession(1, 3e6) // guaranteed 3 Mbps
+//	link := hpfq.NewLink(sim, 10e6, sched)
+//	link.OnDepart(func(p *hpfq.Packet) { fmt.Println(p.Session, p.Depart) })
+//	link.Arrive(hpfq.NewPacket(0, 12000))
+//	sim.RunAll()
+//
+// Hierarchical link sharing (the paper's Fig. 1) is expressed as a topology
+// of shares and built into an H-WF²Q+ server:
+//
+//	top := hpfq.Interior("link", 1,
+//	    hpfq.Interior("A1", 0.5,
+//	        hpfq.Leaf("rt", 0.6, 0),
+//	        hpfq.Leaf("be", 0.4, 1)),
+//	    hpfq.Leaf("A2", 0.5, 2))
+//	tree, err := hpfq.NewHierarchy(top, 45e6, hpfq.WF2QPlus)
+//
+// A hierarchy satisfies the same Queue contract as a flat scheduler, so it
+// drops into NewLink unchanged.
+//
+// Units everywhere: bits, bits per second, seconds.
+//
+// # Layout
+//
+//   - internal/core: WF²Q+ (the paper's §3.4 algorithm, eq. 27–29)
+//   - internal/sched: WFQ, WF²Q, SCFQ, SFQ, DRR, FIFO + per-node variants
+//   - internal/hier: the H-PFQ tree of §4 (Arrive / Restart-Node / Reset-Path)
+//   - internal/fluid: GPS virtual clock, GPS and H-GPS fluid servers
+//   - internal/des, internal/netsim, internal/traffic, internal/tcp,
+//     internal/stats: simulation substrate and instrumentation
+//   - internal/experiments: every figure of the paper as a runnable
+//     experiment (see EXPERIMENTS.md)
+//
+// This package re-exports the library's public surface; the cmd/hpfqsim and
+// cmd/hpfqwfi tools regenerate the paper's figures from the command line.
+package hpfq

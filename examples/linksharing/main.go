@@ -1,0 +1,109 @@
+// Linksharing reproduces the paper's Fig. 1 example (experiment E12): 11
+// agencies share a 45 Mbps link; Agency A1 is guaranteed 50%, and within A1
+// the best-effort subclass must get at least 20% of the link (40% of A1).
+//
+// The program runs three phases and prints who gets what:
+//
+//  1. everyone busy — bandwidth follows the shares exactly;
+//  2. A1's real-time class idle — its bandwidth goes to A1's best-effort
+//     class first (hierarchical link sharing), not to the other agencies;
+//  3. all of A1 idle — A1's 50% is split among the other ten agencies.
+package main
+
+import (
+	"fmt"
+
+	"hpfq"
+)
+
+const (
+	linkRate = 45e6
+	pktBits  = hpfq.Bits8KB
+	phaseLen = 5.0
+
+	sessRT = 0 // A1 real-time subclass
+	sessBE = 1 // A1 best-effort subclass
+	// agencies A2..A11 are sessions 2..11
+)
+
+func topology() *hpfq.Topology {
+	a1 := hpfq.Interior("A1", 0.50,
+		hpfq.Leaf("A1-RT", 0.60, sessRT),
+		hpfq.Leaf("A1-BE", 0.40, sessBE),
+	)
+	kids := []*hpfq.Topology{a1}
+	for i := 0; i < 10; i++ {
+		kids = append(kids, hpfq.Leaf(fmt.Sprintf("A%d", i+2), 0.05, 2+i))
+	}
+	return hpfq.Interior("link", 1, kids...)
+}
+
+func main() {
+	tree, err := hpfq.NewHierarchy(topology(), linkRate, hpfq.WF2QPlus)
+	if err != nil {
+		panic(err)
+	}
+	sim := hpfq.NewSim()
+	link := hpfq.NewLink(sim, linkRate, tree)
+
+	served := make(map[int]float64)
+	link.OnDepart(func(p *hpfq.Packet) { served[p.Session] += p.Length })
+	emit := hpfq.ToLink(link)
+
+	// Small per-session buffers: a session that stops sending should stop
+	// transmitting almost immediately rather than draining a phase-long
+	// backlog into the next phase.
+	for s := 0; s < 12; s++ {
+		link.SetSessionLimit(s, 4)
+	}
+
+	// All sessions offer far more than their shares, phase by phase:
+	// phase 1 [0,5): everyone; phase 2 [5,10): A1-RT silent;
+	// phase 3 [10,15): all of A1 silent.
+	for s := 0; s < 12; s++ {
+		src := &hpfq.Scheduled{Session: s, Rate: 30e6, PktBits: pktBits}
+		switch s {
+		case sessRT:
+			src.Intervals = []hpfq.Interval{{On: 0, Off: phaseLen}}
+		case sessBE:
+			src.Intervals = []hpfq.Interval{{On: 0, Off: 2 * phaseLen}}
+		default:
+			src.Intervals = []hpfq.Interval{{On: 0, Off: 3 * phaseLen}}
+		}
+		src.Run(sim, emit)
+	}
+
+	prev := make(map[int]float64)
+	report := func(phase string) {
+		fmt.Printf("%s\n", phase)
+		name := func(s int) string {
+			switch s {
+			case sessRT:
+				return "A1-RT"
+			case sessBE:
+				return "A1-BE"
+			default:
+				return fmt.Sprintf("A%d   ", s)
+			}
+		}
+		for s := 0; s < 4; s++ {
+			rate := (served[s] - prev[s]) / phaseLen / 1e6
+			fmt.Printf("  %s  %6.2f Mbps\n", name(s), rate)
+		}
+		a2to11 := 0.0
+		for s := 2; s < 12; s++ {
+			a2to11 += served[s] - prev[s]
+		}
+		fmt.Printf("  A2..A11 combined: %.2f Mbps\n\n", a2to11/phaseLen/1e6)
+		for s := 0; s < 12; s++ {
+			prev[s] = served[s]
+		}
+	}
+
+	sim.Run(phaseLen)
+	report("phase 1 — everyone busy (expect A1-RT 13.5, A1-BE 9, A2..A11 22.5):")
+	sim.Run(2 * phaseLen)
+	report("phase 2 — A1-RT idle (A1-BE inherits all of A1's 22.5):")
+	sim.Run(3 * phaseLen)
+	report("phase 3 — A1 idle (A2..A11 share the whole 45):")
+}

@@ -1,0 +1,48 @@
+// Quickstart: a standalone WF²Q+ server isolating three sessions on a
+// 10 Mbps link. Session 2 misbehaves — it sends at 4× its guaranteed rate —
+// yet sessions 0 and 1 receive their guarantees untouched, and session 2 is
+// throttled to its share plus whatever is left over.
+package main
+
+import (
+	"fmt"
+
+	"hpfq"
+)
+
+func main() {
+	const (
+		linkRate = 10e6 // 10 Mbps
+		pktBits  = 12000
+		horizon  = 5.0 // simulated seconds
+	)
+
+	sim := hpfq.NewSim()
+	sched := hpfq.NewWF2QPlus(linkRate)
+	sched.AddSession(0, 5e6) // polite: sends at its 5 Mbps guarantee
+	sched.AddSession(1, 3e6) // polite: sends at its 3 Mbps guarantee
+	sched.AddSession(2, 2e6) // greedy: sends at 8 Mbps, guaranteed only 2
+
+	link := hpfq.NewLink(sim, linkRate, sched)
+	served := make([]float64, 3)
+	link.OnDepart(func(p *hpfq.Packet) { served[p.Session] += p.Length })
+
+	emit := hpfq.ToLink(link)
+	for s, rate := range []float64{5e6, 3e6, 8e6} {
+		src := &hpfq.CBR{Session: s, Rate: rate, PktBits: pktBits, Stop: horizon}
+		src.Run(sim, emit)
+	}
+
+	sim.Run(horizon)
+
+	fmt.Println("session  guaranteed  offered   received (Mbps)")
+	offered := []float64{5, 3, 8}
+	guaranteed := []float64{5, 3, 2}
+	for s := 0; s < 3; s++ {
+		fmt.Printf("   %d        %.1f       %.1f       %.2f\n",
+			s, guaranteed[s], offered[s], served[s]/horizon/1e6)
+	}
+	fmt.Println()
+	fmt.Println("Sessions 0 and 1 get their guarantees; the misbehaving")
+	fmt.Println("session 2 is limited to its share plus the leftover capacity.")
+}

@@ -1,0 +1,67 @@
+// Tcpfairness shows why fair queueing matters to adaptive transport: two
+// TCP Reno connections share a 10 Mbps bottleneck with an unresponsive
+// 8 Mbps UDP blast. Under FIFO the UDP flood takes almost everything and
+// the TCPs collapse; under WF²Q+ each session is held to its guaranteed
+// share and the TCPs ride theirs — the mechanism behind the paper's §5.2
+// link-sharing experiments.
+package main
+
+import (
+	"fmt"
+
+	"hpfq"
+)
+
+const (
+	linkRate = 10e6
+	segBits  = 1500 * 8
+	horizon  = 10.0
+	tcpA     = 0
+	tcpB     = 1
+	udp      = 2
+)
+
+func run(algo string) map[int]float64 {
+	sched, err := hpfq.New(algo, linkRate)
+	if err != nil {
+		panic(err)
+	}
+	sched.AddSession(tcpA, 4e6)
+	sched.AddSession(tcpB, 4e6)
+	sched.AddSession(udp, 2e6)
+
+	sim := hpfq.NewSim()
+	link := hpfq.NewLink(sim, linkRate, sched)
+	served := make(map[int]float64)
+	link.OnDepart(func(p *hpfq.Packet) { served[p.Session] += p.Length })
+
+	// TCP needs loss feedback: finite per-session buffers.
+	link.SetSessionLimit(tcpA, 20)
+	link.SetSessionLimit(tcpB, 20)
+	link.SetSessionLimit(udp, 20)
+
+	hpfq.NewTCPSource(sim, link, tcpA, segBits, 0.020, 0.01).Run()
+	hpfq.NewTCPSource(sim, link, tcpB, segBits, 0.020, 0.05).Run()
+	(&hpfq.CBR{Session: udp, Rate: 8e6, PktBits: segBits, Stop: horizon}).
+		Run(sim, hpfq.ToLink(link))
+
+	sim.Run(horizon)
+	for s := range served {
+		served[s] /= horizon
+	}
+	return served
+}
+
+func main() {
+	fmt.Println("two TCP Reno flows vs an 8 Mbps UDP blast on a 10 Mbps link:")
+	fmt.Println()
+	fmt.Printf("%-8s %10s %10s %10s\n", "sched", "TCP-A", "TCP-B", "UDP")
+	for _, algo := range []string{hpfq.FIFO, hpfq.WF2QPlus} {
+		got := run(algo)
+		fmt.Printf("%-8s %8.2f M %8.2f M %8.2f M\n",
+			algo, got[tcpA]/1e6, got[tcpB]/1e6, got[udp]/1e6)
+	}
+	fmt.Println()
+	fmt.Println("FIFO lets the unresponsive UDP source crowd out TCP;")
+	fmt.Println("WF2Q+ enforces the 4/4/2 Mbps guarantees.")
+}

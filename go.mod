@@ -1,0 +1,3 @@
+module hpfq
+
+go 1.23

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hpfq/internal/packet"
+	"hpfq/internal/pq"
+)
+
+// TicksPerSecond is the resolution of the fixed-point virtual clock: one
+// tick is one virtual nanosecond. At this resolution a uint64 clock runs
+// for ~584 years before wrapping, so no wrap handling is needed.
+const TicksPerSecond = 1e9
+
+// FixedScheduler is WF²Q+ with integer virtual times — the representation
+// production implementations use (FreeBSD dummynet's WF²Q+ and the Linux
+// qfq family keep virtual time in scaled integers): comparisons are exact,
+// state never accumulates floating-point error over long uptimes, and the
+// arithmetic is branch-cheap.
+//
+// Per-packet virtual increments round L·TicksPerSecond/r_i up to a whole
+// tick. The rounding slightly over-reserves (a session is charged at most
+// one virtual nanosecond extra per packet), which preserves the Theorem 4
+// delay and fairness bounds; the deviation from the float64 engine is below
+// one tick per packet and is cross-checked in tests.
+type FixedScheduler struct {
+	rate    float64
+	v       uint64
+	flows   []fixedFlow
+	elig    *pq.Heap[uint64] // by F
+	inel    *pq.Heap[uint64] // by S
+	queues  []packet.FIFO
+	count   int
+	backlog int
+}
+
+type fixedFlow struct {
+	rate    float64
+	s, f    uint64
+	length  float64
+	defined bool
+}
+
+// NewFixedScheduler returns a fixed-point WF²Q+ server for a link of the
+// given rate in bits/sec.
+func NewFixedScheduler(rate float64) *FixedScheduler {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		panic(fmt.Sprintf("core: invalid server rate %g", rate))
+	}
+	return &FixedScheduler{
+		rate: rate,
+		elig: pq.NewHeap[uint64](8),
+		inel: pq.NewHeap[uint64](8),
+	}
+}
+
+// Name identifies the algorithm.
+func (s *FixedScheduler) Name() string { return "WF2Q+fixed" }
+
+// AddSession registers session id with guaranteed rate in bits/sec.
+func (s *FixedScheduler) AddSession(id int, rate float64) {
+	if id < 0 {
+		panic("core: negative session id")
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		panic(fmt.Sprintf("core: invalid session rate %g", rate))
+	}
+	for len(s.flows) <= id {
+		s.flows = append(s.flows, fixedFlow{})
+		s.queues = append(s.queues, packet.FIFO{})
+	}
+	if s.flows[id].defined {
+		panic(fmt.Sprintf("core: duplicate session id %d", id))
+	}
+	s.flows[id] = fixedFlow{rate: rate, defined: true}
+}
+
+// ticks converts a service time L/r to integer virtual ticks, rounding up.
+func ticks(length, rate float64) uint64 {
+	return uint64(math.Ceil(length * TicksPerSecond / rate))
+}
+
+// Enqueue accepts a packet; now is ignored (the clock is self-contained).
+func (s *FixedScheduler) Enqueue(now float64, p *packet.Packet) {
+	fl := &s.flows[p.Session]
+	if !fl.defined {
+		panic(fmt.Sprintf("core: enqueue for unknown session %d", p.Session))
+	}
+	if p.Length <= 0 || math.IsNaN(p.Length) || math.IsInf(p.Length, 0) {
+		panic(fmt.Sprintf("core: invalid packet length %g", p.Length))
+	}
+	q := &s.queues[p.Session]
+	q.Push(p)
+	s.backlog++
+	if q.Len() == 1 {
+		s.push(p.Session, p.Length, false)
+	}
+}
+
+func (s *FixedScheduler) push(id int, length float64, cont bool) {
+	fl := &s.flows[id]
+	if cont {
+		fl.s = fl.f
+	} else {
+		fl.s = max(fl.f, s.v)
+	}
+	fl.f = fl.s + ticks(length, fl.rate)
+	fl.length = length
+	s.count++
+	if fl.s <= s.v {
+		s.elig.Push(id, fl.f)
+	} else {
+		s.inel.Push(id, fl.s)
+	}
+}
+
+// Dequeue selects the next packet under SEFF, or nil when empty.
+func (s *FixedScheduler) Dequeue(now float64) *packet.Packet {
+	if s.count == 0 {
+		return nil
+	}
+	if s.elig.Empty() && s.inel.MinKey() > s.v {
+		s.v = s.inel.MinKey()
+	}
+	for !s.inel.Empty() && s.inel.MinKey() <= s.v {
+		id, _, _ := s.inel.Pop()
+		s.elig.Push(id, s.flows[id].f)
+	}
+	id := s.elig.MinID()
+	s.elig.Remove(id)
+	fl := &s.flows[id]
+	s.count--
+	s.v += ticks(fl.length, s.rate)
+	q := &s.queues[id]
+	p := q.Pop()
+	s.backlog--
+	if !q.Empty() {
+		s.push(id, q.Head().Length, true)
+	}
+	return p
+}
+
+// Backlog returns the number of queued packets.
+func (s *FixedScheduler) Backlog() int { return s.backlog }
+
+// VirtualTicks returns the current system virtual time in ticks.
+func (s *FixedScheduler) VirtualTicks() uint64 { return s.v }

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hpfq/internal/packet"
+)
+
+// TestFixedMatchesFloat: on random workloads the fixed-point engine
+// produces the same departure sequence as the float64 engine whenever the
+// float engine's decisions are not within one tick of a tie (the only place
+// the representations can legitimately diverge). We test with packet
+// lengths and rates that give exact tick values, where the two must agree
+// exactly.
+func TestFixedMatchesFloat(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 5
+		fl := NewScheduler(1e6)
+		fx := NewFixedScheduler(1e6)
+		// Rates that divide 1e9·L exactly: powers of two × 1e3.
+		rates := []float64{128e3, 256e3, 512e3, 64e3, 40e3}
+		for i := 0; i < n; i++ {
+			fl.AddSession(i, rates[i])
+			fx.AddSession(i, rates[i])
+		}
+		var seqs [n]int64
+		for step := 0; step < 400; step++ {
+			if rng.Intn(2) == 0 {
+				sess := rng.Intn(n)
+				length := float64(1+rng.Intn(4)) * 1000 // ticks are integral
+				p1 := packet.New(sess, length)
+				p1.Seq = seqs[sess]
+				p2 := packet.New(sess, length)
+				p2.Seq = seqs[sess]
+				seqs[sess]++
+				fl.Enqueue(0, p1)
+				fx.Enqueue(0, p2)
+			} else {
+				a := fl.Dequeue(0)
+				b := fx.Dequeue(0)
+				if (a == nil) != (b == nil) {
+					return false
+				}
+				if a != nil && (a.Session != b.Session || a.Seq != b.Seq) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFixedProportionalThroughput: long-run shares are exact, with no
+// float drift over a million operations.
+func TestFixedProportionalThroughput(t *testing.T) {
+	s := NewFixedScheduler(1e6)
+	rates := []float64{0.5e6, 0.3e6, 0.2e6}
+	for i, r := range rates {
+		s.AddSession(i, r)
+	}
+	served := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		s.Enqueue(0, packet.New(i, 8000))
+		s.Enqueue(0, packet.New(i, 8000))
+	}
+	for n := 0; n < 1_000_000; n++ {
+		p := s.Dequeue(0)
+		served[p.Session] += p.Length
+		s.Enqueue(0, packet.New(p.Session, 8000))
+	}
+	total := served[0] + served[1] + served[2]
+	for i, r := range rates {
+		if math.Abs(served[i]/total-r/1e6) > 0.001 {
+			t.Errorf("session %d share %.4f, want %.4f", i, served[i]/total, r/1e6)
+		}
+	}
+}
+
+// TestFixedTickRounding: increments round up, never down.
+func TestFixedTickRounding(t *testing.T) {
+	if got := ticks(1, 3); got != uint64(math.Ceil(1e9/3.0)) {
+		t.Errorf("ticks(1,3) = %d", got)
+	}
+	if got := ticks(8000, 1e6); got != 8_000_000 {
+		t.Errorf("ticks(8000,1e6) = %d, want 8e6 exactly", got)
+	}
+}
+
+// TestFixedBasicsAndPanics mirrors the float engine's contract.
+func TestFixedBasicsAndPanics(t *testing.T) {
+	s := NewFixedScheduler(10)
+	if s.Name() != "WF2Q+fixed" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	s.AddSession(0, 5)
+	if s.Dequeue(0) != nil {
+		t.Error("Dequeue on empty should be nil")
+	}
+	p := packet.New(0, 5)
+	s.Enqueue(0, p)
+	if s.Backlog() != 1 {
+		t.Error("backlog")
+	}
+	if s.Dequeue(0) != p {
+		t.Error("wrong packet")
+	}
+	if s.VirtualTicks() == 0 {
+		t.Error("virtual clock did not advance")
+	}
+	assertPanics(t, "bad rate", func() { NewFixedScheduler(-1) })
+	assertPanics(t, "dup session", func() { s.AddSession(0, 5) })
+	assertPanics(t, "bad session rate", func() { s.AddSession(1, 0) })
+	assertPanics(t, "unknown session", func() { s.Enqueue(0, packet.New(9, 1)) })
+	assertPanics(t, "bad length", func() { s.Enqueue(0, packet.New(0, -1)) })
+}
+
+// TestFixedVirtualMonotone: the integer clock never decreases.
+func TestFixedVirtualMonotone(t *testing.T) {
+	s := NewFixedScheduler(2)
+	s.AddSession(0, 1)
+	s.AddSession(1, 1)
+	rng := rand.New(rand.NewSource(5))
+	var prev uint64
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(2) == 0 {
+			s.Enqueue(0, packet.New(rng.Intn(2), float64(1+rng.Intn(9))))
+		} else {
+			s.Dequeue(0)
+		}
+		if v := s.VirtualTicks(); v < prev {
+			t.Fatalf("virtual ticks moved backwards: %d < %d", v, prev)
+		} else {
+			prev = v
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	s.RunAll()
+	for i, want := range []int{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %g, want 3", s.Now())
+	}
+	if s.Fired() != 3 {
+		t.Fatalf("Fired = %d, want 3", s.Fired())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("simultaneous events out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	s := New()
+	var at float64
+	s.At(1, func() {
+		s.After(2, func() { at = s.Now() })
+	})
+	s.RunAll()
+	if at != 3 {
+		t.Fatalf("nested After fired at %g, want 3", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	ev := s.At(1, func() { fired = true })
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("Canceled() false after Cancel")
+	}
+	s.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.Run(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want events at 1,2,3", fired)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %g, want 3", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.Run(10)
+	if len(fired) != 5 {
+		t.Fatalf("fired %v after second Run", fired)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("Now = %g, want 10 (clock at horizon)", s.Now())
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	n := 0
+	s.At(1, func() { n++ })
+	s.At(2, func() { n++ })
+	if !s.Step() || n != 1 {
+		t.Fatal("first Step")
+	}
+	if !s.Step() || n != 2 {
+		t.Fatal("second Step")
+	}
+	if s.Step() {
+		t.Fatal("Step on empty should be false")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+// TestMonotoneClockProperty: for any random event times, callbacks observe a
+// non-decreasing clock equal to their scheduled time.
+func TestMonotoneClockProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		times := make([]float64, 100)
+		for i := range times {
+			times[i] = rng.Float64() * 100
+		}
+		var seen []float64
+		for _, at := range times {
+			at := at
+			s.At(at, func() { seen = append(seen, s.Now()) })
+		}
+		s.RunAll()
+		sort.Float64s(times)
+		if len(seen) != len(times) {
+			return false
+		}
+		for i := range seen {
+			if seen[i] != times[i] {
+				return false
+			}
+			if i > 0 && seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

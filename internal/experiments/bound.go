@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"hpfq/internal/des"
+	"hpfq/internal/hier"
+	"hpfq/internal/netsim"
+	"hpfq/internal/packet"
+	"hpfq/internal/stats"
+	"hpfq/internal/topo"
+	"hpfq/internal/traffic"
+)
+
+// Bound experiment constants: a 10 Mbps link, 1 KB packets, a leaky-bucket
+// constrained session four levels deep.
+const (
+	boundLinkRate = 10e6
+	boundPktBits  = 8000
+	boundSigma    = 4 * boundPktBits // σ: 4-packet bucket
+	boundSessRT   = 0
+	boundSessXsrc = 100 // adversarial train source
+)
+
+// BoundResult is the E10 Corollary 2 check for one hierarchical algorithm.
+type BoundResult struct {
+	Algo     string
+	SessRate float64 // r_i of the measured session
+	Sigma    float64 // bits
+	MaxDelay float64 // worst measured packet delay, seconds
+	Bound    float64 // Corollary 2: σ/r_i + Σ_h L_max/r_{p^h(i)}, seconds
+	Packets  int
+	Holds    bool
+}
+
+// boundTopology is a 4-level hierarchy with the measured session RT at the
+// deepest level and a greedy sibling at every level — the configuration
+// Corollary 2 bounds. Session ids: 0 = RT, 1..5 greedy, 100 = train.
+func boundTopology() *topo.Node {
+	c := topo.Interior("C", 0.5,
+		topo.Leaf("RT", 0.5, boundSessRT),
+		topo.Leaf("G5", 0.5, 5),
+	)
+	b := topo.Interior("B", 0.5,
+		c,
+		topo.Leaf("G4", 0.5, 4),
+	)
+	a := topo.Interior("A", 0.25,
+		b,
+		topo.Leaf("G3", 0.5, 3),
+	)
+	return topo.Interior("root", 1,
+		a,
+		topo.Leaf("G1", 0.25, 1),
+		topo.Leaf("G2", 0.25, 2),
+		topo.Leaf("T1", 0.25, boundSessXsrc),
+	)
+}
+
+// RunBound measures the worst packet delay of a (σ, r_i) leaky-bucket
+// constrained session at the bottom of a 4-level H-PFQ hierarchy, against
+// the Corollary 2 bound
+//
+//	σ_i/r_i + Σ_{h=0}^{H-1} L_max/r_{p^h(i)}
+//
+// with greedy sessions at every level plus a bursty train source at the
+// root. For H-WF²Q+ the bound must hold (Theorem 4 gives each node the
+// optimal WFI); for H-WFQ and H-SCFQ it is violated once cross traffic
+// lets some node run far ahead of its fluid reference.
+func RunBound(algo string, dur float64) (*BoundResult, error) {
+	top := boundTopology()
+	tree, err := hier.New(top, boundLinkRate, algo)
+	if err != nil {
+		return nil, err
+	}
+	sim := des.New()
+	link := netsim.NewLink(sim, boundLinkRate, tree)
+
+	rates := top.SessionRates(boundLinkRate)
+	ri := rates[boundSessRT]
+
+	bound, err := top.DelayBound(boundLinkRate, boundSessRT, boundSigma, boundPktBits)
+	if err != nil {
+		return nil, err
+	}
+
+	delays := &stats.DelayRecorder{}
+	link.OnDepart(func(p *packet.Packet) {
+		if p.Session == boundSessRT {
+			delays.Record(p)
+		}
+	})
+
+	// Greedy sessions at every level.
+	for _, s := range []int{1, 2, 3, 4, 5} {
+		(&traffic.Greedy{Session: s, PktBits: boundPktBits, Depth: 2}).Run(sim, link)
+	}
+	// Adversarial bursts at the root.
+	(&traffic.Train{
+		Session: boundSessXsrc, PktBits: boundPktBits,
+		Count: 24, Period: 0.35, Gap: boundPktBits / boundLinkRate,
+		Start: 0.050, Stop: dur,
+	}).Run(sim, emitTo(link))
+
+	// Measured session: a greedy-ish feed shaped by a (σ, r_i) leaky
+	// bucket, so its arrivals satisfy eq. 17 and Corollary 2 applies.
+	lb := traffic.NewLeakyBucket(sim, boundSigma, ri, emitTo(link))
+	(&traffic.CBR{
+		Session: boundSessRT, Rate: 1.4 * ri, PktBits: boundPktBits,
+		Start: 0, Stop: dur,
+	}).Run(sim, lb.Emit())
+
+	sim.Run(dur)
+
+	return &BoundResult{
+		Algo:     "H-" + algo,
+		SessRate: ri,
+		Sigma:    boundSigma,
+		MaxDelay: delays.Max(),
+		Bound:    bound,
+		Packets:  delays.Count(),
+		Holds:    delays.Max() <= bound,
+	}, nil
+}

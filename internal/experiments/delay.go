@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hpfq/internal/des"
+	"hpfq/internal/hier"
+	"hpfq/internal/netsim"
+	"hpfq/internal/packet"
+	"hpfq/internal/stats"
+	"hpfq/internal/traffic"
+)
+
+// Scenario selects one of the three §5.1 traffic mixes.
+type Scenario int
+
+const (
+	// ScenarioNominal (§5.1.1, Fig. 4–5): every source sends at its
+	// guaranteed average rate; only BE-1 is continuously backlogged.
+	ScenarioNominal Scenario = 1
+	// ScenarioOverload (§5.1.2, Fig. 6): CS-n off; PS-n send Poisson at
+	// 1.5× their guaranteed rate and become persistently backlogged.
+	ScenarioOverload Scenario = 2
+	// ScenarioOverloadCS (§5.1.3, Fig. 7): CS-n on and PS-n overloaded.
+	ScenarioOverloadCS Scenario = 3
+)
+
+// DelayResult holds the measurements of one §5.1 run: the per-packet delay
+// series of the real-time session RT-1 (Fig. 4/6/7) and its cumulative
+// arrival/service curves (Fig. 5).
+type DelayResult struct {
+	Algo     string
+	Scenario Scenario
+	Duration float64
+
+	Delays *stats.DelayRecorder // RT-1 per-packet delays
+	Curve  *stats.CumCurve      // RT-1 arrivals vs services
+	Sent   int64                // total packets transmitted on the link
+}
+
+// MaxDelay returns the worst RT-1 packet delay in seconds.
+func (r *DelayResult) MaxDelay() float64 { return r.Delays.Max() }
+
+// RunDelay runs one §5.1 delay experiment on the Fig. 3 hierarchy with the
+// given per-node algorithm ("WF2Q+", "WFQ", "WF2Q", "SCFQ", "SFQ", "DRR")
+// for dur seconds of simulated time.
+func RunDelay(algo string, sc Scenario, dur float64, seed int64) (*DelayResult, error) {
+	if sc < ScenarioNominal || sc > ScenarioOverloadCS {
+		return nil, fmt.Errorf("experiments: unknown scenario %d", sc)
+	}
+	tree, err := hier.New(Fig3Topology(), Fig3LinkRate, algo)
+	if err != nil {
+		return nil, err
+	}
+	sim := des.New()
+	link := netsim.NewLink(sim, Fig3LinkRate, tree)
+	rng := rand.New(rand.NewSource(seed))
+
+	res := &DelayResult{
+		Algo:     "H-" + algo,
+		Scenario: sc,
+		Duration: dur,
+		Delays:   &stats.DelayRecorder{},
+		Curve:    &stats.CumCurve{},
+	}
+	link.OnArrive(func(p *packet.Packet) {
+		if p.Session == SessRT1 {
+			res.Curve.Arrive(p.Arrival)
+		}
+	})
+	link.OnDepart(func(p *packet.Packet) {
+		if p.Session == SessRT1 {
+			res.Delays.Record(p)
+			res.Curve.Serve(p.Depart)
+		}
+	})
+
+	attachFig3Sources(sim, link, sc, dur, rng)
+	sim.Run(dur)
+	res.Sent = link.Sent()
+	return res, nil
+}
+
+// attachFig3Sources wires the §5.1 workload for the given scenario.
+func attachFig3Sources(sim *des.Sim, link *netsim.Link, sc Scenario, dur float64, rng *rand.Rand) {
+	emit := traffic.ToLink(link)
+	const pkt = float64(packet.Bits8KB)
+
+	// RT-1: deterministic on/off, 25 ms on / 75 ms off from t = 200 ms,
+	// peak = guaranteed rate 9 Mbps.
+	rt := &traffic.OnOff{
+		Session: SessRT1, Rate: RT1Rate, PktBits: pkt,
+		On: RT1On, Off: RT1Off, Start: RT1Start, Stop: dur,
+	}
+	rt.Run(sim, emit)
+
+	// BE-1, BE-2: continuously backlogged best-effort.
+	(&traffic.Greedy{Session: SessBE1, PktBits: pkt, Depth: 2}).Run(sim, link)
+	(&traffic.Greedy{Session: SessBE2, PktBits: pkt, Depth: 2}).Run(sim, link)
+
+	// PS-n: constant rate at guaranteed rate with identical start times
+	// (scenario 1), or Poisson at 1.5× guaranteed (scenarios 2 and 3).
+	psRate := Fig3LinkRate * 0.035
+	for i := 0; i < Fig3NumPS; i++ {
+		sess := SessPS + i
+		if sc == ScenarioNominal {
+			(&traffic.CBR{Session: sess, Rate: psRate, PktBits: pkt, Start: 0, Stop: dur}).Run(sim, emit)
+		} else {
+			(&traffic.Poisson{
+				Session: sess, Rate: PSOverload * psRate, PktBits: pkt,
+				Start: 0, Stop: dur, Rng: rand.New(rand.NewSource(rng.Int63())),
+			}).Run(sim, emit)
+		}
+	}
+
+	// CS-n: one multiplexed train stream — a 40-packet train lands about
+	// every 193 ms, rotating across the ten CS sessions, packets spaced one
+	// upstream-link packet time apart (scenarios 1 and 3).
+	if sc != ScenarioOverload {
+		for i := 0; i < Fig3NumCS; i++ {
+			(&traffic.Train{
+				Session: SessCS + i, PktBits: pkt,
+				Count: CSTrainLen, Period: CSPeriod, Gap: pkt / Fig3LinkRate,
+				Start: float64(i) * CSStagger, Stop: dur,
+			}).Run(sim, emit)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSection31DelayNumbers reproduces the §3.1 numeric example (E3):
+// 1001 classes on a 100 Mbps link, 1500 B packets, 30% reservation —
+// "its packet may be delayed 120 ms in just one hop" under WFQ, "0.4 ms"
+// under GPS. WF²Q and WF²Q+ hold the extra wait to about one packet time.
+func TestSection31DelayNumbers(t *testing.T) {
+	wfq, err := RunBurst("WFQ", 1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPS empty-queue delay: L/r_i = 12000/30e6 = 0.4 ms.
+	if math.Abs(wfq.GPSDelay-0.0004) > 1e-9 {
+		t.Errorf("GPS delay = %g, want 0.0004", wfq.GPSDelay)
+	}
+	// WFQ probe delay ≈ 120 ms (1000 competitors × 0.12 ms each).
+	if wfq.ProbeDelay < 0.110 || wfq.ProbeDelay > 0.130 {
+		t.Errorf("WFQ probe delay = %.4f s, want ≈ 0.120", wfq.ProbeDelay)
+	}
+	if wfq.TWFI < 0.110 {
+		t.Errorf("WFQ T-WFI = %.4f s, want ≈ 0.120", wfq.TWFI)
+	}
+	for _, algo := range []string{"WF2Q", "WF2Q+"} {
+		res, err := RunBurst(algo, 1001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Extra wait within ~two packet times (0.12 ms each).
+		if res.TWFI > 2.5*res.PktTime {
+			t.Errorf("%s T-WFI = %.6f s, want <= %.6f", algo, res.TWFI, 2.5*res.PktTime)
+		}
+	}
+}
+
+// TestWFIScaling verifies the Theorem 3/4 contrast (E9): WFQ and SCFQ have
+// WFI growing ~N/2 packets; WF²Q and WF²Q+ stay at one packet regardless
+// of N.
+func TestWFIScaling(t *testing.T) {
+	for _, algo := range []string{"WFQ", "SCFQ"} {
+		res, err := RunWFISweep(algo, []int{8, 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, large := res[0], res[1]
+		if large.BWFIPkts < 4*small.BWFIPkts {
+			t.Errorf("%s: B-WFI did not scale with N: %.2f pkts at N=8, %.2f at N=64",
+				algo, small.BWFIPkts, large.BWFIPkts)
+		}
+		if large.BWFIPkts < 20 {
+			t.Errorf("%s: B-WFI at N=64 = %.2f pkts, want ~N/2", algo, large.BWFIPkts)
+		}
+	}
+	for _, algo := range []string{"WF2Q", "WF2Q+"} {
+		res, err := RunWFISweep(algo, []int{8, 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.BWFIPkts > 1.0 {
+				t.Errorf("%s: B-WFI at N=%d = %.2f pkts, want <= 1 (Theorem 3/4)",
+					algo, r.N, r.BWFIPkts)
+			}
+			if r.TWFI > 0 {
+				t.Errorf("%s: T-WFI at N=%d = %.4f s, want <= 0", algo, r.N, r.TWFI)
+			}
+		}
+	}
+}
+
+// TestCorollary2Bound (E10): the H-WF²Q+ delay bound holds for a leaky
+// bucket constrained session under adversarial cross traffic; an H-DRR
+// hierarchy (unbounded node WFI) violates the same bound.
+func TestCorollary2Bound(t *testing.T) {
+	for _, algo := range []string{"WF2Q+", "WF2Q"} {
+		res, err := RunBound(algo, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Holds {
+			t.Errorf("%s: max delay %.4f s exceeds Corollary 2 bound %.4f s",
+				res.Algo, res.MaxDelay, res.Bound)
+		}
+		if res.Packets < 500 {
+			t.Errorf("%s: only %d packets measured", res.Algo, res.Packets)
+		}
+	}
+	drr, err := RunBound("DRR", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drr.Holds {
+		t.Errorf("H-DRR unexpectedly met the PFQ delay bound (max %.4f <= %.4f)",
+			drr.MaxDelay, drr.Bound)
+	}
+}
+
+// TestDelayScenarios (E4–E7, smoke scale): all three §5.1 scenarios run,
+// deliver the same number of RT-1 packets under both hierarchies, and
+// H-WF²Q+ never has a worse maximum delay than H-WFQ in the correlated
+// scenario 1.
+func TestDelayScenarios(t *testing.T) {
+	for _, sc := range []Scenario{ScenarioNominal, ScenarioOverload, ScenarioOverloadCS} {
+		wfq, err := RunDelay("WFQ", sc, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plus, err := RunDelay("WF2Q+", sc, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wfq.Delays.Count() == 0 || wfq.Delays.Count() != plus.Delays.Count() {
+			t.Fatalf("scenario %d: RT-1 packet counts %d vs %d",
+				sc, wfq.Delays.Count(), plus.Delays.Count())
+		}
+		if sc == ScenarioNominal && plus.MaxDelay() > wfq.MaxDelay() {
+			t.Errorf("scenario 1: H-WF2Q+ max delay %.4f > H-WFQ %.4f",
+				plus.MaxDelay(), wfq.MaxDelay())
+		}
+		// H-WF²Q+ respects the Corollary 2 delay bound for RT-1: its burst
+		// is ≤ 4 packets (σ ≈ 4L), so σ/r_i + Σ L/r_{p^h}.
+		bound, err := Fig3Topology().DelayBound(Fig3LinkRate, SessRT1, 4*65536, 65536)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plus.MaxDelay() > bound {
+			t.Errorf("scenario %d: H-WF2Q+ max delay %.4f exceeds bound %.4f",
+				sc, plus.MaxDelay(), bound)
+		}
+	}
+	if _, err := RunDelay("WF2Q+", Scenario(9), 1, 1); err == nil {
+		t.Error("unknown scenario should error")
+	}
+	if _, err := RunDelay("nope", ScenarioNominal, 1, 1); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+// TestFig9Tracking (E8, smoke scale): the measured TCP bandwidth tracks the
+// ideal H-GPS share within a reasonable tolerance after convergence.
+func TestFig9Tracking(t *testing.T) {
+	res, err := RunFig9("WF2Q+", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < NumTCP; s++ {
+		if res.Delivered[s] == 0 {
+			t.Errorf("%s delivered nothing", res.Names[s])
+		}
+		// Average tracking error after convergence below 35% of the link
+		// share scale (the paper's curves wobble at 50 ms granularity too).
+		errBps := res.MeanAbsError(s, 2, 6)
+		ideal := res.Ideal[s][len(res.Ideal[s])/2].Bps
+		if errBps > 0.35*ideal+0.1e6 {
+			t.Errorf("%s: mean tracking error %.0f bps vs ideal %.0f", res.Names[s], errBps, ideal)
+		}
+	}
+}
+
+// TestTopologies validates the reconstructed hierarchies and their
+// documented rates.
+func TestTopologies(t *testing.T) {
+	fig3 := Fig3Topology()
+	if err := fig3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rates := fig3.SessionRates(Fig3LinkRate)
+	if math.Abs(rates[SessRT1]-9e6)/9e6 > 0.01 {
+		t.Errorf("RT-1 rate = %.0f, want 9 Mbps (paper)", rates[SessRT1])
+	}
+	n1 := fig3.Find("N-1")
+	if n1 == nil {
+		t.Fatal("N-1 missing")
+	}
+	if math.Abs(fig3.Rates(Fig3LinkRate)[n1]-11.11e6)/11.11e6 > 0.01 {
+		t.Errorf("N-1 rate = %.0f, want ~11.11 Mbps", fig3.Rates(Fig3LinkRate)[n1])
+	}
+
+	fig8 := Fig8Topology()
+	if err := fig8.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fig8.Depth() != 4 {
+		t.Errorf("Fig8 depth = %d, want 4 levels", fig8.Depth())
+	}
+	var total float64
+	for _, r := range fig8.SessionRates(Fig8LinkRate) {
+		total += r
+	}
+	if math.Abs(total-Fig8LinkRate) > 1 {
+		t.Errorf("Fig8 session rates sum to %.0f, want %g", total, Fig8LinkRate)
+	}
+
+	fig1 := Fig1Topology()
+	if err := fig1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r1 := fig1.SessionRates(Fig1LinkRate)
+	if math.Abs(r1[Fig1A1RT]-13.5e6) > 1 || math.Abs(r1[Fig1A1BE]-9e6) > 1 {
+		t.Errorf("Fig1 A1 rates = %.0f / %.0f, want 13.5 / 9 Mbps", r1[Fig1A1RT], r1[Fig1A1BE])
+	}
+
+	// Fig. 8(b) schedule sanity: OO1 toggles 4 on-periods; OO4 exactly one.
+	sched := OOSchedule(10)
+	if len(sched[SessOO1]) != 4 || len(sched[SessOO4]) != 1 {
+		t.Errorf("schedule shape wrong: %v", sched)
+	}
+}

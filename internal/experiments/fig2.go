@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpfq/internal/des"
+	"hpfq/internal/fluid"
+	"hpfq/internal/netsim"
+	"hpfq/internal/packet"
+	"hpfq/internal/sched"
+)
+
+// Fig2Result reproduces the paper's Fig. 2 service-order example: 11
+// sessions on a unit-rate link with unit packets; session 1 holds rate 0.5
+// and sends 11 back-to-back packets at t=0, sessions 2..11 hold 0.05 each
+// and send one packet each at t=0.
+type Fig2Result struct {
+	// GPSFinish[k] is the fluid finish time of session 1's packet k+1
+	// (paper: 2, 4, ..., 20, 21); GPSOthers is the common finish time of
+	// the single packets on sessions 2..11 (paper: 20).
+	GPSFinish []float64
+	GPSOthers float64
+	// Order maps algorithm name to the sequence of sessions served.
+	Order map[string][]int
+	// Finish maps algorithm name to per-packet departure times, in service
+	// order.
+	Finish map[string][]float64
+}
+
+// Fig2Sessions is the number of sessions in the example.
+const Fig2Sessions = 11
+
+// RunFig2 reproduces Fig. 2 (experiment E1): the GPS fluid finish times and
+// the packet service orders under WFQ, WF²Q and WF²Q+.
+//
+// Expected shapes (from the paper): WFQ serves session 1's first ten
+// packets back to back, then starves it for ten packet times; WF²Q and
+// WF²Q+ interleave, never running more than one packet ahead of GPS.
+func RunFig2() *Fig2Result {
+	res := &Fig2Result{
+		Order:  make(map[string][]int),
+		Finish: make(map[string][]float64),
+	}
+
+	// Fluid GPS reference.
+	g := fluid.NewGPS(1)
+	g.AddSession(1, 0.5)
+	for i := 2; i <= Fig2Sessions; i++ {
+		g.AddSession(i, 0.05)
+	}
+	for k := 0; k < 11; k++ {
+		p := packet.New(1, 1)
+		p.Seq = int64(k)
+		g.Arrive(0, p)
+	}
+	for i := 2; i <= Fig2Sessions; i++ {
+		g.Arrive(0, packet.New(i, 1))
+	}
+	g.Drain()
+	for _, d := range g.Departures() {
+		if d.Session == 1 {
+			res.GPSFinish = append(res.GPSFinish, d.Time)
+		} else {
+			res.GPSOthers = d.Time
+		}
+	}
+
+	// Packet systems.
+	for _, algo := range []string{"WFQ", "WF2Q", "WF2Q+"} {
+		s, err := sched.New(algo, 1)
+		if err != nil {
+			panic(err) // fixed algorithm list
+		}
+		s.AddSession(1, 0.5)
+		for i := 2; i <= Fig2Sessions; i++ {
+			s.AddSession(i, 0.05)
+		}
+		sim := des.New()
+		link := netsim.NewLink(sim, 1, s)
+		var order []int
+		var finish []float64
+		link.OnDepart(func(p *packet.Packet) {
+			order = append(order, p.Session)
+			finish = append(finish, p.Depart)
+		})
+		sim.At(0, func() {
+			for k := 0; k < 11; k++ {
+				p := packet.New(1, 1)
+				p.Seq = int64(k)
+				link.Arrive(p)
+			}
+			for i := 2; i <= Fig2Sessions; i++ {
+				link.Arrive(packet.New(i, 1))
+			}
+		})
+		sim.RunAll()
+		res.Order[algo] = order
+		res.Finish[algo] = finish
+	}
+	return res
+}
+
+// LeadingRun returns the length of the initial run of session 1 in an
+// algorithm's service order — 10 for WFQ (the burst-ahead pathology), 1 for
+// WF²Q/WF²Q+.
+func (r *Fig2Result) LeadingRun(algo string) int {
+	n := 0
+	for _, s := range r.Order[algo] {
+		if s != 1 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Timeline renders one algorithm's service order like the paper's Fig. 2
+// time lines, e.g. "1 1 1 2 1 3 ...".
+func (r *Fig2Result) Timeline(algo string) string {
+	out := ""
+	for i, s := range r.Order[algo] {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprint(s)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFig2ServiceOrder reproduces the paper's Fig. 2 (experiment E1): the
+// GPS fluid finish times and the contrasting service orders of WFQ vs
+// WF²Q/WF²Q+.
+func TestFig2ServiceOrder(t *testing.T) {
+	res := RunFig2()
+
+	// GPS: session 1's packets finish at 2, 4, ..., 20 and then 21; the
+	// single packets of sessions 2..11 all finish at 20.
+	if len(res.GPSFinish) != 11 {
+		t.Fatalf("GPS recorded %d session-1 departures, want 11", len(res.GPSFinish))
+	}
+	for k := 0; k < 10; k++ {
+		want := 2 * float64(k+1)
+		if math.Abs(res.GPSFinish[k]-want) > 1e-6 {
+			t.Errorf("GPS finish of packet %d = %g, want %g", k+1, res.GPSFinish[k], want)
+		}
+	}
+	if math.Abs(res.GPSFinish[10]-21) > 1e-6 {
+		t.Errorf("GPS finish of packet 11 = %g, want 21", res.GPSFinish[10])
+	}
+	if math.Abs(res.GPSOthers-20) > 1e-6 {
+		t.Errorf("GPS finish of other sessions = %g, want 20", res.GPSOthers)
+	}
+
+	// Every system transmits all 21 packets in 21 time units.
+	for algo, fin := range res.Finish {
+		if len(fin) != 21 {
+			t.Fatalf("%s transmitted %d packets, want 21", algo, len(fin))
+		}
+		if math.Abs(fin[20]-21) > 1e-6 {
+			t.Errorf("%s finished at %g, want 21 (work conservation)", algo, fin[20])
+		}
+	}
+
+	// WFQ bursts session 1 far ahead (the paper shows 10 back-to-back; an
+	// exact-tie packet at virtual finish 20 may go either way) and then
+	// starves it while all other sessions catch up.
+	if run := res.LeadingRun("WFQ"); run < 9 {
+		t.Errorf("WFQ leading run of session 1 = %d, want >= 9 (burst-ahead)", run)
+	}
+	wfqOrder := res.Order["WFQ"]
+	starve := 0
+	maxStarve := 0
+	seen1 := 0
+	for _, s := range wfqOrder {
+		if s == 1 {
+			seen1++
+			starve = 0
+		} else if seen1 > 0 {
+			starve++
+			if starve > maxStarve {
+				maxStarve = starve
+			}
+		}
+	}
+	if maxStarve < 10 {
+		t.Errorf("WFQ max starvation of session 1 = %d packet times, want >= 10", maxStarve)
+	}
+
+	// WF²Q and WF²Q+ interleave: session 1 never transmits more than one
+	// packet in a row before another session is served (paper Fig. 2
+	// bottom time line), and both produce the identical order here.
+	for _, algo := range []string{"WF2Q", "WF2Q+"} {
+		if run := res.LeadingRun(algo); run != 1 {
+			t.Errorf("%s leading run of session 1 = %d, want 1", algo, run)
+		}
+		maxRun, cur := 0, 0
+		for _, s := range res.Order[algo] {
+			if s == 1 {
+				cur++
+				if cur > maxRun {
+					maxRun = cur
+				}
+			} else {
+				cur = 0
+			}
+		}
+		// The last two transmissions may be session 1's packets 10 and 11
+		// once every other queue is empty.
+		if maxRun > 2 {
+			t.Errorf("%s longest session-1 run = %d, want <= 2", algo, maxRun)
+		}
+	}
+	// WF²Q and WF²Q+ may break exact virtual-finish ties differently, but
+	// must agree wherever the finish times are distinct: compare the service
+	// slots of session 1's first nine packets (virtual finishes 2..18, all
+	// unique).
+	for _, algo := range []string{"WF2Q", "WF2Q+"} {
+		for k := 0; k < 9; k++ {
+			if got := res.Order[algo][2*k]; got != 1 {
+				t.Errorf("%s slot %d served session %d, want 1", algo, 2*k, got)
+			}
+		}
+	}
+}

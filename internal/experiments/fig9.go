@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"hpfq/internal/des"
+	"hpfq/internal/fluid"
+	"hpfq/internal/hier"
+	"hpfq/internal/netsim"
+	"hpfq/internal/packet"
+	"hpfq/internal/stats"
+	"hpfq/internal/tcp"
+	"hpfq/internal/traffic"
+)
+
+// Fig. 9 workload constants (substitutions documented in DESIGN.md: TCP
+// segments are 1500 B so windows are large enough for loss-based adaptation
+// at 10 Mbps; on/off sources keep the paper's 8 KB packets).
+const (
+	fig9SegBits  = 1500 * 8
+	fig9TCPDelay = 0.020 // fixed non-bottleneck RTT component, seconds
+	fig9TCPBuf   = 20    // per-TCP-session packet buffer at the bottleneck
+	fig9OOBuf    = 8     // on/off source buffer: small so off-transitions drain fast
+	fig9OOOver   = 1.2   // on/off sources send at 1.2× guaranteed to stay backlogged
+	fig9Window   = 0.050 // bandwidth measurement window (§5.2: 50 ms)
+	fig9Alpha    = 0.3   // EWMA smoothing across windows
+)
+
+// Fig9Result holds one link-sharing run: measured per-TCP bandwidth series
+// (Fig. 9(a)) and the ideal H-GPS share step functions (Fig. 9(b)).
+type Fig9Result struct {
+	Algo    string
+	Horizon float64
+
+	Names     map[int]string
+	Measured  map[int][]stats.RatePoint // session → EWMA of 50 ms windows
+	Ideal     map[int][]stats.RatePoint // session → ideal H-GPS share at window ends
+	Delivered map[int]int64             // session → segments acked
+	Retrans   map[int]int64
+}
+
+// RunFig9 runs the §5.2 link-sharing experiment on the Fig. 8 hierarchy:
+// 11 TCP Reno sources plus one scheduled on/off source per level, measured
+// with 50 ms exponentially averaged windows, against the ideal H-GPS
+// shares. dur should cover the Fig. 8(b) schedule (10 s).
+func RunFig9(algo string, dur float64, seed int64) (*Fig9Result, error) {
+	top := Fig8Topology()
+	tree, err := hier.New(top, Fig8LinkRate, algo)
+	if err != nil {
+		return nil, err
+	}
+	sim := des.New()
+	link := netsim.NewLink(sim, Fig8LinkRate, tree)
+	rng := rand.New(rand.NewSource(seed))
+
+	res := &Fig9Result{
+		Algo:      "H-" + algo,
+		Horizon:   dur,
+		Names:     TCPNames(),
+		Measured:  make(map[int][]stats.RatePoint),
+		Ideal:     make(map[int][]stats.RatePoint),
+		Delivered: make(map[int]int64),
+		Retrans:   make(map[int]int64),
+	}
+
+	// Per-TCP bandwidth meters fed by link departures.
+	meters := make(map[int]*stats.RateMeter, NumTCP)
+	for s := 0; s < NumTCP; s++ {
+		meters[s] = stats.NewRateMeter(fig9Window)
+	}
+	link.OnDepart(func(p *packet.Packet) {
+		if m, ok := meters[p.Session]; ok {
+			m.Add(p.Depart, p.Length)
+		}
+	})
+
+	// TCP sources with slightly staggered starts so slow starts do not
+	// synchronize.
+	tcps := make([]*tcp.Source, NumTCP)
+	for s := 0; s < NumTCP; s++ {
+		link.SetSessionLimit(s, fig9TCPBuf)
+		start := 0.010 + rng.Float64()*0.100
+		src := tcp.New(sim, link, s, fig9SegBits, fig9TCPDelay, start)
+		src.Run()
+		tcps[s] = src
+	}
+
+	// On/off sources per the Fig. 8(b) schedule, sent at 1.2× their
+	// guaranteed rate so they are backlogged while on.
+	rates := top.SessionRates(Fig8LinkRate)
+	emit := traffic.ToLink(link)
+	for sess, ivs := range OOSchedule(dur) {
+		link.SetSessionLimit(sess, fig9OOBuf)
+		sch := &traffic.Scheduled{
+			Session: sess,
+			Rate:    fig9OOOver * rates[sess],
+			PktBits: packet.Bits8KB,
+		}
+		for _, iv := range ivs {
+			sch.Intervals = append(sch.Intervals, traffic.Interval{On: iv.On, Off: iv.Off})
+		}
+		sch.Run(sim, emit)
+	}
+
+	sim.Run(dur)
+
+	// Measured series: EWMA over 50 ms windows, as in the paper.
+	for s := 0; s < NumTCP; s++ {
+		res.Measured[s] = stats.EWMA(meters[s].Series(dur), fig9Alpha)
+		res.Delivered[s] = tcps[s].Delivered()
+		res.Retrans[s] = tcps[s].Retransmits()
+	}
+
+	// Ideal H-GPS shares: all TCP sessions active, on/off sessions active
+	// per schedule; evaluate at each window end.
+	sched := OOSchedule(dur)
+	for s := 0; s < NumTCP; s++ {
+		series := make([]stats.RatePoint, 0, int(dur/fig9Window))
+		for end := fig9Window; end <= dur+1e-9; end += fig9Window {
+			t := end - fig9Window/2
+			active := make(map[int]bool, NumTCP+4)
+			for i := 0; i < NumTCP; i++ {
+				active[i] = true
+			}
+			for sess, ivs := range sched {
+				for _, iv := range ivs {
+					if t >= iv.On && t < iv.Off {
+						active[sess] = true
+					}
+				}
+			}
+			shares := fluid.IdealShares(top, Fig8LinkRate, active)
+			series = append(series, stats.RatePoint{T: end, Bps: shares[s]})
+		}
+		res.Ideal[s] = series
+	}
+	return res, nil
+}
+
+// MeanAbsError returns the time-average |measured − ideal| for one session
+// over [from, to], in bits/sec — the tracking error visible in Fig. 9(b).
+func (r *Fig9Result) MeanAbsError(session int, from, to float64) float64 {
+	m, id := r.Measured[session], r.Ideal[session]
+	n := 0
+	var sum float64
+	for i := range m {
+		if i >= len(id) {
+			break
+		}
+		if m[i].T < from || m[i].T > to {
+			continue
+		}
+		d := m[i].Bps - id[i].Bps
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"hpfq/internal/des"
+	"hpfq/internal/hier"
+	"hpfq/internal/netsim"
+	"hpfq/internal/topo"
+	"hpfq/internal/traffic"
+)
+
+// Multi-hop extension (E13): the paper's per-hop guarantees compose across
+// a path of H-PFQ servers. A (σ, r_i) session crosses K hops, each an
+// H-WF²Q+ hierarchy loaded with independent greedy and train cross traffic;
+// the end-to-end delay must stay within the sum of the per-hop Corollary 2
+// terms (the burstiness a PFQ hop adds to a conforming stream is itself
+// bounded by its WFI, so downstream hops see an effectively (σ+h·L, r_i)
+// stream).
+const (
+	mhLinkRate = 10e6
+	mhPktBits  = 8000
+	mhSigma    = 4 * mhPktBits
+	mhSessRT   = 0
+)
+
+// MultihopResult is the E13 outcome for one algorithm and hop count.
+type MultihopResult struct {
+	Algo     string
+	Hops     int
+	Packets  int
+	MaxDelay float64 // end-to-end, excluding propagation
+	Bound    float64 // Σ per-hop Corollary 2 terms + σ/r_i
+	Holds    bool
+}
+
+// mhTopology is a 3-level hierarchy used at every hop. Session ids: 0 = the
+// measured end-to-end session, 1..4 = local cross traffic (fresh per hop).
+func mhTopology() *topo.Node {
+	b := topo.Interior("B", 0.5,
+		topo.Leaf("RT", 0.4, mhSessRT),
+		topo.Leaf("G3", 0.6, 3),
+	)
+	a := topo.Interior("A", 0.5,
+		b,
+		topo.Leaf("G2", 0.5, 2),
+	)
+	return topo.Interior("root", 1,
+		a,
+		topo.Leaf("G1", 0.25, 1),
+		topo.Leaf("T1", 0.25, 4),
+	)
+}
+
+// RunMultihop runs the end-to-end experiment over the given number of hops
+// (each hop has 1 ms of propagation delay to the next, which is subtracted
+// from the bound comparison).
+func RunMultihop(algo string, hops int, dur float64, seed int64) (*MultihopResult, error) {
+	const prop = 0.001
+	top := mhTopology()
+	sim := des.New()
+	rng := rand.New(rand.NewSource(seed))
+
+	links := make([]*netsim.Link, hops)
+	for h := 0; h < hops; h++ {
+		tree, err := hier.New(top, mhLinkRate, algo)
+		if err != nil {
+			return nil, err
+		}
+		links[h] = netsim.NewLink(sim, mhLinkRate, tree)
+	}
+	// Chain the measured session across hops.
+	for h := 0; h+1 < hops; h++ {
+		netsim.Forward(sim, links[h], links[h+1], prop, map[int]bool{mhSessRT: true})
+	}
+	tracer := netsim.NewPathTracer(mhSessRT)
+	tracer.Attach(links[0], links[hops-1])
+
+	// Independent cross traffic at every hop.
+	for h := 0; h < hops; h++ {
+		link := links[h]
+		for _, s := range []int{1, 2, 3} {
+			(&traffic.Greedy{Session: s, PktBits: mhPktBits, Depth: 2}).Run(sim, link)
+		}
+		(&traffic.Train{
+			Session: 4, PktBits: mhPktBits,
+			Count: 16, Period: 0.25 + 0.05*rng.Float64(), Gap: mhPktBits / mhLinkRate,
+			Start: 0.02 * float64(h+1), Stop: dur,
+		}).Run(sim, traffic.ToLink(link))
+	}
+
+	// The measured session: (σ, r_i)-conforming feed into hop 0.
+	ri := top.SessionRates(mhLinkRate)[mhSessRT]
+	lb := traffic.NewLeakyBucket(sim, mhSigma, ri, traffic.ToLink(links[0]))
+	(&traffic.CBR{Session: mhSessRT, Rate: 1.4 * ri, PktBits: mhPktBits, Stop: dur}).
+		Run(sim, lb.Emit())
+
+	sim.Run(dur + 1) // drain the tail across hops
+
+	// Bound: σ/r_i once, plus each hop's WFI-sum term Σ_h L/r_{p^h}
+	// (= DelayBound with σ = 0), plus the per-hop growth of burstiness
+	// (one packet per hop at r_i), plus propagation.
+	perHop, err := top.DelayBound(mhLinkRate, mhSessRT, 0, mhPktBits)
+	if err != nil {
+		return nil, err
+	}
+	bound := mhSigma/ri + float64(hops)*perHop +
+		float64(hops-1)*(mhPktBits/ri+prop)
+
+	return &MultihopResult{
+		Algo:     "H-" + algo,
+		Hops:     hops,
+		Packets:  tracer.Count(),
+		MaxDelay: tracer.Worst(),
+		Bound:    bound,
+		Holds:    tracer.Worst() <= bound,
+	}, nil
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestMultihopBound (E13, extension): the end-to-end delay of a conforming
+// session across K H-WF²Q+ hops stays within the composed per-hop bound.
+func TestMultihopBound(t *testing.T) {
+	for _, hops := range []int{1, 2, 4} {
+		res, err := RunMultihop("WF2Q+", hops, 20, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Packets < 300 {
+			t.Errorf("%d hops: only %d packets completed", hops, res.Packets)
+		}
+		if !res.Holds {
+			t.Errorf("%d hops: e2e max %.4f s exceeds composed bound %.4f s",
+				hops, res.MaxDelay, res.Bound)
+		}
+	}
+	// More hops means more delay — the composition is really accumulating.
+	one, _ := RunMultihop("WF2Q+", 1, 20, 3)
+	four, _ := RunMultihop("WF2Q+", 4, 20, 3)
+	if four.MaxDelay <= one.MaxDelay {
+		t.Errorf("4-hop max %.4f <= 1-hop max %.4f", four.MaxDelay, one.MaxDelay)
+	}
+}

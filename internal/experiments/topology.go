@@ -1,0 +1,217 @@
+// Package experiments reconstructs every experiment in the paper's
+// evaluation (§5) plus the numeric examples of §2–3, and exposes them as
+// programmatic runners used by the CLI tools, the benchmark harness, and
+// the test suite. DESIGN.md §3 maps each runner to its paper artifact.
+package experiments
+
+import "hpfq/internal/topo"
+
+// ---------------------------------------------------------------------------
+// Fig. 1: the link-sharing example of the introduction. 11 agencies share a
+// 45 Mbps link; Agency A1 holds 50% and must give its best-effort subclass
+// at least 20% of that. Used by examples/linksharing (E12).
+// ---------------------------------------------------------------------------
+
+// Fig. 1 session ids.
+const (
+	Fig1A1RT = iota // A1 real-time subclass (30% of link)
+	Fig1A1BE        // A1 best-effort subclass (20% of link)
+	Fig1A2          // agencies A2..A11, 5% each
+	// A3..A11 are Fig1A2+1 .. Fig1A2+9
+)
+
+// Fig1LinkRate is the link rate used for the Fig. 1 example.
+const Fig1LinkRate = 45e6
+
+// Fig1Topology returns the Fig. 1(b) hierarchy: A1 (50%) split 60/40
+// between real-time and best-effort (i.e. 30% and 20% of the link), and ten
+// sibling agencies at 5% each.
+func Fig1Topology() *topo.Node {
+	a1 := topo.Interior("A1", 0.50,
+		topo.Leaf("A1-RT", 0.60, Fig1A1RT),
+		topo.Leaf("A1-BE", 0.40, Fig1A1BE),
+	)
+	children := []*topo.Node{a1}
+	for i := 0; i < 10; i++ {
+		children = append(children, topo.Leaf(agencyName(i), 0.05, Fig1A2+i))
+	}
+	return topo.Interior("root", 1, children...)
+}
+
+func agencyName(i int) string {
+	return "A" + itoa(i+2)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3: the delay-experiment hierarchy of §5.1. The prose fixes RT-1's
+// share (0.81 of N-1) and rate (9 Mbps ⇒ N-1 = 11.11 Mbps), the RT-1 duty
+// cycle (25 ms on / 75 ms off from t = 200 ms), BE-1 continuously
+// backlogged, PS-n constant-rate sources with identical start times, CS-n
+// multiplexed packet-train sources arriving roughly every 193 ms, and 8 KB
+// packets everywhere. The remaining shares are reconstructed (DESIGN.md §4)
+// on a 45 Mbps link.
+// ---------------------------------------------------------------------------
+
+// Fig. 3 session ids.
+const (
+	SessRT1 = 0
+	SessBE1 = 1
+	SessBE2 = 2
+	SessPS  = 3  // PS-1..PS-10 are SessPS .. SessPS+9
+	SessCS  = 13 // CS-1..CS-10 are SessCS .. SessCS+9
+)
+
+// Fig3 workload constants. The CS-n sessions are multiplexed upstream into
+// one serialized train stream: a train arrives roughly every 193 ms, each
+// train belonging to one CS session in rotation, so each session emits a
+// 40-packet train every 1.93 s (40 × 65536 bits / 1.93 s ≈ its 1.35 Mbps
+// guaranteed rate).
+const (
+	Fig3LinkRate = 45e6
+	Fig3NumPS    = 10
+	Fig3NumCS    = 10
+	RT1Rate      = 9e6   // RT-1 guaranteed (and peak) rate
+	RT1On        = 0.025 // seconds
+	RT1Off       = 0.075 // seconds
+	RT1Start     = 0.200 // seconds
+	CSStagger    = 0.193 // seconds between successive trains (any session)
+	CSPeriod     = 1.93  // seconds between trains of one session
+	CSTrainLen   = 40    // packets per train (≈ 1.35 Mbps average)
+	PSOverload   = 1.5   // ×guaranteed rate in scenarios 2 and 3
+)
+
+// Fig3Topology returns the reconstructed Fig. 3 hierarchy:
+//
+//	N-R (45 Mbps)
+//	├── N-2 0.30            (13.5 Mbps)
+//	│   ├── N-1 0.823       (11.11 Mbps)
+//	│   │   ├── RT-1 0.81   (9 Mbps)
+//	│   │   └── BE-1 0.19   (2.11 Mbps, greedy)
+//	│   └── BE-2 0.177      (2.39 Mbps, greedy)
+//	├── PS-1..10 0.035 each (1.575 Mbps, CBR)
+//	└── CS-1..10 0.035 each (1.575 Mbps guaranteed, ~1.36 Mbps offered trains)
+func Fig3Topology() *topo.Node {
+	n1 := topo.Interior("N-1", 0.823,
+		topo.Leaf("RT-1", 0.81, SessRT1),
+		topo.Leaf("BE-1", 0.19, SessBE1),
+	)
+	n2 := topo.Interior("N-2", 0.30,
+		n1,
+		topo.Leaf("BE-2", 0.177, SessBE2),
+	)
+	children := []*topo.Node{n2}
+	for i := 0; i < Fig3NumPS; i++ {
+		children = append(children, topo.Leaf(psName(i), 0.035, SessPS+i))
+	}
+	for i := 0; i < Fig3NumCS; i++ {
+		children = append(children, topo.Leaf(csName(i), 0.035, SessCS+i))
+	}
+	return topo.Interior("N-R", 1, children...)
+}
+
+func psName(i int) string { return "PS-" + itoa(i+1) }
+func csName(i int) string { return "CS-" + itoa(i+1) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8: the link-sharing hierarchy of §5.2. 11 TCP sessions and one
+// on/off source per level of a 4-level hierarchy on a 10 Mbps link. The
+// prose fixes the on/off transition times; shares are reconstructed
+// (DESIGN.md §4).
+// ---------------------------------------------------------------------------
+
+// Fig. 8 session ids: TCP-k is session k-1, on/off source k is SessOO+k-1.
+const (
+	SessTCP1 = iota
+	SessTCP2
+	SessTCP3
+	SessTCP4
+	SessTCP5
+	SessTCP6
+	SessTCP7
+	SessTCP8
+	SessTCP9
+	SessTCP10
+	SessTCP11
+	SessOO1
+	SessOO2
+	SessOO3
+	SessOO4
+)
+
+// Fig8 workload constants.
+const (
+	Fig8LinkRate = 10e6
+	NumTCP       = 11
+)
+
+// Fig8Topology returns the reconstructed Fig. 8(a) hierarchy (shares per
+// node sum to 1):
+//
+//	root: TCP1 .08 | TCP2 .06 | OO1 .26 | A .60
+//	A:    TCP3 .10 | TCP4 .06 | TCP5 .12 | OO2 .14 | B .58
+//	B:    TCP6 .10 | TCP7 .08 | TCP8 .18 | OO3 .22 | C .42
+//	C:    TCP9 .14 | TCP10 .22 | TCP11 .24 | OO4 .40
+func Fig8Topology() *topo.Node {
+	c := topo.Interior("C", 0.42,
+		topo.Leaf("TCP9", 0.14, SessTCP9),
+		topo.Leaf("TCP10", 0.22, SessTCP10),
+		topo.Leaf("TCP11", 0.24, SessTCP11),
+		topo.Leaf("OO4", 0.40, SessOO4),
+	)
+	b := topo.Interior("B", 0.58,
+		topo.Leaf("TCP6", 0.10, SessTCP6),
+		topo.Leaf("TCP7", 0.08, SessTCP7),
+		topo.Leaf("TCP8", 0.18, SessTCP8),
+		topo.Leaf("OO3", 0.22, SessOO3),
+		c,
+	)
+	a := topo.Interior("A", 0.60,
+		topo.Leaf("TCP3", 0.10, SessTCP3),
+		topo.Leaf("TCP4", 0.06, SessTCP4),
+		topo.Leaf("TCP5", 0.12, SessTCP5),
+		topo.Leaf("OO2", 0.14, SessOO2),
+		b,
+	)
+	return topo.Interior("root", 1,
+		topo.Leaf("TCP1", 0.08, SessTCP1),
+		topo.Leaf("TCP2", 0.06, SessTCP2),
+		topo.Leaf("OO1", 0.26, SessOO1),
+		a,
+	)
+}
+
+// OOSchedule returns the Fig. 8(b) on/off activity intervals in seconds,
+// reconstructed from §5.2 prose: OO4 on during [5.0, 8.0]; OO2 and OO3 on
+// initially and off at 5.0 (OO3 back on at 8.0); OO1 toggling at 5.25, 6.0,
+// 6.75, 7.5, 8.25, 9.0.
+func OOSchedule(horizon float64) map[int][]struct{ On, Off float64 } {
+	return map[int][]struct{ On, Off float64 }{
+		SessOO1: {{0, 5.25}, {6.0, 6.75}, {7.5, 8.25}, {9.0, horizon}},
+		SessOO2: {{0, 5.0}},
+		SessOO3: {{0, 5.0}, {8.0, horizon}},
+		SessOO4: {{5.0, 8.0}},
+	}
+}
+
+// TCPNames maps Fig. 8 TCP session ids to their display names.
+func TCPNames() map[int]string {
+	out := make(map[int]string, NumTCP)
+	for i := 0; i < NumTCP; i++ {
+		out[i] = "TCP" + itoa(i+1)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"hpfq/internal/des"
+	"hpfq/internal/netsim"
+	"hpfq/internal/packet"
+	"hpfq/internal/sched"
+	"hpfq/internal/stats"
+	"hpfq/internal/traffic"
+)
+
+// WFI experiment constants: a 1 Mbps link with 1 KB packets; the measured
+// session holds half the link, the other N−1 sessions split the rest.
+const (
+	wfiLinkRate = 1e6
+	wfiPktBits  = 8000
+	wfiShare    = 0.5 // measured session's share
+)
+
+// WFIResult is one point of the E9 sweep: the empirical worst-case fair
+// indices of the measured session for one algorithm and session count.
+type WFIResult struct {
+	Algo     string
+	N        int     // total sessions
+	BWFIBits float64 // empirical B-WFI (Definition 2), bits
+	BWFIPkts float64 // same, in packets
+	TWFI     float64 // empirical T-WFI (Definition 1), seconds
+
+	// TheoremBits is the Theorem 3/4 B-WFI for WF²Q/WF²Q+ with equal-size
+	// packets: α = L_max (the optimal value any packet system can achieve).
+	TheoremBits float64
+	Cycles      int // workload repetitions observed
+}
+
+// RunWFI measures the WFI of session 0 under the given flat algorithm with
+// n sessions total: session 0 (share 0.5) emits bursts of n+2 back-to-back
+// packets separated by idle gaps, while the other n−1 sessions are
+// continuously backlogged. This is the Fig. 2 pattern generalized to any N:
+// under WFQ the burst runs ahead of GPS and the session is then starved for
+// ~N/2 packet times (§3.1); under SCFQ/SFQ a newly backlogged session is
+// penalized by up to N packet times; WF²Q and WF²Q+ stay within one packet
+// (Theorems 3 and 4).
+func RunWFI(algo string, n int, dur float64) (*WFIResult, error) {
+	s, err := sched.New(algo, wfiLinkRate)
+	if err != nil {
+		return nil, err
+	}
+	r0 := wfiShare * wfiLinkRate
+	s.AddSession(0, r0)
+	for i := 1; i < n; i++ {
+		s.AddSession(i, (1-wfiShare)*wfiLinkRate/float64(n-1))
+	}
+
+	sim := des.New()
+	link := netsim.NewLink(sim, wfiLinkRate, s)
+
+	bwfi := stats.NewBWFI(wfiShare)
+	twfi := stats.NewTWFI(r0)
+	link.OnArrive(func(p *packet.Packet) {
+		if p.Session != 0 {
+			return
+		}
+		if link.InSystem(0) == 1 {
+			bwfi.SetBacklogged(true)
+		}
+		twfi.OnArrive(p)
+	})
+	link.OnDepart(func(p *packet.Packet) {
+		var own float64
+		if p.Session == 0 {
+			own = p.Length
+		}
+		bwfi.OnWork(p.Length, own)
+		if p.Session == 0 {
+			twfi.OnDepart(p)
+			if link.InSystem(0) == 0 {
+				bwfi.SetBacklogged(false)
+			}
+		}
+	})
+
+	// Background: n−1 continuously backlogged sessions.
+	for i := 1; i < n; i++ {
+		(&traffic.Greedy{Session: i, PktBits: wfiPktBits, Depth: 2}).Run(sim, link)
+	}
+	// Measured session: bursts of n+2 packets, idle long enough for the
+	// burst to drain at the guaranteed rate before the next one.
+	burst := n + 2
+	period := 4 * float64(burst) * wfiPktBits / r0
+	tr := &traffic.Train{
+		Session: 0, PktBits: wfiPktBits,
+		Count: burst, Period: period, Gap: wfiPktBits / wfiLinkRate,
+		Start: 0.001, Stop: dur,
+	}
+	tr.Run(sim, emitTo(link))
+	sim.Run(dur)
+
+	return &WFIResult{
+		Algo:        algo,
+		N:           n,
+		BWFIBits:    bwfi.Worst(),
+		BWFIPkts:    bwfi.Worst() / wfiPktBits,
+		TWFI:        twfi.Worst(),
+		TheoremBits: wfiPktBits, // α = L_max for equal-size packets
+		Cycles:      int(dur / period),
+	}, nil
+}
+
+func emitTo(l *netsim.Link) traffic.Emit {
+	return func(p *packet.Packet) { l.Arrive(p) }
+}
+
+// RunWFISweep measures the WFI growth across session counts for one
+// algorithm, running each point long enough for ~25 burst cycles.
+func RunWFISweep(algo string, ns []int) ([]*WFIResult, error) {
+	out := make([]*WFIResult, 0, len(ns))
+	for _, n := range ns {
+		burst := n + 2
+		period := 4 * float64(burst) * wfiPktBits / (wfiShare * wfiLinkRate)
+		res, err := RunWFI(algo, n, 25*period)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClockStampChained(t *testing.T) {
+	c := NewClock(1)
+	c.AddSession(0, 0.5)
+	c.AddSession(1, 0.5)
+	// Session 0 stamps a packet (F = 2), then the clock runs past it.
+	_, f0 := c.Stamp(0, 1)
+	if f0 != 2 {
+		t.Fatalf("F = %g, want 2", f0)
+	}
+	c.Stamp(1, 10) // keep the fluid system busy (F1 = 20)
+	c.Advance(5)   // V = 5 > F0
+	if c.V() <= f0 {
+		t.Fatalf("V = %g should have passed F0 = %g", c.V(), f0)
+	}
+	// Chained stamp ignores V: S = F_prev = 2.
+	s, f := c.StampChained(0, 1)
+	if s != 2 || f != 4 {
+		t.Errorf("chained stamp = (%g, %g), want (2, 4)", s, f)
+	}
+	// Plain stamp would have used V.
+	s2, _ := c.Stamp(1, 1)
+	if s2 != 20 { // max(F1=20, V)
+		t.Errorf("plain stamp S = %g, want 20", s2)
+	}
+}
+
+func TestClockPanics(t *testing.T) {
+	cases := map[string]func(){
+		"bad rate":       func() { NewClock(0) },
+		"bad session":    func() { NewClock(1).AddSession(0, -1) },
+		"negative id":    func() { NewClock(1).AddSession(-1, 1) },
+		"unknown stamp":  func() { NewClock(1).Stamp(3, 1) },
+		"unknown chain":  func() { NewClock(1).StampChained(3, 1) },
+		"time backwards": func() { c := NewClock(1); c.Advance(5); c.Advance(4) },
+		"duplicate": func() {
+			c := NewClock(1)
+			c.AddSession(0, 1)
+			c.AddSession(0, 1)
+		},
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestClockNowAccessor(t *testing.T) {
+	c := NewClock(2)
+	c.AddSession(0, 1)
+	c.Advance(3.5)
+	if c.Now() != 3.5 {
+		t.Errorf("Now = %g", c.Now())
+	}
+	if c.Backlogged() {
+		t.Error("empty clock backlogged")
+	}
+}
+
+func TestGPSPanics(t *testing.T) {
+	g := NewGPS(1)
+	g.AddSession(0, 0.5)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("arrival for unknown session should panic")
+			}
+		}()
+		g.Arrive(0, mkpkt(7, 0, 1))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("time backwards should panic")
+			}
+		}()
+		g.AdvanceTo(5)
+		g.AdvanceTo(4)
+	}()
+}
+
+func TestGPSVariableRatesOverTime(t *testing.T) {
+	// Session 0 alone for 1 s (full rate), then shares with session 1.
+	g := NewGPS(10)
+	g.AddSession(0, 6)
+	g.AddSession(1, 4)
+	g.Arrive(0, mkpkt(0, 0, 30))
+	g.Arrive(1, mkpkt(1, 0, 12))
+	// [0,1): session 0 alone at 10 → 10 bits. [1,...): 6/4 split.
+	g.AdvanceTo(2)
+	if math.Abs(g.Served(0)-16) > 1e-9 {
+		t.Errorf("W0(2) = %g, want 16", g.Served(0))
+	}
+	if math.Abs(g.Served(1)-4) > 1e-9 {
+		t.Errorf("W1(2) = %g, want 4", g.Served(1))
+	}
+	// Session 1 finishes at 1 + 12/4 = 4; session 0 then gets full rate:
+	// remaining 30−10−18=2 bits... W0(4) = 10+18 = 28, done at 4.2.
+	g.Drain()
+	deps := g.Departures()
+	last := deps[len(deps)-1]
+	if last.Session != 0 || math.Abs(last.Time-4.2) > 1e-9 {
+		t.Errorf("last departure %+v, want session 0 at 4.2", last)
+	}
+}

@@ -1,0 +1,365 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hpfq/internal/packet"
+	"hpfq/internal/topo"
+)
+
+func mkpkt(sess int, seq int64, length float64) *packet.Packet {
+	p := packet.New(sess, length)
+	p.Seq = seq
+	return p
+}
+
+// TestGPSSingleSession: a lone backlogged session gets the full link.
+func TestGPSSingleSession(t *testing.T) {
+	g := NewGPS(1)
+	g.AddSession(0, 0.5)
+	for k := 0; k < 4; k++ {
+		g.Arrive(0, mkpkt(0, int64(k), 1))
+	}
+	g.Drain()
+	deps := g.Departures()
+	if len(deps) != 4 {
+		t.Fatalf("got %d departures, want 4", len(deps))
+	}
+	for k, d := range deps {
+		if want := float64(k + 1); math.Abs(d.Time-want) > 1e-9 {
+			t.Errorf("packet %d finished at %g, want %g", k, d.Time, want)
+		}
+	}
+}
+
+// TestGPSProportionalSharing checks eq. 2: two continuously backlogged
+// sessions receive service in exact proportion to their shares.
+func TestGPSProportionalSharing(t *testing.T) {
+	g := NewGPS(10)
+	g.AddSession(0, 3)
+	g.AddSession(1, 7)
+	for k := 0; k < 50; k++ {
+		g.Arrive(0, mkpkt(0, int64(k), 5))
+		g.Arrive(0, mkpkt(1, int64(k), 5))
+	}
+	g.AdvanceTo(10) // both still backlogged (125 bits served of 250 queued)
+	w0, w1 := g.Served(0), g.Served(1)
+	if math.Abs(w0/w1-3.0/7.0) > 1e-9 {
+		t.Errorf("W0/W1 = %g, want 3/7", w0/w1)
+	}
+	if math.Abs(w0+w1-100) > 1e-6 {
+		t.Errorf("total work = %g, want 100 (work conservation)", w0+w1)
+	}
+}
+
+// TestGPSExcessRedistribution: an idle session's share goes to the
+// backlogged ones in proportion to their rates.
+func TestGPSExcessRedistribution(t *testing.T) {
+	g := NewGPS(1)
+	g.AddSession(0, 0.5)
+	g.AddSession(1, 0.25)
+	g.AddSession(2, 0.25)
+	// Only sessions 0 and 1 backlogged: they split the link 2:1.
+	g.Arrive(0, mkpkt(0, 0, 2))
+	g.Arrive(0, mkpkt(1, 0, 1))
+	g.Drain()
+	for _, d := range g.Departures() {
+		if math.Abs(d.Time-3) > 1e-9 {
+			t.Errorf("session %d finished at %g, want 3", d.Session, d.Time)
+		}
+	}
+}
+
+// TestClockTracksGPS: the virtual clock's departure breakpoints match the
+// fluid system for the Fig. 2 workload.
+func TestClockTracksGPS(t *testing.T) {
+	c := NewClock(1)
+	c.AddSession(1, 0.5)
+	for i := 2; i <= 11; i++ {
+		c.AddSession(i, 0.05)
+	}
+	// All arrivals at t=0: session 1 has 11 packets, others one each.
+	var f1 float64
+	for k := 0; k < 11; k++ {
+		_, f1 = c.Stamp(1, 1)
+	}
+	if math.Abs(f1-22) > 1e-9 {
+		t.Fatalf("session 1 last virtual finish = %g, want 22", f1)
+	}
+	for i := 2; i <= 11; i++ {
+		if _, f := c.Stamp(i, 1); math.Abs(f-20) > 1e-9 {
+			t.Fatalf("session %d virtual finish = %g, want 20", i, f)
+		}
+	}
+	// Slope 1 while all backlogged (Σφ = 1): V(10) = 10.
+	c.Advance(10)
+	if math.Abs(c.V()-10) > 1e-9 {
+		t.Errorf("V(10) = %g, want 10", c.V())
+	}
+	// At t=20 all sessions except 1 finish (V=20); session 1 has 1 bit of
+	// work left (virtual finish 22), served alone: slope 2. V(20.5) = 21.
+	c.Advance(20.5)
+	if math.Abs(c.V()-21) > 1e-9 {
+		t.Errorf("V(20.5) = %g, want 21", c.V())
+	}
+	// Past the end of the busy period V freezes at 22 (t=21).
+	c.Advance(30)
+	if math.Abs(c.V()-22) > 1e-9 {
+		t.Errorf("V(30) = %g, want 22 (flushed)", c.V())
+	}
+	if c.Backlogged() {
+		t.Error("clock still backlogged after flush")
+	}
+}
+
+// hgpsExampleTopology is the §2.2 example: root {A 0.8 {A1 0.75, A2 0.05},
+// B 0.2} (A1/A2 shares are of the link; topo normalizes per level).
+func hgpsExampleTopology() *topo.Node {
+	return topo.Interior("root", 1,
+		topo.Interior("A", 0.8,
+			topo.Leaf("A1", 0.75, 1),
+			topo.Leaf("A2", 0.05, 2),
+		),
+		topo.Leaf("B", 0.2, 3),
+	)
+}
+
+// TestHGPSNoArrivals reproduces the §2.2 example's first half: with A1
+// empty, A2 gets 80% and B 20%, finishing at 1.25, 2.5, ... and 5, 10, 15.
+func TestHGPSNoArrivals(t *testing.T) {
+	h, err := NewHGPS(hgpsExampleTopology(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Many packets queued": keep both sessions backlogged through t=15 so
+	// the shares stay 80/20 as in the paper's walkthrough.
+	for k := 0; k < 20; k++ {
+		h.Arrive(0, mkpkt(2, int64(k), 1))
+	}
+	for k := 0; k < 3; k++ {
+		h.Arrive(0, mkpkt(3, int64(k), 1))
+	}
+	h.Drain()
+	want := map[int][]float64{
+		2: {1.25, 2.5, 3.75, 5},
+		3: {5, 10, 15},
+	}
+	got := map[int][]float64{}
+	for _, d := range h.Departures() {
+		got[d.Session] = append(got[d.Session], d.Time)
+	}
+	for sess, times := range want {
+		if len(got[sess]) < len(times) {
+			t.Fatalf("session %d: %d departures, want >= %d", sess, len(got[sess]), len(times))
+		}
+		for i, w := range times {
+			if math.Abs(got[sess][i]-w) > 1e-9 {
+				t.Errorf("session %d packet %d finished at %g, want %g", sess, i, got[sess][i], w)
+			}
+		}
+	}
+}
+
+// TestHGPSOrderInversion reproduces the §2.2 punchline (experiment E2): a
+// future arrival on A1 inverts the relative finish order of queued A2 and B
+// packets, which is why Property 1 fails for H-GPS and no single virtual
+// time function can drive its packet approximation.
+func TestHGPSOrderInversion(t *testing.T) {
+	h, err := NewHGPS(hgpsExampleTopology(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		h.Arrive(0, mkpkt(2, int64(k), 1))
+	}
+	// B stays backlogged well past t=25 so its share stays 0.2.
+	for k := 0; k < 6; k++ {
+		h.Arrive(0, mkpkt(3, int64(k), 1))
+	}
+	// A1 bursts at t=1: bandwidth becomes A1 75%, A2 5%, B 20%.
+	for k := 0; k < 30; k++ {
+		h.Arrive(1, mkpkt(1, int64(k), 1))
+	}
+	h.Drain()
+	fin := map[int]map[int64]float64{}
+	for _, d := range h.Departures() {
+		if fin[d.Session] == nil {
+			fin[d.Session] = map[int64]float64{}
+		}
+		fin[d.Session][d.Seq] = d.Time
+	}
+	// B's packets are unaffected by the intra-A shift: still 5, 10, 15.
+	for k, want := range []float64{5, 10, 15} {
+		if got := fin[3][int64(k)]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("B packet %d finished at %g, want %g", k, got, want)
+		}
+	}
+	// Without the A1 arrival, A2's packet 2 would finish at 2.5, before
+	// B's packet 1 (5): order A2 before B. With it, A2's packet 2 finishes
+	// long after B's last packet — the relative order inverted.
+	if fin[2][1] <= fin[3][2] {
+		t.Errorf("expected inversion: A2 packet 2 (%g) should now finish after B packet 3 (%g)",
+			fin[2][1], fin[3][2])
+	}
+	// Exact value: A2 p1 finishes at t=5 (0.8 bits by t=1, then rate 0.05);
+	// p2 needs 20 more seconds: t=25.
+	if got := fin[2][1]; math.Abs(got-25) > 1e-9 {
+		t.Errorf("A2 packet 2 finished at %g, want 25", got)
+	}
+}
+
+// TestHGPSMatchesGPSOneLevel: a one-level hierarchy is plain GPS.
+func TestHGPSMatchesGPSOneLevel(t *testing.T) {
+	top := topo.Interior("root", 1,
+		topo.Leaf("s0", 0.5, 0),
+		topo.Leaf("s1", 0.3, 1),
+		topo.Leaf("s2", 0.2, 2),
+	)
+	h, err := NewHGPS(top, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGPS(10)
+	g.AddSession(0, 5)
+	g.AddSession(1, 3)
+	g.AddSession(2, 2)
+
+	rng := rand.New(rand.NewSource(42))
+	now := 0.0
+	for i := 0; i < 200; i++ {
+		now += rng.Float64() * 0.3
+		sess := rng.Intn(3)
+		length := 1 + rng.Float64()*9
+		h.Arrive(now, mkpkt(sess, int64(i), length))
+		g.Arrive(now, mkpkt(sess, int64(i), length))
+	}
+	h.Drain()
+	g.Drain()
+	hd, gd := h.Departures(), g.Departures()
+	if len(hd) != len(gd) {
+		t.Fatalf("H-GPS %d departures vs GPS %d", len(hd), len(gd))
+	}
+	for i := range hd {
+		if hd[i].Session != gd[i].Session || math.Abs(hd[i].Time-gd[i].Time) > 1e-6 {
+			t.Fatalf("departure %d differs: H-GPS %+v vs GPS %+v", i, hd[i], gd[i])
+		}
+	}
+}
+
+// TestHGPSWorkConservation: total service equals link capacity while
+// backlogged (property quick-checked over random topologies elsewhere).
+func TestHGPSWorkConservation(t *testing.T) {
+	h, err := NewHGPS(hgpsExampleTopology(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		h.Arrive(0, mkpkt(1, int64(k), 3))
+		h.Arrive(0, mkpkt(2, int64(k), 3))
+		h.Arrive(0, mkpkt(3, int64(k), 3))
+	}
+	h.AdvanceTo(5)
+	total := h.Served(1) + h.Served(2) + h.Served(3)
+	if math.Abs(total-10) > 1e-6 {
+		t.Errorf("total service = %g bits over 5 s at rate 2, want 10", total)
+	}
+	if math.Abs(h.ServedNode("root")-10) > 1e-6 {
+		t.Errorf("root service = %g, want 10", h.ServedNode("root"))
+	}
+	if math.Abs(h.ServedNode("A")-(h.Served(1)+h.Served(2))) > 1e-6 {
+		t.Errorf("interior accounting: A = %g, children sum = %g",
+			h.ServedNode("A"), h.Served(1)+h.Served(2))
+	}
+}
+
+// TestIdealShares checks the hierarchical share computation on the §2.2
+// example for several active sets.
+func TestIdealShares(t *testing.T) {
+	top := hgpsExampleTopology()
+	cases := []struct {
+		active map[int]bool
+		want   map[int]float64
+	}{
+		{map[int]bool{2: true, 3: true}, map[int]float64{2: 0.8, 3: 0.2}},
+		{map[int]bool{1: true, 2: true, 3: true}, map[int]float64{1: 0.75, 2: 0.05, 3: 0.2}},
+		{map[int]bool{1: true}, map[int]float64{1: 1}},
+		{map[int]bool{}, map[int]float64{}},
+	}
+	for i, tc := range cases {
+		got := IdealShares(top, 1, tc.active)
+		if len(got) != len(tc.want) {
+			t.Errorf("case %d: %d shares, want %d", i, len(got), len(tc.want))
+		}
+		for sess, w := range tc.want {
+			if math.Abs(got[sess]-w) > 1e-9 {
+				t.Errorf("case %d session %d share = %g, want %g", i, sess, got[sess], w)
+			}
+		}
+	}
+}
+
+// TestAccessorsAndErrors covers the remaining accessor and validation
+// surface of the fluid servers.
+func TestAccessorsAndErrors(t *testing.T) {
+	g := NewGPS(2)
+	g.AddSession(0, 1)
+	g.Arrive(1, mkpkt(0, 0, 4))
+	if g.Now() != 1 {
+		t.Errorf("Now = %g", g.Now())
+	}
+	if !g.Backlogged() {
+		t.Error("backlogged expected")
+	}
+	g.Drain()
+	if g.TotalWork() != 4 {
+		t.Errorf("TotalWork = %g", g.TotalWork())
+	}
+	if g.Backlogged() {
+		t.Error("drained server still backlogged")
+	}
+
+	h, err := NewHGPS(hgpsExampleTopology(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Backlogged() || h.Now() != 0 {
+		t.Error("fresh H-GPS state wrong")
+	}
+	h.Arrive(0, mkpkt(2, 0, 1))
+	if r := h.LeafRate(2); math.Abs(r-1) > 1e-9 {
+		t.Errorf("lone leaf rate = %g, want full link", r)
+	}
+	if h.LeafRate(99) != 0 || h.Served(99) != 0 || h.ServedNode("zzz") != 0 {
+		t.Error("unknown ids should be zero")
+	}
+
+	// Construction errors.
+	if _, err := NewHGPS(hgpsExampleTopology(), -1); err == nil {
+		t.Error("bad rate should error")
+	}
+	bad := topo.Interior("r", 1, topo.Leaf("a", -1, 0))
+	if _, err := NewHGPS(bad, 1); err == nil {
+		t.Error("bad topology should error")
+	}
+
+	// GPS validation panics.
+	for name, fn := range map[string]func(){
+		"gps bad rate":      func() { NewGPS(0) },
+		"gps bad session":   func() { NewGPS(1).AddSession(0, 0) },
+		"gps negative id":   func() { NewGPS(1).AddSession(-1, 1) },
+		"gps dup session":   func() { g2 := NewGPS(1); g2.AddSession(0, 1); g2.AddSession(0, 1) },
+		"hgps unknown sess": func() { h.Arrive(1, mkpkt(42, 0, 1)) },
+		"hgps backwards":    func() { h.AdvanceTo(5); h.AdvanceTo(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

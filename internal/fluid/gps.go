@@ -1,0 +1,181 @@
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"hpfq/internal/packet"
+)
+
+// Departure records a packet finishing service in a fluid system.
+type Departure struct {
+	Session int
+	Seq     int64
+	Time    float64
+}
+
+// GPS is the one-level Generalized Processor Sharing fluid server of §2.1:
+// during any interval with M non-empty queues it serves all M head packets
+// simultaneously in proportion to their service shares (eq. 1–2). It is
+// event-driven: Arrive feeds packets in non-decreasing time order and
+// AdvanceTo/Drain integrate the fluid service, recording exact per-packet
+// finish times.
+type GPS struct {
+	rate     float64
+	sessions []gpsSession
+	now      float64
+	sumR     float64 // Σ r_i over backlogged sessions
+	nactive  int
+	departs  []Departure
+	work     float64 // total bits served
+}
+
+type gpsSession struct {
+	rate   float64
+	queue  packet.FIFO
+	rem    float64 // unserved bits of the head packet
+	served float64 // cumulative bits served W_i(0, now)
+	used   bool
+}
+
+// NewGPS returns a GPS fluid server of the given rate in bits/sec.
+func NewGPS(rate float64) *GPS {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		panic(fmt.Sprintf("fluid: invalid GPS rate %g", rate))
+	}
+	return &GPS{rate: rate}
+}
+
+// AddSession registers session id with guaranteed rate r_i in bits/sec.
+func (g *GPS) AddSession(id int, rate float64) {
+	if id < 0 {
+		panic("fluid: negative session id")
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		panic(fmt.Sprintf("fluid: invalid session rate %g", rate))
+	}
+	for len(g.sessions) <= id {
+		g.sessions = append(g.sessions, gpsSession{})
+	}
+	if g.sessions[id].used {
+		panic(fmt.Sprintf("fluid: duplicate session id %d", id))
+	}
+	g.sessions[id] = gpsSession{rate: rate, used: true}
+}
+
+// Arrive delivers a packet to the fluid server at time t. Arrivals must be
+// fed in non-decreasing time order.
+func (g *GPS) Arrive(t float64, p *packet.Packet) {
+	g.AdvanceTo(t)
+	s := &g.sessions[p.Session]
+	if !s.used {
+		panic(fmt.Sprintf("fluid: arrival for unknown session %d", p.Session))
+	}
+	s.queue.Push(p)
+	if s.queue.Len() == 1 {
+		s.rem = p.Length
+		g.sumR += s.rate
+		g.nactive++
+	}
+}
+
+// AdvanceTo integrates the fluid service up to time t.
+func (g *GPS) AdvanceTo(t float64) {
+	if t < g.now {
+		panic(fmt.Sprintf("fluid: GPS time moved backwards: %g < %g", t, g.now))
+	}
+	for g.now < t && g.nactive > 0 {
+		// Find the earliest head-packet completion at the current rates.
+		dtMin := math.Inf(1)
+		for i := range g.sessions {
+			s := &g.sessions[i]
+			if s.used && !s.queue.Empty() {
+				inst := g.rate * s.rate / g.sumR
+				if dt := s.rem / inst; dt < dtMin {
+					dtMin = dt
+				}
+			}
+		}
+		dt := math.Min(dtMin, t-g.now)
+		g.serve(dt)
+	}
+	if g.now < t {
+		g.now = t
+	}
+}
+
+// Drain integrates until every queue is empty, then returns the time the
+// server went idle.
+func (g *GPS) Drain() float64 {
+	for g.nactive > 0 {
+		dtMin := math.Inf(1)
+		for i := range g.sessions {
+			s := &g.sessions[i]
+			if s.used && !s.queue.Empty() {
+				inst := g.rate * s.rate / g.sumR
+				if dt := s.rem / inst; dt < dtMin {
+					dtMin = dt
+				}
+			}
+		}
+		g.serve(dtMin)
+	}
+	return g.now
+}
+
+// serve integrates dt seconds of fluid service at the current backlog set.
+func (g *GPS) serve(dt float64) {
+	end := g.now + dt
+	for i := range g.sessions {
+		s := &g.sessions[i]
+		if !s.used || s.queue.Empty() {
+			continue
+		}
+		inst := g.rate * s.rate / g.sumR
+		bits := inst * dt
+		s.served += bits
+		g.work += bits
+		s.rem -= bits
+	}
+	g.now = end
+	// Process completions after integrating so that simultaneous finishes
+	// are all recorded at the same instant. The integration step was chosen
+	// to land exactly on the earliest completion, so rem is ~0 (modulo float
+	// residue) for finished heads.
+	const tol = 1e-6 // bits
+	for i := range g.sessions {
+		s := &g.sessions[i]
+		if !s.used {
+			continue
+		}
+		for !s.queue.Empty() && s.rem <= tol {
+			p := s.queue.Pop()
+			g.departs = append(g.departs, Departure{Session: p.Session, Seq: p.Seq, Time: g.now})
+			if s.queue.Empty() {
+				s.rem = 0
+				g.sumR -= s.rate
+				g.nactive--
+				if g.nactive == 0 {
+					g.sumR = 0
+				}
+			} else {
+				s.rem += s.queue.Head().Length // carry float residue forward
+			}
+		}
+	}
+}
+
+// Now returns the current fluid time.
+func (g *GPS) Now() float64 { return g.now }
+
+// Departures returns every recorded packet finish, in finish-time order.
+func (g *GPS) Departures() []Departure { return g.departs }
+
+// Served returns W_i(0, now), the cumulative bits served for session id.
+func (g *GPS) Served(id int) float64 { return g.sessions[id].served }
+
+// TotalWork returns the total bits served across all sessions.
+func (g *GPS) TotalWork() float64 { return g.work }
+
+// Backlogged reports whether any session has unfinished work.
+func (g *GPS) Backlogged() bool { return g.nactive > 0 }

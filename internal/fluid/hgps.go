@@ -1,0 +1,263 @@
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"hpfq/internal/packet"
+	"hpfq/internal/topo"
+)
+
+// HGPS is the Hierarchical GPS fluid server of §2.2: each backlogged node
+// distributes its instantaneous service rate to its backlogged children in
+// proportion to their shares (eq. 8–9); only leaves hold real queues. HGPS
+// is the idealized reference for every H-PFQ experiment: Fig. 9(b) plots
+// its bandwidth distribution, and the §2.2 example (finish order changed by
+// a future arrival) demonstrates why no single virtual time function can
+// drive a packet approximation of it.
+type HGPS struct {
+	rate    float64
+	root    *hnode
+	leaves  map[int]*hnode
+	byName  map[string]*hnode
+	now     float64
+	departs []Departure
+	dirty   bool // backlog set changed; instantaneous rates need recompute
+}
+
+type hnode struct {
+	name     string
+	share    float64
+	parent   *hnode
+	children []*hnode
+	session  int // -1 for interior
+
+	queue  packet.FIFO // leaves only
+	rem    float64     // unserved bits of head packet
+	nback  int         // backlogged children (interior); 0/1 for leaves
+	inst   float64     // current instantaneous service rate
+	served float64     // W_n(0, now), bits
+}
+
+func (h *hnode) backlogged() bool { return h.nback > 0 }
+
+// NewHGPS builds an H-GPS fluid server from a topology for a link of the
+// given rate.
+func NewHGPS(t *topo.Node, rate float64) (*HGPS, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("fluid: invalid H-GPS rate %g", rate)
+	}
+	h := &HGPS{
+		rate:   rate,
+		leaves: make(map[int]*hnode),
+		byName: make(map[string]*hnode),
+	}
+	h.root = h.build(t, nil)
+	return h, nil
+}
+
+func (h *HGPS) build(t *topo.Node, parent *hnode) *hnode {
+	n := &hnode{name: t.Name, share: t.Share, parent: parent, session: t.Session}
+	if t.IsLeaf() {
+		h.leaves[t.Session] = n
+	} else {
+		for _, c := range t.Children {
+			n.children = append(n.children, h.build(c, n))
+		}
+	}
+	if t.Name != "" {
+		h.byName[t.Name] = n
+	}
+	return n
+}
+
+// Arrive delivers a packet at time t. Arrivals must be fed in
+// non-decreasing time order.
+func (h *HGPS) Arrive(t float64, p *packet.Packet) {
+	h.AdvanceTo(t)
+	leaf, ok := h.leaves[p.Session]
+	if !ok {
+		panic(fmt.Sprintf("fluid: H-GPS arrival for unknown session %d", p.Session))
+	}
+	leaf.queue.Push(p)
+	if leaf.queue.Len() == 1 {
+		leaf.rem = p.Length
+		h.activate(leaf)
+	}
+}
+
+func (h *HGPS) activate(n *hnode) {
+	h.dirty = true
+	n.nback++
+	for p := n.parent; p != nil; p = p.parent {
+		p.nback++
+		if p.nback > 1 {
+			return // ancestors already backlogged
+		}
+	}
+}
+
+func (h *HGPS) deactivate(n *hnode) {
+	h.dirty = true
+	n.nback--
+	for p := n.parent; p != nil; p = p.parent {
+		p.nback--
+		if p.nback > 0 {
+			return
+		}
+	}
+}
+
+// recompute refreshes the instantaneous rate of every node: each backlogged
+// node splits its rate among backlogged children in proportion to shares.
+func (h *HGPS) recompute() {
+	h.assign(h.root, h.rate)
+	h.dirty = false
+}
+
+func (h *HGPS) assign(n *hnode, rate float64) {
+	if !n.backlogged() {
+		n.inst = 0
+		for _, c := range n.children {
+			h.assign(c, 0)
+		}
+		return
+	}
+	n.inst = rate
+	if len(n.children) == 0 {
+		return
+	}
+	var sum float64
+	for _, c := range n.children {
+		if c.backlogged() {
+			sum += c.share
+		}
+	}
+	for _, c := range n.children {
+		if c.backlogged() {
+			h.assign(c, rate*c.share/sum)
+		} else {
+			h.assign(c, 0)
+		}
+	}
+}
+
+// AdvanceTo integrates the fluid service up to time t.
+func (h *HGPS) AdvanceTo(t float64) {
+	if t < h.now {
+		panic(fmt.Sprintf("fluid: H-GPS time moved backwards: %g < %g", t, h.now))
+	}
+	for h.now < t && h.root.backlogged() {
+		if h.dirty {
+			h.recompute()
+		}
+		dtMin := math.Inf(1)
+		for _, leaf := range h.leaves {
+			if !leaf.queue.Empty() && leaf.inst > 0 {
+				if dt := leaf.rem / leaf.inst; dt < dtMin {
+					dtMin = dt
+				}
+			}
+		}
+		h.serve(math.Min(dtMin, t-h.now))
+	}
+	if h.now < t {
+		h.now = t
+	}
+}
+
+// Drain integrates until every queue is empty and returns the idle time.
+func (h *HGPS) Drain() float64 {
+	for h.root.backlogged() {
+		if h.dirty {
+			h.recompute()
+		}
+		dtMin := math.Inf(1)
+		for _, leaf := range h.leaves {
+			if !leaf.queue.Empty() && leaf.inst > 0 {
+				if dt := leaf.rem / leaf.inst; dt < dtMin {
+					dtMin = dt
+				}
+			}
+		}
+		h.serve(dtMin)
+	}
+	return h.now
+}
+
+func (h *HGPS) serve(dt float64) {
+	h.addWork(h.root, dt)
+	h.now += dt
+	const tol = 1e-6 // bits
+	for _, leaf := range h.leaves {
+		for !leaf.queue.Empty() && leaf.rem <= tol {
+			p := leaf.queue.Pop()
+			h.departs = append(h.departs, Departure{Session: p.Session, Seq: p.Seq, Time: h.now})
+			if leaf.queue.Empty() {
+				leaf.rem = 0
+				h.deactivate(leaf)
+			} else {
+				leaf.rem += leaf.queue.Head().Length
+			}
+		}
+	}
+}
+
+func (h *HGPS) addWork(n *hnode, dt float64) {
+	if n.inst == 0 {
+		return
+	}
+	bits := n.inst * dt
+	n.served += bits
+	if len(n.children) == 0 {
+		n.rem -= bits
+		return
+	}
+	for _, c := range n.children {
+		h.addWork(c, dt)
+	}
+}
+
+// Now returns the current fluid time.
+func (h *HGPS) Now() float64 { return h.now }
+
+// Departures returns every recorded packet finish, in finish-time order.
+func (h *HGPS) Departures() []Departure { return h.departs }
+
+// Served returns W_i(0, now) for session id.
+func (h *HGPS) Served(session int) float64 {
+	leaf, ok := h.leaves[session]
+	if !ok {
+		return 0
+	}
+	return leaf.served
+}
+
+// ServedNode returns W_n(0, now) for the named node (leaf or interior).
+func (h *HGPS) ServedNode(name string) float64 {
+	n, ok := h.byName[name]
+	if !ok {
+		return 0
+	}
+	return n.served
+}
+
+// LeafRate returns the current instantaneous service rate of a session.
+// Call only between AdvanceTo steps; rates recompute lazily, so a pending
+// backlog change forces a recompute here.
+func (h *HGPS) LeafRate(session int) float64 {
+	if h.dirty {
+		h.recompute()
+	}
+	leaf, ok := h.leaves[session]
+	if !ok {
+		return 0
+	}
+	return leaf.inst
+}
+
+// Backlogged reports whether any session has unfinished work.
+func (h *HGPS) Backlogged() bool { return h.root.backlogged() }

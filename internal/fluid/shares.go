@@ -1,0 +1,56 @@
+package fluid
+
+import "hpfq/internal/topo"
+
+// IdealShares computes the instantaneous H-GPS bandwidth of every active
+// session for a given set of backlogged sessions: each node whose subtree
+// contains an active session splits its rate among such children in
+// proportion to their shares (eq. 8–9). This is the "ideal" curve of
+// Fig. 9(b): with the paper's Fig. 8 workload, the set of backlogged
+// sessions is piecewise constant (TCP sessions are persistent, on/off
+// sources toggle), so the ideal bandwidth of each session is a step
+// function over time computable without running the fluid system.
+//
+// Sessions absent from active receive 0. The returned map contains an entry
+// for every active session.
+func IdealShares(t *topo.Node, linkRate float64, active map[int]bool) map[int]float64 {
+	out := make(map[int]float64, len(active))
+	shareOut(t, linkRate, active, out)
+	return out
+}
+
+// subtreeActive reports whether any leaf under n is active.
+func subtreeActive(n *topo.Node, active map[int]bool) bool {
+	if n.IsLeaf() {
+		return active[n.Session]
+	}
+	for _, c := range n.Children {
+		if subtreeActive(c, active) {
+			return true
+		}
+	}
+	return false
+}
+
+func shareOut(n *topo.Node, rate float64, active map[int]bool, out map[int]float64) {
+	if n.IsLeaf() {
+		if active[n.Session] {
+			out[n.Session] = rate
+		}
+		return
+	}
+	var sum float64
+	for _, c := range n.Children {
+		if subtreeActive(c, active) {
+			sum += c.Share
+		}
+	}
+	if sum == 0 {
+		return
+	}
+	for _, c := range n.Children {
+		if subtreeActive(c, active) {
+			shareOut(c, rate*c.Share/sum, active, out)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package hier
+
+import (
+	"testing"
+
+	"hpfq/internal/packet"
+)
+
+// FuzzTree drives an H-WF²Q+ hierarchy with an arbitrary operation stream
+// and checks conservation, per-session FIFO order and backlog accounting
+// — including the Reset-Path/Restart-Node machinery under adversarial
+// interleavings of arrivals and transmissions. The tree is driven directly
+// (Dequeue doubles as transmission-complete for the previous packet).
+func FuzzTree(f *testing.F) {
+	f.Add([]byte{0, 2, 4, 6, 1, 1, 1, 1})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 254, 255})
+	f.Add([]byte{8, 16, 24, 32, 40, 1, 3, 5, 7, 9})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		tree, err := New(deepTopology(), 16, "WF2Q+")
+		if err != nil {
+			t.Fatal(err)
+		}
+		const nsess = 4
+		var seqs, lastOut [nsess]int64
+		for i := range lastOut {
+			lastOut[i] = -1
+		}
+		enq, deq := 0, 0
+		inflight := false
+		for _, b := range ops {
+			if b%2 == 0 {
+				sess := int(b>>1) % nsess
+				p := packet.New(sess, float64(1+b>>3))
+				p.Seq = seqs[sess]
+				seqs[sess]++
+				tree.Enqueue(0, p)
+				enq++
+			} else {
+				p := tree.Dequeue(0)
+				if p == nil {
+					inflight = false
+					continue
+				}
+				inflight = true
+				deq++
+				if p.Seq <= lastOut[p.Session] {
+					t.Fatalf("session %d FIFO violated: seq %d after %d",
+						p.Session, p.Seq, lastOut[p.Session])
+				}
+				lastOut[p.Session] = p.Seq
+			}
+		}
+		for {
+			p := tree.Dequeue(0)
+			if p == nil {
+				break
+			}
+			deq++
+		}
+		_ = inflight
+		if deq != enq {
+			t.Fatalf("conservation violated: %d in, %d out", enq, deq)
+		}
+		if tree.Backlog() != 0 {
+			t.Fatalf("backlog %d after drain", tree.Backlog())
+		}
+	})
+}

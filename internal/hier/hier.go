@@ -1,0 +1,280 @@
+// Package hier implements Hierarchical Packet Fair Queueing (H-PFQ): a tree
+// of one-level PFQ server nodes used as building blocks, exactly the
+// construction of the paper's §4. Interior nodes schedule the one-packet
+// *logical queues* of their children; leaves hold the real per-session FIFO
+// queues. The control flow mirrors the paper's pseudocode:
+//
+//   - Arrive: a packet reaching an empty leaf queue becomes the leaf's
+//     logical head and propagates up through idle ancestors, each committing
+//     its next packet (Restart-Node).
+//   - Dequeue: the link takes the root's committed packet (Q_R).
+//   - Reset-Path: when transmission completes, the logical queues along the
+//     active path are cleared top-down, the leaf FIFO advances, and nodes
+//     recommit bottom-up; busy flags survive the reset so continuations are
+//     stamped S ← F (eq. 28 first case).
+//
+// The per-node discipline is pluggable (sched.NodeScheduler): H-WF²Q+ uses
+// core.Node, the paper's H-WFQ comparison uses sched.WFQNode, and H-SCFQ /
+// H-SFQ / H-DRR follow the same way. Each node's virtual clock advances in
+// Reference Time units T_n = W_n(0,t)/r_n (§4.1), so no wall clock is
+// threaded through the hierarchy.
+package hier
+
+import (
+	"fmt"
+
+	"hpfq/internal/packet"
+	"hpfq/internal/sched"
+	"hpfq/internal/topo"
+)
+
+// Tree is an H-PFQ server. It satisfies the queue contract used by
+// netsim.Link (Enqueue/Dequeue/Backlog), so a hierarchical server drops in
+// anywhere a flat scheduler does.
+type Tree struct {
+	algo     string
+	rate     float64
+	root     *node
+	leaves   map[int]*node
+	byName   map[string]*node
+	backlog  int
+	inflight bool // root's committed packet is on the wire
+}
+
+type node struct {
+	name     string
+	parent   *node
+	childIdx int // this node's id within parent's scheduler
+	children []*node
+	rate     float64
+	session  int // leaf session id, -1 for interior
+
+	ns   sched.NodeScheduler // interior nodes only
+	fifo packet.FIFO         // leaves only
+	hol  *packet.Packet      // logical queue Q_n: the committed packet
+	busy bool                // paper's Busy_n flag
+	act  *node               // paper's ActiveChild_n
+}
+
+func (n *node) isLeaf() bool { return n.session >= 0 }
+
+// NewNodeFunc builds the per-node scheduler for an interior node with
+// guaranteed rate r_n.
+type NewNodeFunc func(rate float64) sched.NodeScheduler
+
+// Build constructs an H-PFQ server over the given topology for a link of
+// the given rate, creating one scheduler per interior node via newNode.
+// The topology root must be an interior node.
+func Build(t *topo.Node, linkRate float64, algo string, newNode NewNodeFunc) (*Tree, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.IsLeaf() {
+		return nil, fmt.Errorf("hier: topology root must be an interior node")
+	}
+	if linkRate <= 0 {
+		return nil, fmt.Errorf("hier: invalid link rate %g", linkRate)
+	}
+	rates := t.Rates(linkRate)
+	tr := &Tree{
+		algo:   algo,
+		rate:   linkRate,
+		leaves: make(map[int]*node),
+		byName: make(map[string]*node),
+	}
+	tr.root = tr.build(t, nil, 0, rates, newNode)
+	return tr, nil
+}
+
+// New builds an H-PFQ server using the named one-level algorithm
+// ("WF2Q+", "WFQ", "WF2Q", "SCFQ", "SFQ", "DRR") at every node.
+func New(t *topo.Node, linkRate float64, algo string) (*Tree, error) {
+	// Probe the registry with a unit rate: the real rates are validated by
+	// Build, which reports bad link rates as errors rather than panics.
+	if _, err := sched.NewNode(algo, 1); err != nil {
+		return nil, err
+	}
+	return Build(t, linkRate, algo, func(rate float64) sched.NodeScheduler {
+		ns, err := sched.NewNode(algo, rate)
+		if err != nil {
+			panic(err) // validated above
+		}
+		return ns
+	})
+}
+
+func (tr *Tree) build(t *topo.Node, parent *node, idx int, rates map[*topo.Node]float64, newNode NewNodeFunc) *node {
+	n := &node{
+		name:     t.Name,
+		parent:   parent,
+		childIdx: idx,
+		rate:     rates[t],
+		session:  t.Session,
+	}
+	if t.IsLeaf() {
+		tr.leaves[t.Session] = n
+	} else {
+		n.ns = newNode(n.rate)
+		for i, ct := range t.Children {
+			c := tr.build(ct, n, i, rates, newNode)
+			n.children = append(n.children, c)
+			n.ns.AddChild(i, c.rate)
+		}
+	}
+	if t.Name != "" {
+		tr.byName[t.Name] = n
+	}
+	return n
+}
+
+// Name identifies the hierarchy and its per-node algorithm.
+func (tr *Tree) Name() string { return "H-" + tr.algo }
+
+// Rate returns the link rate.
+func (tr *Tree) Rate() float64 { return tr.rate }
+
+// Backlog returns the number of queued packets (including a committed
+// packet that is on the wire until the next Dequeue resets the path).
+func (tr *Tree) Backlog() int { return tr.backlog }
+
+// QueueLen returns the number of packets queued for a session.
+func (tr *Tree) QueueLen(session int) int {
+	leaf, ok := tr.leaves[session]
+	if !ok {
+		return 0
+	}
+	return leaf.fifo.Len()
+}
+
+// QueueBits returns the number of bits queued for a session.
+func (tr *Tree) QueueBits(session int) float64 {
+	leaf, ok := tr.leaves[session]
+	if !ok {
+		return 0
+	}
+	return leaf.fifo.Bits()
+}
+
+// SessionRate returns the guaranteed rate of a session leaf.
+func (tr *Tree) SessionRate(session int) float64 {
+	leaf, ok := tr.leaves[session]
+	if !ok {
+		return 0
+	}
+	return leaf.rate
+}
+
+// NodeRate returns the guaranteed rate of the named node, or 0.
+func (tr *Tree) NodeRate(name string) float64 {
+	n, ok := tr.byName[name]
+	if !ok {
+		return 0
+	}
+	return n.rate
+}
+
+// Sessions returns the ids of all session leaves.
+func (tr *Tree) Sessions() []int {
+	out := make([]int, 0, len(tr.leaves))
+	for id := range tr.leaves {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Enqueue delivers a packet to its session's leaf FIFO. A packet arriving
+// to an empty queue becomes the leaf's logical head and triggers the
+// paper's ARRIVE propagation. now is accepted for interface uniformity; the
+// hierarchy's clocks are reference-time driven.
+func (tr *Tree) Enqueue(now float64, p *packet.Packet) {
+	leaf, ok := tr.leaves[p.Session]
+	if !ok {
+		panic(fmt.Sprintf("hier: enqueue for unknown session %d", p.Session))
+	}
+	leaf.fifo.Push(p)
+	tr.backlog++
+	if leaf.fifo.Len() == 1 {
+		leaf.hol = p
+		tr.arrive(leaf)
+	}
+}
+
+// arrive implements ARRIVE lines 5–9: push the newly backlogged child into
+// its parent's scheduler; if the parent has no committed packet, restart it.
+func (tr *Tree) arrive(c *node) {
+	n := c.parent
+	n.ns.Push(c.childIdx, c.hol.Length, false)
+	if n.hol == nil {
+		tr.restart(n)
+	}
+}
+
+// restart implements RESTART-NODE: the node commits its next packet by
+// popping its scheduler (which performs the eligibility-constrained
+// selection and advances V_n and T_n), then propagates upward into an
+// uncommitted parent. Busy distinguishes a continuing node (just finished
+// transmitting, S ← F) from a newly backlogged one (S ← max(F, V_parent)).
+func (tr *Tree) restart(n *node) {
+	if n.hol != nil {
+		panic("hier: restart of committed node")
+	}
+	id, ok := n.ns.Pop()
+	if ok {
+		m := n.children[id]
+		n.act = m
+		n.hol = m.hol
+		wasBusy := n.busy
+		n.busy = true
+		if n.parent != nil {
+			n.parent.ns.Push(n.childIdx, n.hol.Length, wasBusy)
+			if n.parent.hol == nil {
+				tr.restart(n.parent)
+			}
+		}
+		return
+	}
+	n.act = nil
+	n.busy = false
+	if n.parent != nil && n.parent.hol == nil {
+		tr.restart(n.parent)
+	}
+}
+
+// Dequeue returns the next packet to transmit (the root's committed packet)
+// or nil when the hierarchy is empty. The previous packet's path is reset
+// first (RESET-PATH), matching the paper's transmit-complete processing.
+func (tr *Tree) Dequeue(now float64) *packet.Packet {
+	if tr.inflight {
+		tr.inflight = false
+		tr.resetPath()
+	}
+	if tr.root.hol == nil {
+		return nil
+	}
+	tr.inflight = true
+	return tr.root.hol
+}
+
+// resetPath implements RESET-PATH(R): clear the logical queues along the
+// active path top-down, advance the leaf FIFO, re-push the leaf's next head
+// as a continuation, and recommit bottom-up.
+func (tr *Tree) resetPath() {
+	n := tr.root
+	for !n.isLeaf() {
+		n.hol = nil
+		m := n.act
+		n.act = nil
+		if m == nil {
+			panic("hier: reset of path without active child")
+		}
+		n = m
+	}
+	n.hol = nil
+	tr.backlog--
+	n.fifo.Pop()
+	if !n.fifo.Empty() {
+		n.hol = n.fifo.Head()
+		n.parent.ns.Push(n.childIdx, n.hol.Length, true)
+	}
+	tr.restart(n.parent)
+}

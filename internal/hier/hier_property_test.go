@@ -1,0 +1,237 @@
+package hier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hpfq/internal/des"
+	"hpfq/internal/fluid"
+	"hpfq/internal/netsim"
+	"hpfq/internal/packet"
+	"hpfq/internal/topo"
+)
+
+// randomTopology builds a random tree with the given number of session
+// leaves and depth up to 4.
+func randomTopology(rng *rand.Rand, nLeaves int) *topo.Node {
+	sess := 0
+	var mk func(depth int, budget int) *topo.Node
+	mk = func(depth, budget int) *topo.Node {
+		if budget == 1 || depth >= 4 || rng.Float64() < 0.3 {
+			n := topo.Leaf("", 0.2+rng.Float64(), sess)
+			sess++
+			return n
+		}
+		nKids := 2 + rng.Intn(3)
+		if nKids > budget {
+			nKids = budget
+		}
+		// Partition the leaf budget among children.
+		parts := make([]int, nKids)
+		rem := budget
+		for i := 0; i < nKids-1; i++ {
+			parts[i] = 1 + rng.Intn(rem-(nKids-1-i))
+			rem -= parts[i]
+		}
+		parts[nKids-1] = rem
+		kids := make([]*topo.Node, nKids)
+		for i, p := range parts {
+			kids[i] = mk(depth+1, p)
+		}
+		return topo.Interior("", 0.2+rng.Float64(), kids...)
+	}
+	root := mk(0, nLeaves)
+	if root.IsLeaf() {
+		root = topo.Interior("root", 1, root)
+	}
+	return root
+}
+
+// TestRandomTopologyConservation: for random trees, random workloads and
+// every node algorithm — conservation, per-session FIFO, work conservation.
+func TestRandomTopologyConservation(t *testing.T) {
+	algos := []string{"WF2Q+", "WFQ", "WF2Q", "SCFQ", "SFQ", "DRR"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		top := randomTopology(rng, 2+rng.Intn(10))
+		nLeaves := len(top.Leaves())
+		if err := top.Validate(); err != nil {
+			t.Fatalf("generator produced invalid topology: %v", err)
+		}
+		algo := algos[rng.Intn(len(algos))]
+		tree, err := New(top, 1000, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := des.New()
+		link := netsim.NewLink(sim, 1000, tree)
+		var got []packet.Packet
+		link.OnDepart(func(p *packet.Packet) { got = append(got, *p) })
+
+		const npkts = 300
+		seqs := make([]int64, nLeaves)
+		now := 0.0
+		var work float64
+		for i := 0; i < npkts; i++ {
+			now += rng.ExpFloat64() * 0.01
+			at := now
+			sess := rng.Intn(nLeaves)
+			length := float64(1 + rng.Intn(20))
+			work += length
+			seq := seqs[sess]
+			seqs[sess]++
+			sim.At(at, func() {
+				p := packet.New(sess, length)
+				p.Seq = seq
+				link.Arrive(p)
+			})
+		}
+		sim.RunAll()
+		if len(got) != npkts {
+			return false
+		}
+		next := make([]int64, nLeaves)
+		for _, p := range got {
+			if p.Seq != next[p.Session] {
+				return false
+			}
+			next[p.Session]++
+		}
+		return link.Work() == work && tree.Backlog() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomTopologyCorollary2: for random trees, a leaky-bucket constrained
+// session in an H-WF²Q+ server meets its Corollary 2 delay bound while
+// every other session is greedy.
+func TestRandomTopologyCorollary2(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		top := randomTopology(rng, 3+rng.Intn(8))
+		nLeaves := len(top.Leaves())
+		const (
+			rate = 1e6
+			L    = 4000.0
+		)
+		tree, err := New(top, rate, "WF2Q+")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := des.New()
+		link := netsim.NewLink(sim, rate, tree)
+
+		target := rng.Intn(nLeaves)
+		ri := top.SessionRates(rate)[target]
+		sigma := float64(1+rng.Intn(4)) * L
+
+		// Corollary 2 bound: σ/r_i + Σ_{h=0}^{H-1} L_max/r_{p^h(i)}.
+		bound, err := top.DelayBound(rate, target, sigma, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var worst float64
+		link.OnDepart(func(p *packet.Packet) {
+			if p.Session == target {
+				if d := p.Depart - p.Arrival; d > worst {
+					worst = d
+				}
+			} else {
+				link.Arrive(packet.New(p.Session, L))
+			}
+		})
+		sim.At(0, func() {
+			for s := 0; s < nLeaves; s++ {
+				if s == target {
+					continue
+				}
+				link.Arrive(packet.New(s, L))
+				link.Arrive(packet.New(s, L))
+			}
+		})
+		// Conforming arrivals for the target session: a token bucket fed
+		// at random instants.
+		tokens, last := sigma, 0.0
+		var feed func()
+		feed = func() {
+			now := sim.Now()
+			tokens = math.Min(sigma, tokens+(now-last)*ri)
+			last = now
+			if tokens >= L {
+				tokens -= L
+				link.Arrive(packet.New(target, L))
+			}
+			sim.After(rng.Float64()*L/ri, feed)
+		}
+		sim.At(0.001, feed)
+		sim.Run(10)
+		return worst <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHWF2QPlusTracksHGPS: on an open-loop random workload, every session's
+// cumulative service under H-WF²Q+ stays within a small number of packets
+// of the H-GPS fluid service — the Fig. 9 "almost identical service" claim
+// at packet granularity.
+func TestHWF2QPlusTracksHGPS(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		top := randomTopology(rng, 3+rng.Intn(6))
+		nLeaves := len(top.Leaves())
+		const (
+			rate = 1000.0
+			L    = 10.0
+		)
+		tree, err := New(top, rate, "WF2Q+")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hg, err := fluid.NewHGPS(top, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := des.New()
+		link := netsim.NewLink(sim, rate, tree)
+		served := make(map[int]float64)
+		depth := float64(top.Depth())
+		var worst float64
+		link.OnDepart(func(p *packet.Packet) {
+			served[p.Session] += p.Length
+			hg.AdvanceTo(p.Depart)
+			for s := 0; s < nLeaves; s++ {
+				if d := math.Abs(served[s] - hg.Served(s)); d > worst {
+					worst = d
+				}
+			}
+		})
+		// Open-loop workload: heavy load (~95% of link) so queues persist.
+		now := 0.0
+		for i := 0; i < 600; i++ {
+			now += rng.ExpFloat64() * L / rate / 0.95
+			at := now
+			sess := rng.Intn(nLeaves)
+			sim.At(at, func() {
+				p := packet.New(sess, L)
+				link.Arrive(p)
+				hg.Arrive(sim.Now(), packet.New(sess, L))
+			})
+		}
+		sim.RunAll()
+		// Theorem 1: the per-session deviation is bounded by the per-level
+		// WFI sum; with equal packets that is ~one packet per level. Allow
+		// a generous constant factor for the fluid/packet phase offsets.
+		allow := (3*depth + 4) * L
+		if worst > allow {
+			t.Errorf("trial %d: |packet − fluid| service gap = %.1f bits, allow %.1f (depth %g)",
+				trial, worst, allow, depth)
+		}
+	}
+}

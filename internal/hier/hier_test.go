@@ -1,0 +1,220 @@
+package hier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hpfq/internal/core"
+	"hpfq/internal/des"
+	"hpfq/internal/netsim"
+	"hpfq/internal/packet"
+	"hpfq/internal/topo"
+)
+
+func flatTopology(n int) *topo.Node {
+	kids := make([]*topo.Node, n)
+	for i := range kids {
+		share := 0.5
+		if i > 0 {
+			share = 0.5 / float64(n-1)
+		}
+		kids[i] = topo.Leaf("s"+string(rune('0'+i)), share, i)
+	}
+	return topo.Interior("root", 1, kids...)
+}
+
+// randomWorkload drives a link with seeded random arrivals and returns the
+// departure order (session, seq) pairs.
+func randomWorkload(t *testing.T, q netsim.Queue, rate float64, nsess, npkts int, seed int64) []packet.Packet {
+	t.Helper()
+	sim := des.New()
+	link := netsim.NewLink(sim, rate, q)
+	var out []packet.Packet
+	link.OnDepart(func(p *packet.Packet) { out = append(out, *p) })
+	rng := rand.New(rand.NewSource(seed))
+	now := 0.0
+	seqs := make([]int64, nsess)
+	for i := 0; i < npkts; i++ {
+		now += rng.ExpFloat64() * 0.4
+		at := now
+		sess := rng.Intn(nsess)
+		length := float64(1 + rng.Intn(10))
+		sim.At(at, func() {
+			p := packet.New(sess, length)
+			p.Seq = seqs[sess]
+			seqs[sess]++
+			link.Arrive(p)
+		})
+	}
+	sim.RunAll()
+	return out
+}
+
+// TestOneLevelTreeEqualsFlatWF2QPlus: an H-WF²Q+ hierarchy with a single
+// interior node must behave exactly like the standalone WF²Q+ server — the
+// paper's construction collapses to its building block.
+func TestOneLevelTreeEqualsFlatWF2QPlus(t *testing.T) {
+	const n, pkts = 5, 400
+	top := flatTopology(n)
+
+	tree, err := New(top, 1, "WF2Q+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := core.NewScheduler(1)
+	rates := top.SessionRates(1)
+	for i := 0; i < n; i++ {
+		flat.AddSession(i, rates[i])
+	}
+
+	a := randomWorkload(t, tree, 1, n, pkts, 7)
+	b := randomWorkload(t, flat, 1, n, pkts, 7)
+	if len(a) != len(b) {
+		t.Fatalf("tree transmitted %d packets, flat %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Session != b[i].Session || a[i].Seq != b[i].Seq {
+			t.Fatalf("departure %d differs: tree (%d,%d) vs flat (%d,%d)",
+				i, a[i].Session, a[i].Seq, b[i].Session, b[i].Seq)
+		}
+		if math.Abs(a[i].Depart-b[i].Depart) > 1e-9 {
+			t.Fatalf("departure %d time differs: %g vs %g", i, a[i].Depart, b[i].Depart)
+		}
+	}
+}
+
+func deepTopology() *topo.Node {
+	return topo.Interior("root", 1,
+		topo.Interior("L", 0.6,
+			topo.Interior("LL", 0.5,
+				topo.Leaf("a", 0.7, 0),
+				topo.Leaf("b", 0.3, 1),
+			),
+			topo.Leaf("c", 0.5, 2),
+		),
+		topo.Leaf("d", 0.4, 3),
+	)
+}
+
+// TestTreeConservation: every enqueued packet departs exactly once, in
+// per-session FIFO order, for every node algorithm.
+func TestTreeConservation(t *testing.T) {
+	for _, algo := range []string{"WF2Q+", "WFQ", "WF2Q", "SCFQ", "SFQ", "DRR"} {
+		tree, err := New(deepTopology(), 2, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := randomWorkload(t, tree, 2, 4, 600, 11)
+		if len(out) != 600 {
+			t.Fatalf("%s: %d departures, want 600", algo, len(out))
+		}
+		next := map[int]int64{}
+		for _, p := range out {
+			if p.Seq != next[p.Session] {
+				t.Fatalf("%s: session %d departed seq %d, want %d (FIFO violated)",
+					algo, p.Session, p.Seq, next[p.Session])
+			}
+			next[p.Session]++
+		}
+	}
+}
+
+// TestTreeWorkConserving: with every session backlogged, the link never
+// idles: n packets of combined length W finish in exactly W/rate.
+func TestTreeWorkConserving(t *testing.T) {
+	for _, algo := range []string{"WF2Q+", "WFQ", "SCFQ", "SFQ", "DRR"} {
+		tree, err := New(deepTopology(), 4, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := des.New()
+		link := netsim.NewLink(sim, 4, tree)
+		var last float64
+		link.OnDepart(func(p *packet.Packet) { last = p.Depart })
+		sim.At(0, func() {
+			for s := 0; s < 4; s++ {
+				for k := 0; k < 25; k++ {
+					p := packet.New(s, 2)
+					p.Seq = int64(k)
+					link.Arrive(p)
+				}
+			}
+		})
+		sim.RunAll()
+		// 100 packets × 2 bits at rate 4 = 50 seconds.
+		if math.Abs(last-50) > 1e-9 {
+			t.Errorf("%s: finished at %g, want 50 (work conservation)", algo, last)
+		}
+	}
+}
+
+// TestTreeHierarchicalShares: with all sessions greedy, long-run throughput
+// follows the hierarchical shares (eq. 9 applied level by level).
+func TestTreeHierarchicalShares(t *testing.T) {
+	top := deepTopology()
+	for _, algo := range []string{"WF2Q+", "WFQ", "WF2Q", "SCFQ", "SFQ", "DRR"} {
+		tree, err := New(top, 1e6, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := des.New()
+		link := netsim.NewLink(sim, 1e6, tree)
+		served := map[int]float64{}
+		link.OnDepart(func(p *packet.Packet) {
+			served[p.Session] += p.Length
+			// Keep every session backlogged.
+			np := packet.New(p.Session, p.Length)
+			link.Arrive(np)
+		})
+		sim.At(0, func() {
+			for s := 0; s < 4; s++ {
+				link.Arrive(packet.New(s, 8000))
+				link.Arrive(packet.New(s, 8000))
+			}
+		})
+		sim.Run(30)
+		want := top.SessionRates(1e6)
+		total := served[0] + served[1] + served[2] + served[3]
+		for s := 0; s < 4; s++ {
+			gotRate := served[s] / 30
+			if math.Abs(gotRate-want[s])/want[s] > 0.05 {
+				t.Errorf("%s: session %d rate %.0f, want %.0f (±5%%), total %.0f",
+					algo, s, gotRate, want[s], total)
+			}
+		}
+	}
+}
+
+// TestTreeExcessDistribution: when a deep session goes idle, its bandwidth
+// goes to the closest backlogged relatives first (H-GPS semantics, §2.2).
+func TestTreeExcessDistribution(t *testing.T) {
+	top := deepTopology()
+	tree, err := New(top, 1e6, "WF2Q+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := des.New()
+	link := netsim.NewLink(sim, 1e6, tree)
+	served := map[int]float64{}
+	link.OnDepart(func(p *packet.Packet) {
+		served[p.Session] += p.Length
+		link.Arrive(packet.New(p.Session, p.Length))
+	})
+	// Session 0 ("a") idle; siblings backlogged. Its share (0.21 of link)
+	// goes first to "b" (sibling under LL): b gets all of LL's 0.30.
+	sim.At(0, func() {
+		for _, s := range []int{1, 2, 3} {
+			link.Arrive(packet.New(s, 8000))
+			link.Arrive(packet.New(s, 8000))
+		}
+	})
+	sim.Run(30)
+	want := map[int]float64{1: 0.30e6, 2: 0.30e6, 3: 0.40e6}
+	for s, w := range want {
+		got := served[s] / 30
+		if math.Abs(got-w)/w > 0.05 {
+			t.Errorf("session %d rate %.0f, want %.0f (±5%%)", s, got, w)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"hpfq/internal/des"
+	"hpfq/internal/packet"
+)
+
+// fifoQueue is a minimal Queue for link tests.
+type fifoQueue struct{ q packet.FIFO }
+
+func (f *fifoQueue) Enqueue(now float64, p *packet.Packet) { f.q.Push(p) }
+func (f *fifoQueue) Dequeue(now float64) *packet.Packet    { return f.q.Pop() }
+func (f *fifoQueue) Backlog() int                          { return f.q.Len() }
+
+func TestLinkTransmitTiming(t *testing.T) {
+	sim := des.New()
+	l := NewLink(sim, 100, &fifoQueue{})
+	var departs []float64
+	l.OnDepart(func(p *packet.Packet) { departs = append(departs, p.Depart) })
+	sim.At(0, func() {
+		l.Arrive(packet.New(0, 200)) // 2s
+		l.Arrive(packet.New(0, 100)) // 1s
+	})
+	sim.RunAll()
+	if len(departs) != 2 || math.Abs(departs[0]-2) > 1e-12 || math.Abs(departs[1]-3) > 1e-12 {
+		t.Fatalf("departs = %v, want [2 3]", departs)
+	}
+	if l.Sent() != 2 || l.Work() != 300 {
+		t.Errorf("Sent=%d Work=%g", l.Sent(), l.Work())
+	}
+	if l.Busy() {
+		t.Error("link busy after drain")
+	}
+}
+
+func TestLinkIdleRestart(t *testing.T) {
+	sim := des.New()
+	l := NewLink(sim, 100, &fifoQueue{})
+	var departs []float64
+	l.OnDepart(func(p *packet.Packet) { departs = append(departs, p.Depart) })
+	sim.At(0, func() { l.Arrive(packet.New(0, 100)) })
+	sim.At(10, func() { l.Arrive(packet.New(0, 100)) })
+	sim.RunAll()
+	if len(departs) != 2 || departs[0] != 1 || departs[1] != 11 {
+		t.Fatalf("departs = %v, want [1 11]", departs)
+	}
+}
+
+func TestLinkArrivalStamp(t *testing.T) {
+	sim := des.New()
+	l := NewLink(sim, 10, &fifoQueue{})
+	var arr float64 = -1
+	l.OnArrive(func(p *packet.Packet) { arr = p.Arrival })
+	sim.At(3.5, func() { l.Arrive(packet.New(0, 10)) })
+	sim.RunAll()
+	if arr != 3.5 {
+		t.Fatalf("Arrival = %g, want 3.5", arr)
+	}
+}
+
+func TestLinkSessionLimit(t *testing.T) {
+	sim := des.New()
+	l := NewLink(sim, 1, &fifoQueue{}) // slow: everything queues
+	l.SetSessionLimit(0, 2)
+	var dropped []*packet.Packet
+	l.OnDrop(func(p *packet.Packet) { dropped = append(dropped, p) })
+	sim.At(0, func() {
+		for i := 0; i < 5; i++ {
+			l.Arrive(packet.New(0, 100))
+		}
+		l.Arrive(packet.New(1, 100)) // session 1 unlimited
+	})
+	sim.Run(0)
+	if l.InSystem(0) != 2 {
+		t.Errorf("InSystem(0) = %d, want 2", l.InSystem(0))
+	}
+	if len(dropped) != 3 || l.Drops() != 3 {
+		t.Errorf("dropped %d / Drops %d, want 3", len(dropped), l.Drops())
+	}
+	if l.InSystem(1) != 1 {
+		t.Errorf("InSystem(1) = %d, want 1", l.InSystem(1))
+	}
+	// After a departure, the session may enqueue again.
+	sim.Run(150)
+	if l.InSystem(0) >= 2 {
+		// At least one of session 0's packets has departed by t=150.
+		t.Errorf("InSystem(0) = %d after service", l.InSystem(0))
+	}
+}
+
+func TestLinkWorkConservation(t *testing.T) {
+	sim := des.New()
+	l := NewLink(sim, 50, &fifoQueue{})
+	var last float64
+	l.OnDepart(func(p *packet.Packet) { last = p.Depart })
+	sim.At(0, func() {
+		for i := 0; i < 10; i++ {
+			l.Arrive(packet.New(i%3, 100))
+		}
+	})
+	sim.RunAll()
+	if math.Abs(last-20) > 1e-12 { // 1000 bits at 50 bps
+		t.Fatalf("finished at %g, want 20", last)
+	}
+}
+
+func TestLinkRejectsBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rate 0")
+		}
+	}()
+	NewLink(des.New(), 0, &fifoQueue{})
+}
+
+func TestLinkAccessors(t *testing.T) {
+	sim := des.New()
+	q := &fifoQueue{}
+	l := NewLink(sim, 7, q)
+	if l.Rate() != 7 || l.Queue() != Queue(q) || l.Sim() != sim {
+		t.Error("accessors wrong")
+	}
+}

@@ -1,0 +1,99 @@
+package netsim
+
+import (
+	"fmt"
+
+	"hpfq/internal/des"
+	"hpfq/internal/packet"
+)
+
+// Forward pipes packets of the given sessions from one link to the next hop
+// after a fixed propagation delay, re-submitting them with a fresh arrival
+// stamp. Multi-hop paths of H-PFQ servers compose the paper's per-hop delay
+// bounds into end-to-end bounds (the [Goyal/Lam/Vin] style analysis the
+// paper cites for heterogeneous networks).
+func Forward(sim *des.Sim, from, to *Link, propDelay float64, sessions map[int]bool) {
+	from.OnDepart(func(p *packet.Packet) {
+		if sessions != nil && !sessions[p.Session] {
+			return
+		}
+		sim.After(propDelay, func() { to.Arrive(p) })
+	})
+}
+
+// PathTracer measures end-to-end delay for one session across a multi-hop
+// path: call Inject when the packet enters the first hop and Complete when
+// it leaves the last; packets are keyed by sequence number.
+type PathTracer struct {
+	Session int
+
+	injected map[int64]float64
+	worst    float64
+	sum      float64
+	n        int
+}
+
+// NewPathTracer returns a tracer for the session.
+func NewPathTracer(session int) *PathTracer {
+	return &PathTracer{Session: session, injected: make(map[int64]float64)}
+}
+
+// Attach wires the tracer to the entry and exit links of a path.
+func (t *PathTracer) Attach(entry, exit *Link) {
+	entry.OnArrive(func(p *packet.Packet) {
+		if p.Session == t.Session {
+			t.Inject(p.Seq, p.Arrival)
+		}
+	})
+	exit.OnDepart(func(p *packet.Packet) {
+		if p.Session == t.Session {
+			t.Complete(p.Seq, p.Depart)
+		}
+	})
+}
+
+// Inject records the packet entering the path at time now.
+func (t *PathTracer) Inject(seq int64, now float64) {
+	if _, dup := t.injected[seq]; dup {
+		return // retransmission or re-entry; keep the first
+	}
+	t.injected[seq] = now
+}
+
+// Complete records the packet leaving the path at time now.
+func (t *PathTracer) Complete(seq int64, now float64) {
+	t0, ok := t.injected[seq]
+	if !ok {
+		return
+	}
+	delete(t.injected, seq)
+	d := now - t0
+	t.sum += d
+	t.n++
+	if d > t.worst {
+		t.worst = d
+	}
+}
+
+// Worst returns the largest end-to-end delay observed.
+func (t *PathTracer) Worst() float64 { return t.worst }
+
+// Mean returns the average end-to-end delay.
+func (t *PathTracer) Mean() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.sum / float64(t.n)
+}
+
+// Count returns the number of completed packets.
+func (t *PathTracer) Count() int { return t.n }
+
+// InFlight returns the number of injected but not completed packets.
+func (t *PathTracer) InFlight() int { return len(t.injected) }
+
+// String summarizes the tracer.
+func (t *PathTracer) String() string {
+	return fmt.Sprintf("session %d: %d packets, worst %.6fs, mean %.6fs",
+		t.Session, t.n, t.worst, t.Mean())
+}

@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"hpfq/internal/des"
+	"hpfq/internal/packet"
+)
+
+func TestForwardChain(t *testing.T) {
+	sim := des.New()
+	a := NewLink(sim, 100, &fifoQueue{})
+	b := NewLink(sim, 100, &fifoQueue{})
+	Forward(sim, a, b, 0.5, map[int]bool{0: true})
+
+	var bDeparts []float64
+	b.OnDepart(func(p *packet.Packet) { bDeparts = append(bDeparts, p.Depart) })
+
+	sim.At(0, func() {
+		a.Arrive(packet.New(0, 100)) // forwarded
+		a.Arrive(packet.New(1, 100)) // filtered out
+	})
+	sim.RunAll()
+	// Session 0: 1 s at hop a, 0.5 s propagation, 1 s at hop b = 2.5 s.
+	if len(bDeparts) != 1 || math.Abs(bDeparts[0]-2.5) > 1e-12 {
+		t.Fatalf("hop-b departures = %v, want [2.5]", bDeparts)
+	}
+	if b.Sent() != 1 {
+		t.Fatalf("hop b sent %d, want only the filtered session", b.Sent())
+	}
+}
+
+func TestForwardNilFilterForwardsAll(t *testing.T) {
+	sim := des.New()
+	a := NewLink(sim, 100, &fifoQueue{})
+	b := NewLink(sim, 100, &fifoQueue{})
+	Forward(sim, a, b, 0, nil)
+	sim.At(0, func() {
+		a.Arrive(packet.New(0, 100))
+		a.Arrive(packet.New(7, 100))
+	})
+	sim.RunAll()
+	if b.Sent() != 2 {
+		t.Fatalf("hop b sent %d, want 2", b.Sent())
+	}
+}
+
+func TestPathTracer(t *testing.T) {
+	tr := NewPathTracer(3)
+	tr.Inject(0, 1.0)
+	tr.Inject(1, 2.0)
+	tr.Inject(1, 2.5) // duplicate keeps first
+	tr.Complete(0, 1.5)
+	tr.Complete(1, 4.0)
+	tr.Complete(9, 9.0) // unknown ignored
+	if tr.Count() != 2 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+	if math.Abs(tr.Worst()-2.0) > 1e-12 {
+		t.Errorf("Worst = %g, want 2", tr.Worst())
+	}
+	if math.Abs(tr.Mean()-1.25) > 1e-12 {
+		t.Errorf("Mean = %g, want 1.25", tr.Mean())
+	}
+	if tr.InFlight() != 0 {
+		t.Errorf("InFlight = %d", tr.InFlight())
+	}
+	if tr.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestPathTracerAttach(t *testing.T) {
+	sim := des.New()
+	a := NewLink(sim, 100, &fifoQueue{})
+	b := NewLink(sim, 100, &fifoQueue{})
+	Forward(sim, a, b, 0.25, map[int]bool{0: true})
+	tr := NewPathTracer(0)
+	tr.Attach(a, b)
+	sim.At(0, func() {
+		p := packet.New(0, 100)
+		p.Seq = 42
+		a.Arrive(p)
+	})
+	sim.RunAll()
+	if tr.Count() != 1 || math.Abs(tr.Worst()-2.25) > 1e-12 {
+		t.Fatalf("tracer %v, want one packet at 2.25 s", tr)
+	}
+}

@@ -1,0 +1,87 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOBasic(t *testing.T) {
+	var q FIFO
+	if !q.Empty() || q.Len() != 0 || q.Head() != nil || q.Pop() != nil {
+		t.Fatal("zero FIFO not empty")
+	}
+	a, b := New(0, 10), New(0, 20)
+	q.Push(a)
+	q.Push(b)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if q.Head() != a {
+		t.Fatal("Head != first pushed")
+	}
+	if q.Bits() != 30 {
+		t.Fatalf("Bits = %g, want 30", q.Bits())
+	}
+	if q.Pop() != a || q.Pop() != b || q.Pop() != nil {
+		t.Fatal("pop order wrong")
+	}
+}
+
+func TestFIFOCompaction(t *testing.T) {
+	var q FIFO
+	// Interleave pushes and pops past the compaction threshold and verify
+	// order is preserved throughout.
+	next := 0
+	pushed := 0
+	for i := 0; i < 1000; i++ {
+		p := New(0, 1)
+		p.Seq = int64(pushed)
+		pushed++
+		q.Push(p)
+		if i%2 == 1 {
+			got := q.Pop()
+			if got.Seq != int64(next) {
+				t.Fatalf("pop %d: seq %d, want %d", i, got.Seq, next)
+			}
+			next++
+		}
+	}
+	for q.Len() > 0 {
+		got := q.Pop()
+		if got.Seq != int64(next) {
+			t.Fatalf("drain: seq %d, want %d", got.Seq, next)
+		}
+		next++
+	}
+	if next != pushed {
+		t.Fatalf("popped %d, pushed %d", next, pushed)
+	}
+}
+
+// TestFIFOOrderProperty: any push/pop interleaving is order-preserving.
+func TestFIFOOrderProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		var q FIFO
+		pushed, popped := 0, 0
+		for _, push := range ops {
+			if push || q.Empty() {
+				p := New(1, 8)
+				p.Seq = int64(pushed)
+				pushed++
+				q.Push(p)
+			} else {
+				if got := q.Pop(); got.Seq != int64(popped) {
+					return false
+				}
+				popped++
+			}
+			if q.Len() != pushed-popped {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

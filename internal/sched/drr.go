@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"hpfq/internal/packet"
+)
+
+// drrQuantumBase is the base quantum in bits assigned to the session with
+// the smallest rate. The paper's experiments use 8 KB packets; a base
+// quantum of one maximum packet keeps DRR's per-packet work O(1)
+// [Shreedhar & Varghese, SIGCOMM'95].
+const drrQuantumBase = packet.Bits8KB
+
+// DRR is Deficit Round Robin [Shreedhar & Varghese, SIGCOMM'95], cited by
+// the paper (§6) as a low-complexity GPS approximation that does not
+// address worst-case fairness: its service lag — and therefore its WFI —
+// grows with the number of active sessions and the quantum size. Quanta are
+// proportional to session rates.
+type DRR struct {
+	rates    []float64
+	quantum  []float64
+	deficit  []float64
+	queues   []packet.FIFO
+	active   []int // round-robin order of backlogged sessions
+	inList   []bool
+	credited int // session at the front already credited this visit (-1 none)
+	minRate  float64
+	backlog  int
+}
+
+// NewDRR returns a DRR server. The link rate is accepted for interface
+// uniformity; DRR needs only the relative session rates.
+func NewDRR(rate float64) *DRR {
+	_ = rate
+	return &DRR{minRate: math.Inf(1), credited: -1}
+}
+
+// Name identifies the algorithm.
+func (d *DRR) Name() string { return "DRR" }
+
+// AddSession registers session id with guaranteed rate in bits/sec. All
+// sessions must be added before the first Enqueue so quanta can be scaled
+// to the smallest rate.
+func (d *DRR) AddSession(id int, rate float64) {
+	if id < 0 {
+		panic("sched: negative session id")
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		panic(fmt.Sprintf("sched: invalid session rate %g", rate))
+	}
+	for len(d.rates) <= id {
+		d.rates = append(d.rates, 0)
+		d.quantum = append(d.quantum, 0)
+		d.deficit = append(d.deficit, 0)
+		d.queues = append(d.queues, packet.FIFO{})
+		d.inList = append(d.inList, false)
+	}
+	if d.rates[id] != 0 {
+		panic(fmt.Sprintf("sched: duplicate session id %d", id))
+	}
+	d.rates[id] = rate
+	if rate < d.minRate {
+		d.minRate = rate
+	}
+	for i, r := range d.rates {
+		if r > 0 {
+			d.quantum[i] = drrQuantumBase * r / d.minRate
+		}
+	}
+}
+
+// Enqueue queues the packet; a newly backlogged session joins the tail of
+// the round with a zero deficit.
+func (d *DRR) Enqueue(now float64, p *packet.Packet) {
+	q := &d.queues[p.Session]
+	q.Push(p)
+	d.backlog++
+	if !d.inList[p.Session] {
+		d.inList[p.Session] = true
+		d.deficit[p.Session] = 0
+		d.active = append(d.active, p.Session)
+	}
+}
+
+// Dequeue serves the session at the head of the round while its deficit
+// lasts, crediting exactly one quantum per round visit: a session whose
+// credited deficit cannot cover its head packet carries the deficit to the
+// next round [Shreedhar & Varghese, fig. 4].
+func (d *DRR) Dequeue(now float64) *packet.Packet {
+	for len(d.active) > 0 {
+		id := d.active[0]
+		q := &d.queues[id]
+		head := q.Head()
+		if d.credited != id {
+			d.deficit[id] += d.quantum[id]
+			d.credited = id
+		}
+		if d.deficit[id] < head.Length {
+			// Quantum exhausted: carry the deficit, move to the tail.
+			d.active = append(d.active[1:], id)
+			d.credited = -1
+			continue
+		}
+		d.deficit[id] -= head.Length
+		q.Pop()
+		d.backlog--
+		if q.Empty() {
+			d.deficit[id] = 0
+			d.inList[id] = false
+			d.active = d.active[1:]
+			d.credited = -1
+		}
+		return head
+	}
+	return nil
+}
+
+// Backlog returns the number of queued packets.
+func (d *DRR) Backlog() int { return d.backlog }
+
+// FIFO is first-in-first-out: no isolation at all. It is the sanity
+// baseline — every fairness and delay-bound experiment should show FIFO
+// failing when any session misbehaves.
+type FIFO struct {
+	q packet.FIFO
+}
+
+// NewFIFO returns a FIFO server. Rate and session registration are accepted
+// for interface uniformity.
+func NewFIFO(rate float64) *FIFO {
+	_ = rate
+	return &FIFO{}
+}
+
+// Name identifies the algorithm.
+func (f *FIFO) Name() string { return "FIFO" }
+
+// AddSession is a no-op; FIFO has no per-session state.
+func (f *FIFO) AddSession(id int, rate float64) {}
+
+// Enqueue appends the packet.
+func (f *FIFO) Enqueue(now float64, p *packet.Packet) { f.q.Push(p) }
+
+// Dequeue pops the oldest packet.
+func (f *FIFO) Dequeue(now float64) *packet.Packet { return f.q.Pop() }
+
+// Backlog returns the number of queued packets.
+func (f *FIFO) Backlog() int { return f.q.Len() }

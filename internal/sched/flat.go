@@ -1,0 +1,67 @@
+package sched
+
+import "hpfq/internal/packet"
+
+// Flat adapts any NodeScheduler into a standalone Scheduler by placing a
+// per-session FIFO in front of each child slot. A packet arriving to an
+// empty queue is a new backlog (Push cont=false); when the head departs and
+// the queue is still non-empty the next head is a continuation (cont=true).
+//
+// Flat(WF2Q+Node) is exactly the standalone WF²Q+ server (eq. 28 is defined
+// in head-of-queue terms), and tests use Flat to cross-check node
+// implementations against their standalone counterparts. Note that for the
+// eq. 6-stamped algorithms (WFQ, WF²Q, SCFQ, SFQ) Flat stamps packets when
+// they reach the head of their queue, whereas the standalone
+// implementations stamp at arrival; the results can differ when the packet
+// system runs ahead of the fluid system for a session.
+type Flat struct {
+	node    NodeScheduler
+	queues  []packet.FIFO
+	backlog int
+}
+
+// NewFlat wraps a node scheduler as a standalone scheduler.
+func NewFlat(node NodeScheduler) *Flat {
+	return &Flat{node: node}
+}
+
+// Name identifies the wrapped algorithm.
+func (f *Flat) Name() string { return f.node.Name() + "/flat" }
+
+// AddSession registers session id with guaranteed rate in bits/sec.
+func (f *Flat) AddSession(id int, rate float64) {
+	f.node.AddChild(id, rate)
+	for len(f.queues) <= id {
+		f.queues = append(f.queues, packet.FIFO{})
+	}
+}
+
+// Enqueue queues the packet, pushing a newly backlogged session into the
+// node scheduler.
+func (f *Flat) Enqueue(now float64, p *packet.Packet) {
+	q := &f.queues[p.Session]
+	q.Push(p)
+	f.backlog++
+	if q.Len() == 1 {
+		f.node.Push(p.Session, p.Length, false)
+	}
+}
+
+// Dequeue pops the next session from the node scheduler and serves its head
+// packet.
+func (f *Flat) Dequeue(now float64) *packet.Packet {
+	id, ok := f.node.Pop()
+	if !ok {
+		return nil
+	}
+	q := &f.queues[id]
+	p := q.Pop()
+	f.backlog--
+	if !q.Empty() {
+		f.node.Push(id, q.Head().Length, true)
+	}
+	return p
+}
+
+// Backlog returns the number of queued packets.
+func (f *Flat) Backlog() int { return f.backlog }

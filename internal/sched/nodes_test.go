@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNodeAccessors covers Name/Backlogged on every node type.
+func TestNodeAccessors(t *testing.T) {
+	for _, name := range []string{"WFQ", "WF2Q", "SCFQ", "SFQ", "DRR"} {
+		n, err := NewNode(name, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Name() != name {
+			t.Errorf("Name = %q, want %q", n.Name(), name)
+		}
+		if n.Backlogged() {
+			t.Errorf("%s: empty node backlogged", name)
+		}
+		n.AddChild(0, 1e6)
+		n.Push(0, 100, false)
+		if !n.Backlogged() {
+			t.Errorf("%s: pushed node not backlogged", name)
+		}
+		if id, ok := n.Pop(); !ok || id != 0 {
+			t.Errorf("%s: Pop = (%d,%v)", name, id, ok)
+		}
+		if n.Backlogged() {
+			t.Errorf("%s: popped node still backlogged", name)
+		}
+		if id, ok := n.Pop(); ok || id != -1 {
+			t.Errorf("%s: Pop on empty = (%d,%v)", name, id, ok)
+		}
+	}
+}
+
+// TestDRRNodeRounds exercises the deficit round robin node directly:
+// continuation re-pushes keep their round position; quantum-proportional
+// volumes emerge over many rounds with mixed sizes.
+func TestDRRNodeRounds(t *testing.T) {
+	n := NewDRRNode(1e6)
+	n.AddChild(0, 3e5)
+	n.AddChild(1, 1e5)
+	sizes := []float64{12000, 4000, 8000}
+	served := [2]float64{}
+	n.Push(0, sizes[0], false)
+	n.Push(1, sizes[1], false)
+	k := 0
+	for i := 0; i < 5000; i++ {
+		id, ok := n.Pop()
+		if !ok {
+			t.Fatal("node drained")
+		}
+		// Track length served: re-derive from the size cycle.
+		length := sizes[k%3]
+		_ = length
+		k++
+		served[id] += 1 // count packets of equal expected mean size
+		n.Push(id, sizes[k%3], true)
+	}
+	ratio := served[0] / served[1]
+	if math.Abs(ratio-3) > 0.25 {
+		t.Errorf("DRR node ratio = %.2f, want ~3", ratio)
+	}
+}
+
+// TestDRRNodeNewBacklogResetsDeficit: a child returning after idling starts
+// with zero deficit and at the tail of the round.
+func TestDRRNodeNewBacklogResetsDeficit(t *testing.T) {
+	n := NewDRRNode(1e6)
+	n.AddChild(0, 1e5)
+	n.AddChild(1, 1e5)
+	n.Push(0, 1000, false)
+	n.Push(1, 1000, false)
+	id1, _ := n.Pop()
+	// id1 leaves (idle). The other child keeps the ring.
+	id2, _ := n.Pop()
+	if id1 == id2 {
+		t.Fatalf("same child served twice in a two-child round: %d", id1)
+	}
+	// id1 re-enters as a NEW backlog: joins the tail, deficit reset.
+	n.Push(id1, 1000, false)
+	n.Push(id2, 1000, true)
+	if got, _ := n.Pop(); got != id2 {
+		t.Errorf("continuation should stay at the front: got %d, want %d", got, id2)
+	}
+}
+
+// TestNodeChildPanics covers the childSet guard rails.
+func TestNodeChildPanics(t *testing.T) {
+	n := NewSCFQNode(1)
+	n.AddChild(0, 1)
+	cases := map[string]func(){
+		"negative child": func() { n.AddChild(-1, 1) },
+		"bad rate":       func() { n.AddChild(1, 0) },
+		"duplicate":      func() { n.AddChild(0, 1) },
+		"unknown push":   func() { n.Push(5, 1, false) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestFIFOAddSessionNoop and DRR invalid sessions.
+func TestSessionValidation(t *testing.T) {
+	f := NewFIFO(1)
+	f.AddSession(0, 0) // no-op, must not panic
+	d := NewDRR(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("DRR negative session should panic")
+			}
+		}()
+		d.AddSession(-1, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("DRR bad rate should panic")
+			}
+		}()
+		d.AddSession(0, math.NaN())
+	}()
+	d.AddSession(0, 10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("DRR duplicate session should panic")
+			}
+		}()
+		d.AddSession(0, 10)
+	}()
+}
+
+// TestWFQVirtualTimeAccessor covers the test/instrumentation hooks.
+func TestWFQVirtualTimeAccessor(t *testing.T) {
+	w := NewWFQ(1)
+	w.AddSession(0, 1)
+	if v := w.VirtualTime(0); v != 0 {
+		t.Errorf("initial V = %g", v)
+	}
+	w2 := NewWF2Q(1)
+	w2.AddSession(0, 1)
+	if v := w2.VirtualTime(0); v != 0 {
+		t.Errorf("initial V = %g", v)
+	}
+}

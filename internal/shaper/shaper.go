@@ -1,0 +1,174 @@
+// Package shaper paces real workloads through WF²Q+ in wall-clock time: a
+// rate limiter that serializes items (writes, messages, requests) from
+// multiple classes onto a virtual link, releasing each item when its paced
+// transmission slot completes. This is the paper's scheduler applied the
+// way production systems use it — dummynet-style egress shaping — rather
+// than inside a discrete-event simulation.
+//
+// Classes get the WF²Q+ guarantees: a class submitting within its
+// guaranteed rate observes release latency bounded by σ/r_i + L_max/r
+// regardless of how aggressively other classes submit, and excess capacity
+// is shared in proportion to class rates.
+//
+// The shaper is callback-driven and goroutine-safe. Time is pluggable for
+// deterministic tests; the default clock uses time.AfterFunc.
+package shaper
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"hpfq/internal/core"
+	"hpfq/internal/packet"
+)
+
+// Clock abstracts timer scheduling so tests can drive the shaper
+// deterministically.
+type Clock interface {
+	// AfterFunc runs fn after d on the clock's timeline.
+	AfterFunc(d time.Duration, fn func())
+}
+
+// realClock is the default wall clock.
+type realClock struct{}
+
+func (realClock) AfterFunc(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("shaper: closed")
+
+// ErrQueueFull is returned when a class's queued cost exceeds its limit.
+var ErrQueueFull = errors.New("shaper: class queue full")
+
+// Shaper schedules items from multiple classes onto a virtual link of a
+// fixed rate, using WF²Q+ ordering and pacing.
+type Shaper struct {
+	rate  float64
+	clock Clock
+
+	mu      sync.Mutex
+	sched   *core.Scheduler
+	limits  map[int]float64 // class → max queued cost (0 = unlimited)
+	queued  map[int]float64
+	busy    bool
+	closed  bool
+	defined map[int]bool
+	relSeq  map[int]int64
+}
+
+// Option configures the shaper.
+type Option func(*Shaper)
+
+// WithClock replaces the wall clock (for tests).
+func WithClock(c Clock) Option {
+	return func(s *Shaper) { s.clock = c }
+}
+
+// New returns a shaper for a virtual link of the given rate in cost units
+// per second (bits per second when shaping network writes).
+func New(rate float64, opts ...Option) *Shaper {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		panic(fmt.Sprintf("shaper: invalid rate %g", rate))
+	}
+	s := &Shaper{
+		rate:    rate,
+		clock:   realClock{},
+		sched:   core.NewScheduler(rate),
+		limits:  make(map[int]float64),
+		queued:  make(map[int]float64),
+		defined: make(map[int]bool),
+		relSeq:  make(map[int]int64),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// AddClass registers a class with a guaranteed rate in cost units per
+// second. maxQueued caps the total queued cost for the class (0 =
+// unlimited); submissions beyond it fail with ErrQueueFull, giving callers
+// backpressure instead of unbounded memory.
+func (s *Shaper) AddClass(id int, rate, maxQueued float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sched.AddSession(id, rate)
+	s.defined[id] = true
+	if maxQueued > 0 {
+		s.limits[id] = maxQueued
+	}
+}
+
+// Submit queues an item of the given cost for a class; release is invoked
+// (on a timer goroutine) when the item's paced slot completes. Cost is in
+// the same units as the shaper rate.
+func (s *Shaper) Submit(class int, cost float64, release func()) error {
+	if cost <= 0 || math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return fmt.Errorf("shaper: invalid cost %g", cost)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.defined[class] {
+		return fmt.Errorf("shaper: unknown class %d", class)
+	}
+	if lim, ok := s.limits[class]; ok && s.queued[class]+cost > lim {
+		return ErrQueueFull
+	}
+	p := packet.New(class, cost)
+	p.Payload = release
+	s.queued[class] += cost
+	s.sched.Enqueue(0, p)
+	if !s.busy {
+		s.startNext()
+	}
+	return nil
+}
+
+// startNext must be called with the mutex held.
+func (s *Shaper) startNext() {
+	p := s.sched.Dequeue(0)
+	if p == nil {
+		s.busy = false
+		return
+	}
+	s.busy = true
+	d := time.Duration(p.Length / s.rate * float64(time.Second))
+	s.clock.AfterFunc(d, func() {
+		if fn, ok := p.Payload.(func()); ok && fn != nil {
+			fn()
+		}
+		s.mu.Lock()
+		s.queued[p.Session] -= p.Length
+		s.startNext()
+		s.mu.Unlock()
+	})
+}
+
+// Queued returns the total queued cost for a class (excluding the item in
+// service? — including: cost is released when its slot completes).
+func (s *Shaper) Queued(class int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued[class]
+}
+
+// Backlog returns the number of queued items not yet in service.
+func (s *Shaper) Backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched.Backlog()
+}
+
+// Close stops accepting submissions. Items already queued are still
+// released on schedule.
+func (s *Shaper) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}

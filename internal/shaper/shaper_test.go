@@ -1,0 +1,202 @@
+package shaper
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic Clock: timers fire when the test advances
+// virtual time.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Duration
+	timers timerHeap
+	seq    int
+}
+
+type fakeTimer struct {
+	at  time.Duration
+	seq int
+	fn  func()
+}
+
+type timerHeap []*fakeTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*fakeTimer)) }
+func (h *timerHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+
+func (c *fakeClock) AfterFunc(d time.Duration, fn func()) {
+	c.mu.Lock()
+	c.seq++
+	heap.Push(&c.timers, &fakeTimer{at: c.now + d, seq: c.seq, fn: fn})
+	c.mu.Unlock()
+}
+
+// Advance moves virtual time forward, firing due timers in order. Timers
+// may schedule more timers (the shaper's startNext chain does).
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now + d
+	for len(c.timers) > 0 && c.timers[0].at <= target {
+		t := heap.Pop(&c.timers).(*fakeTimer)
+		c.now = t.at
+		c.mu.Unlock()
+		t.fn()
+		c.mu.Lock()
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+func TestShaperPacesAtRate(t *testing.T) {
+	clk := &fakeClock{}
+	s := New(1000, WithClock(clk)) // 1000 cost/sec
+	s.AddClass(0, 1000, 0)
+	var releases []time.Duration
+	for i := 0; i < 5; i++ {
+		err := s.Submit(0, 100, func() {
+			clk.mu.Lock()
+			releases = append(releases, clk.now)
+			clk.mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Second)
+	// 100 cost at 1000/sec = 100 ms per item, back to back.
+	want := []time.Duration{100, 200, 300, 400, 500}
+	if len(releases) != 5 {
+		t.Fatalf("released %d items, want 5", len(releases))
+	}
+	for i, w := range want {
+		if releases[i] != w*time.Millisecond {
+			t.Errorf("release %d at %v, want %v", i, releases[i], w*time.Millisecond)
+		}
+	}
+	if s.Backlog() != 0 || s.Queued(0) != 0 {
+		t.Error("state not drained")
+	}
+}
+
+func TestShaperFairShares(t *testing.T) {
+	clk := &fakeClock{}
+	s := New(1000, WithClock(clk))
+	s.AddClass(0, 700, 0)
+	s.AddClass(1, 300, 0)
+	counts := map[int]int{}
+	var submit func(class int)
+	submit = func(class int) {
+		s.Submit(class, 10, func() {
+			counts[class]++
+			submit(class) // keep the class backlogged
+		})
+	}
+	// Two outstanding per class so the classes stay continuously
+	// backlogged.
+	for c := 0; c < 2; c++ {
+		submit(c)
+		submit(c)
+	}
+	clk.Advance(10 * time.Second) // 1000 items' worth
+	total := counts[0] + counts[1]
+	if total < 990 {
+		t.Fatalf("released %d items over 10s at 100/sec", total)
+	}
+	r0 := float64(counts[0]) / float64(total)
+	if math.Abs(r0-0.7) > 0.02 {
+		t.Errorf("class 0 got %.3f of service, want 0.70", r0)
+	}
+}
+
+func TestShaperIsolationLatency(t *testing.T) {
+	clk := &fakeClock{}
+	s := New(1000, WithClock(clk))
+	s.AddClass(0, 500, 0) // polite
+	s.AddClass(1, 500, 0) // flooding
+	// Class 1 floods 100 items up front.
+	for i := 0; i < 100; i++ {
+		s.Submit(1, 10, nil)
+	}
+	clk.Advance(50 * time.Millisecond)
+	// Class 0 submits one item; its slot should complete within
+	// ~cost/r0 + one item time of the flood, not after the whole flood.
+	var done time.Duration
+	start := 50 * time.Millisecond
+	s.Submit(0, 10, func() {
+		clk.mu.Lock()
+		done = clk.now
+		clk.mu.Unlock()
+	})
+	clk.Advance(2 * time.Second)
+	if done == 0 {
+		t.Fatal("item never released")
+	}
+	latency := done - start
+	// Bound: 10/500 = 20 ms own slot + one 10 ms flood item in service.
+	if latency > 35*time.Millisecond {
+		t.Errorf("polite class latency %v under flood, want <= 35ms", latency)
+	}
+}
+
+func TestShaperBackpressure(t *testing.T) {
+	clk := &fakeClock{}
+	s := New(1000, WithClock(clk))
+	s.AddClass(0, 1000, 25)
+	if err := s.Submit(0, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(0, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(0, 10, nil); err != ErrQueueFull {
+		t.Fatalf("third submit: %v, want ErrQueueFull", err)
+	}
+	clk.Advance(20 * time.Millisecond) // one slot drains
+	if err := s.Submit(0, 10, nil); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+}
+
+func TestShaperErrors(t *testing.T) {
+	clk := &fakeClock{}
+	s := New(100, WithClock(clk))
+	s.AddClass(0, 100, 0)
+	if err := s.Submit(9, 1, nil); err == nil {
+		t.Error("unknown class should error")
+	}
+	if err := s.Submit(0, -1, nil); err == nil {
+		t.Error("negative cost should error")
+	}
+	s.Close()
+	if err := s.Submit(0, 1, nil); err != ErrClosed {
+		t.Errorf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestShaperRealClock is a smoke test on the wall clock with tiny items.
+func TestShaperRealClock(t *testing.T) {
+	s := New(1e6) // 1e6 cost/sec
+	s.AddClass(0, 1e6, 0)
+	done := make(chan struct{})
+	err := s.Submit(0, 100, func() { close(done) }) // 100 µs slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("item never released on the real clock")
+	}
+}

@@ -1,0 +1,262 @@
+// Package stats provides the measurement instruments behind every figure in
+// the paper's evaluation (§5): per-packet delay series (Fig. 4, 6, 7),
+// cumulative arrival/service curves for service lag (Fig. 5), windowed +
+// exponentially averaged bandwidth (Fig. 9, 50 ms windows), and empirical
+// Worst-case Fair Index estimators for the Theorem 3/4 claims.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"hpfq/internal/packet"
+)
+
+// DelaySample is one packet's queueing+transmission delay, timestamped at
+// departure.
+type DelaySample struct {
+	T float64 // departure time, seconds
+	D float64 // delay = Depart − Arrival, seconds
+}
+
+// DelayRecorder collects per-packet delays for one session.
+type DelayRecorder struct {
+	Samples []DelaySample
+	max     float64
+	sum     float64
+}
+
+// Record adds a departed packet's delay.
+func (r *DelayRecorder) Record(p *packet.Packet) {
+	d := p.Depart - p.Arrival
+	r.Samples = append(r.Samples, DelaySample{T: p.Depart, D: d})
+	r.sum += d
+	if d > r.max {
+		r.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (r *DelayRecorder) Count() int { return len(r.Samples) }
+
+// Max returns the largest delay observed.
+func (r *DelayRecorder) Max() float64 { return r.max }
+
+// Mean returns the average delay, or 0 with no samples.
+func (r *DelayRecorder) Mean() float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	return r.sum / float64(len(r.Samples))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the recorded delays, or 0
+// with no samples.
+func (r *DelayRecorder) Quantile(q float64) float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	ds := make([]float64, len(r.Samples))
+	for i, s := range r.Samples {
+		ds[i] = s.D
+	}
+	sort.Float64s(ds)
+	idx := int(q * float64(len(ds)-1))
+	return ds[idx]
+}
+
+// RatePoint is a bandwidth sample: the average rate over one window ending
+// at T.
+type RatePoint struct {
+	T   float64
+	Bps float64
+}
+
+// RateMeter bins departed bits into fixed windows (the paper uses 50 ms)
+// and can exponentially smooth the resulting series, matching §5.2's
+// "exponentially averaging over 50ms windows".
+type RateMeter struct {
+	Window float64
+	cur    float64 // bits in the open window
+	end    float64 // open window end time
+	series []RatePoint
+}
+
+// NewRateMeter returns a meter with the given window in seconds.
+func NewRateMeter(window float64) *RateMeter {
+	return &RateMeter{Window: window, end: window}
+}
+
+// Add accounts bits delivered at time t. Calls must be in non-decreasing
+// time order.
+func (m *RateMeter) Add(t, bits float64) {
+	m.closeTo(t)
+	m.cur += bits
+}
+
+// closeTo closes every window that ends at or before t.
+func (m *RateMeter) closeTo(t float64) {
+	for t >= m.end {
+		m.series = append(m.series, RatePoint{T: m.end, Bps: m.cur / m.Window})
+		m.cur = 0
+		m.end += m.Window
+	}
+}
+
+// Series finalizes windows up to horizon and returns the raw windowed
+// series.
+func (m *RateMeter) Series(horizon float64) []RatePoint {
+	m.closeTo(horizon)
+	return m.series
+}
+
+// EWMA returns the exponentially weighted moving average of a rate series
+// with smoothing factor alpha in (0, 1].
+func EWMA(series []RatePoint, alpha float64) []RatePoint {
+	out := make([]RatePoint, len(series))
+	var avg float64
+	for i, p := range series {
+		if i == 0 {
+			avg = p.Bps
+		} else {
+			avg = (1-alpha)*avg + alpha*p.Bps
+		}
+		out[i] = RatePoint{T: p.T, Bps: avg}
+	}
+	return out
+}
+
+// CurvePoint is one step of a cumulative packet-count curve.
+type CurvePoint struct {
+	T float64
+	N int
+}
+
+// CumCurve tracks cumulative arrival and service counts for one session —
+// the two lines of Fig. 5 whose gap is the service lag.
+type CumCurve struct {
+	Arrivals []CurvePoint
+	Services []CurvePoint
+}
+
+// Arrive records a packet arrival at time t.
+func (c *CumCurve) Arrive(t float64) {
+	c.Arrivals = append(c.Arrivals, CurvePoint{T: t, N: len(c.Arrivals) + 1})
+}
+
+// Serve records a packet service completion at time t.
+func (c *CumCurve) Serve(t float64) {
+	c.Services = append(c.Services, CurvePoint{T: t, N: len(c.Services) + 1})
+}
+
+// MaxLag returns the supremum over time of the arrivals-minus-services gap
+// in packets — the vertical distance between the two curves of Fig. 5. The
+// gap can only grow at arrival instants, so it is evaluated there with a
+// two-pointer merge over the (time-ordered) curves.
+func (c *CumCurve) MaxLag() int {
+	max := 0
+	j := 0
+	for i := range c.Arrivals {
+		t := c.Arrivals[i].T
+		for j < len(c.Services) && c.Services[j].T <= t {
+			j++
+		}
+		if lag := c.Arrivals[i].N - j; lag > max {
+			max = lag
+		}
+	}
+	return max
+}
+
+// BWFI estimates the Bit Worst-case Fair Index of Definition 2 empirically:
+// the largest service deficit share·W_s(t1,t2) − W_i(t1,t2) over intervals
+// [t1,t2] within one continuously backlogged period of session i. It tracks
+// X(t) = share·W_s(0,t) − W_i(0,t) and, per backlogged period, the running
+// maximum of X(t2) − min_{t1≤t2} X(t1).
+//
+// Feed it every packet departure of the server (OnWork) and the session's
+// backlog transitions (SetBacklogged). Work is observed at packet
+// completion granularity, so the estimate carries a quantization error of
+// at most share·L_max bits — far below the O(N·L_max) effects the WFI
+// experiments measure.
+type BWFI struct {
+	Share float64 // φ_i/φ_s of the session at this server
+
+	ws, wi     float64
+	backlogged bool
+	minX       float64
+	worst      float64
+}
+
+// NewBWFI returns an estimator for a session holding the given share of the
+// server.
+func NewBWFI(share float64) *BWFI { return &BWFI{Share: share} }
+
+// SetBacklogged marks the start or end of a continuously backlogged period.
+func (b *BWFI) SetBacklogged(on bool) {
+	if on && !b.backlogged {
+		b.minX = b.x()
+	}
+	b.backlogged = on
+}
+
+// OnWork accounts one transmitted packet: bits of server work, of which
+// sessionBits (0 or bits) belonged to the measured session.
+func (b *BWFI) OnWork(bits, sessionBits float64) {
+	b.ws += bits
+	b.wi += sessionBits
+	if !b.backlogged {
+		return
+	}
+	x := b.x()
+	if d := x - b.minX; d > b.worst {
+		b.worst = d
+	}
+	if x < b.minX {
+		b.minX = x
+	}
+}
+
+func (b *BWFI) x() float64 { return b.Share*b.ws - b.wi }
+
+// Worst returns the estimated B-WFI in bits.
+func (b *BWFI) Worst() float64 { return b.worst }
+
+// TWFI estimates the Time Worst-case Fair Index of Definition 1: the
+// largest d_i^k − a_i^k − Q_i(a_i^k)/r_i over packets, where Q_i(a) counts
+// the session's queued bits at arrival including the arriving packet.
+type TWFI struct {
+	Rate float64 // guaranteed session rate r_i
+
+	qbits   float64
+	pending map[*packet.Packet]float64 // packet → Q_i at its arrival
+	worst   float64
+}
+
+// NewTWFI returns an estimator for a session with guaranteed rate r_i.
+func NewTWFI(rate float64) *TWFI {
+	return &TWFI{Rate: rate, pending: make(map[*packet.Packet]float64), worst: math.Inf(-1)}
+}
+
+// OnArrive records a session packet accepted by the server.
+func (t *TWFI) OnArrive(p *packet.Packet) {
+	t.qbits += p.Length
+	t.pending[p] = t.qbits
+}
+
+// OnDepart records the packet's departure and updates the worst case.
+func (t *TWFI) OnDepart(p *packet.Packet) {
+	q, ok := t.pending[p]
+	if !ok {
+		return
+	}
+	delete(t.pending, p)
+	t.qbits -= p.Length
+	if a := (p.Depart - p.Arrival) - q/t.Rate; a > t.worst {
+		t.worst = a
+	}
+}
+
+// Worst returns the estimated T-WFI in seconds (negative infinity if no
+// packet completed).
+func (t *TWFI) Worst() float64 { return t.worst }

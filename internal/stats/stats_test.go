@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"hpfq/internal/packet"
+)
+
+func pkt(sess int, arrive, depart float64) *packet.Packet {
+	p := packet.New(sess, 1000)
+	p.Arrival = arrive
+	p.Depart = depart
+	return p
+}
+
+func TestDelayRecorder(t *testing.T) {
+	var r DelayRecorder
+	if r.Mean() != 0 || r.Quantile(0.5) != 0 || r.Max() != 0 {
+		t.Error("empty recorder should be zeros")
+	}
+	for i := 1; i <= 10; i++ {
+		r.Record(pkt(0, 0, float64(i))) // delays 1..10
+	}
+	if r.Count() != 10 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if r.Max() != 10 {
+		t.Errorf("Max = %g", r.Max())
+	}
+	if math.Abs(r.Mean()-5.5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5.5", r.Mean())
+	}
+	if q := r.Quantile(0); q != 1 {
+		t.Errorf("Q0 = %g, want 1", q)
+	}
+	if q := r.Quantile(1); q != 10 {
+		t.Errorf("Q1 = %g, want 10", q)
+	}
+	if q := r.Quantile(0.5); q < 5 || q > 6 {
+		t.Errorf("median = %g", q)
+	}
+}
+
+func TestRateMeterWindows(t *testing.T) {
+	m := NewRateMeter(1.0)
+	m.Add(0.2, 100)
+	m.Add(0.8, 100)
+	m.Add(1.5, 300)
+	m.Add(3.2, 400) // window [2,3) empty
+	s := m.Series(4)
+	if len(s) != 4 {
+		t.Fatalf("%d windows, want 4", len(s))
+	}
+	want := []float64{200, 300, 0, 400}
+	for i, w := range want {
+		if s[i].Bps != w {
+			t.Errorf("window %d rate %g, want %g", i, s[i].Bps, w)
+		}
+		if s[i].T != float64(i+1) {
+			t.Errorf("window %d end %g", i, s[i].T)
+		}
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	in := []RatePoint{{1, 10}, {2, 10}, {3, 0}, {4, 0}}
+	out := EWMA(in, 0.5)
+	if out[0].Bps != 10 {
+		t.Errorf("first = %g", out[0].Bps)
+	}
+	if out[1].Bps != 10 {
+		t.Errorf("steady = %g", out[1].Bps)
+	}
+	if out[2].Bps != 5 || out[3].Bps != 2.5 {
+		t.Errorf("decay = %g, %g; want 5, 2.5", out[2].Bps, out[3].Bps)
+	}
+	if len(EWMA(nil, 0.3)) != 0 {
+		t.Error("EWMA(nil) should be empty")
+	}
+}
+
+func TestCumCurveLag(t *testing.T) {
+	var c CumCurve
+	// 5 arrivals at t=0, services at 1..5: worst lag 4 after first service.
+	for i := 0; i < 5; i++ {
+		c.Arrive(0)
+	}
+	for i := 1; i <= 5; i++ {
+		c.Serve(float64(i))
+	}
+	if lag := c.MaxLag(); lag != 5 {
+		// At the final arrival instant 5 packets were in, 0 served.
+		t.Errorf("MaxLag = %d, want 5", lag)
+	}
+}
+
+func TestBWFIHandComputed(t *testing.T) {
+	// Session with share 0.5. While backlogged, 4 packets of 100 bits are
+	// served, none ours: deficit grows 0.5*400 = 200 bits.
+	b := NewBWFI(0.5)
+	b.SetBacklogged(true)
+	for i := 0; i < 4; i++ {
+		b.OnWork(100, 0)
+	}
+	if b.Worst() != 200 {
+		t.Fatalf("Worst = %g, want 200", b.Worst())
+	}
+	// Our own service reduces the deficit; max should stay 200.
+	b.OnWork(100, 100)
+	b.OnWork(100, 100)
+	if b.Worst() != 200 {
+		t.Fatalf("Worst after catch-up = %g, want 200", b.Worst())
+	}
+	// Idle periods do not accrue deficit.
+	b.SetBacklogged(false)
+	for i := 0; i < 10; i++ {
+		b.OnWork(100, 0)
+	}
+	if b.Worst() != 200 {
+		t.Fatalf("Worst after idle work = %g, want 200", b.Worst())
+	}
+	// A new backlogged period starts a fresh interval (min is reset).
+	b.SetBacklogged(true)
+	b.OnWork(100, 0)
+	if b.Worst() != 200 {
+		t.Fatalf("Worst after one foreign packet in new period = %g, want 200", b.Worst())
+	}
+}
+
+func TestTWFIHandComputed(t *testing.T) {
+	tw := NewTWFI(100) // r_i = 100 bps
+	// Packet arrives to an empty queue (Q = own length = 1000 bits) and
+	// departs 25 s later: A >= 25 − 10 = 15.
+	p := pkt(0, 0, 25)
+	tw.OnArrive(p)
+	tw.OnDepart(p)
+	if math.Abs(tw.Worst()-15) > 1e-12 {
+		t.Fatalf("T-WFI = %g, want 15", tw.Worst())
+	}
+	// A fast packet doesn't raise the worst case: delay 5 < Q/r = 10.
+	p2 := pkt(0, 30, 35)
+	tw.OnArrive(p2)
+	tw.OnDepart(p2)
+	if math.Abs(tw.Worst()-15) > 1e-12 {
+		t.Fatalf("T-WFI after fast packet = %g, want 15", tw.Worst())
+	}
+	// Unknown packets are ignored.
+	tw.OnDepart(pkt(0, 0, 1000))
+	if math.Abs(tw.Worst()-15) > 1e-12 {
+		t.Fatal("unknown packet changed estimate")
+	}
+}

@@ -1,0 +1,269 @@
+// Package tcp is a compact TCP Reno model for the paper's link-sharing
+// experiments (§5.2), which drive the Fig. 8 hierarchy with TCP sources.
+//
+// The model captures exactly the behaviour those experiments rely on —
+// loss-driven, window-based adaptation that grabs whatever bandwidth the
+// hierarchical scheduler makes available:
+//
+//   - slow start and congestion avoidance (additive increase),
+//   - fast retransmit on three duplicate ACKs with ssthresh halving,
+//   - retransmission timeout with exponential backoff and cwnd reset,
+//   - a receiver that buffers out-of-order segments and sends cumulative
+//     ACKs.
+//
+// Substitutions vs. a real stack (documented in DESIGN.md): the data path
+// is the simulated bottleneck link; the ACK path is an uncongested fixed
+// delay; segments are fixed-size (the paper's 8 KB packets); there is no
+// SACK, window scaling, or delayed ACK. Loss comes from the per-session
+// buffer limit at the bottleneck (netsim.Link.SetSessionLimit).
+package tcp
+
+import (
+	"math"
+
+	"hpfq/internal/des"
+	"hpfq/internal/netsim"
+	"hpfq/internal/packet"
+)
+
+// Source is one TCP Reno sender/receiver pair whose data segments traverse
+// the bottleneck link as packets of session Session.
+type Source struct {
+	Session int
+	SegBits float64 // segment size in bits (default 8 KB)
+	Delay   float64 // fixed non-bottleneck RTT component, seconds (receiver + ACK path)
+	Start   float64 // connection start time
+	MaxCwnd float64 // receiver window in segments (default 64)
+
+	sim  *des.Sim
+	link *netsim.Link
+
+	// Sender state.
+	cwnd     float64 // congestion window, segments
+	ssthresh float64
+	nextSeq  int64 // next new sequence to send
+	ackHigh  int64 // cumulative ACK point: all seq < ackHigh delivered
+	dupAcks  int
+	recover  int64 // fast-recovery exit point
+	inFR     bool
+	rtoTimer *des.Event
+	srtt     float64
+	rttvar   float64
+	backoff  float64
+	// RTT is sampled one segment at a time (timedSeq/timedAt); any
+	// retransmission cancels the sample (Karn's rule), so reordering and
+	// retransmission ambiguity can never poison the RTO.
+	timedSeq int64 // -1 when no segment is being timed
+	timedAt  float64
+
+	// Receiver state.
+	rcvNext int64
+	ooo     map[int64]bool
+
+	// Statistics.
+	delivered int64 // segments cumulatively acked
+	retrans   int64
+	timeouts  int64
+}
+
+const (
+	minRTO     = 0.2 // seconds
+	maxRTO     = 8.0
+	initialRTO = 1.0
+)
+
+// New returns a TCP source for the given session over the bottleneck link.
+func New(sim *des.Sim, link *netsim.Link, session int, segBits, delay, start float64) *Source {
+	s := &Source{
+		Session:  session,
+		SegBits:  segBits,
+		Delay:    delay,
+		Start:    start,
+		MaxCwnd:  64,
+		sim:      sim,
+		link:     link,
+		cwnd:     2,
+		ssthresh: math.Inf(1),
+		backoff:  1,
+		timedSeq: -1,
+		ooo:      make(map[int64]bool),
+	}
+	return s
+}
+
+// Run attaches the source to the link and starts the connection.
+func (s *Source) Run() {
+	s.link.OnDepart(func(p *packet.Packet) {
+		if p.Session != s.Session {
+			return
+		}
+		seq := p.Seq
+		// Segment reaches the receiver after the residual one-way delay;
+		// the cumulative ACK returns after the remainder of s.Delay.
+		s.sim.After(s.Delay, func() { s.onAck(s.receive(seq)) })
+	})
+	s.sim.At(s.Start, func() { s.trySend() })
+}
+
+// receive runs the receiver on an arriving segment and returns the
+// resulting cumulative ACK point.
+func (s *Source) receive(seq int64) int64 {
+	if seq == s.rcvNext {
+		s.rcvNext++
+		for s.ooo[s.rcvNext] {
+			delete(s.ooo, s.rcvNext)
+			s.rcvNext++
+		}
+	} else if seq > s.rcvNext {
+		s.ooo[seq] = true
+	}
+	return s.rcvNext
+}
+
+// window returns the current usable window in whole segments.
+func (s *Source) window() int64 {
+	w := math.Min(s.cwnd, s.MaxCwnd)
+	if w < 1 {
+		w = 1
+	}
+	return int64(w)
+}
+
+// trySend transmits new segments while the window allows.
+func (s *Source) trySend() {
+	for s.nextSeq-s.ackHigh < s.window() {
+		s.sendSeg(s.nextSeq, false)
+		s.nextSeq++
+	}
+}
+
+func (s *Source) sendSeg(seq int64, isRetrans bool) {
+	p := packet.New(s.Session, s.SegBits)
+	p.Seq = seq
+	if isRetrans {
+		s.retrans++
+		s.timedSeq = -1 // Karn: abandon any in-progress RTT sample
+	} else if s.timedSeq < 0 {
+		s.timedSeq = seq
+		s.timedAt = s.sim.Now()
+	}
+	s.link.Arrive(p) // a drop here simply never produces an ACK
+	s.armRTO()
+}
+
+func (s *Source) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+	}
+	s.rtoTimer = s.sim.After(s.rto(), s.onTimeout)
+}
+
+func (s *Source) rto() float64 {
+	var base float64
+	if s.srtt == 0 {
+		base = initialRTO
+	} else {
+		base = s.srtt + 4*s.rttvar
+	}
+	return math.Min(maxRTO, math.Max(minRTO, base)) * s.backoff
+}
+
+func (s *Source) onTimeout() {
+	if s.ackHigh >= s.nextSeq {
+		return // everything acked; idle
+	}
+	s.timeouts++
+	flight := float64(s.nextSeq - s.ackHigh)
+	s.ssthresh = math.Max(flight/2, 2)
+	s.cwnd = 1
+	s.dupAcks = 0
+	s.inFR = false
+	s.backoff = math.Min(s.backoff*2, 32)
+	// Go-back-N: pull the send sequence back to the cumulative ACK point,
+	// as a real stack's snd_nxt reset does. Segments the receiver already
+	// holds are deduplicated there, and the cumulative ACK jumps over them
+	// as holes fill, so recovery proceeds a window — not one RTO — at a
+	// time.
+	s.nextSeq = s.ackHigh
+	s.sendSeg(s.nextSeq, true)
+	s.nextSeq++
+}
+
+func (s *Source) onAck(ack int64) {
+	if ack > s.ackHigh {
+		// New data acked.
+		acked := ack - s.ackHigh
+		if s.timedSeq >= 0 && ack > s.timedSeq {
+			s.sampleRTT(s.sim.Now() - s.timedAt)
+			s.timedSeq = -1
+		}
+		s.ackHigh = ack
+		if s.nextSeq < ack {
+			// The cumulative ACK jumped over data the receiver already
+			// held (post-timeout go-back-N); skip ahead.
+			s.nextSeq = ack
+		}
+		s.delivered = ack
+		s.backoff = 1
+		s.dupAcks = 0
+		if s.inFR {
+			if ack >= s.recover {
+				s.inFR = false
+				s.cwnd = s.ssthresh
+			} else {
+				// Partial ACK: another hole; retransmit immediately.
+				s.sendSeg(s.ackHigh, true)
+			}
+		} else if s.cwnd < s.ssthresh {
+			s.cwnd += float64(acked) // slow start
+		} else {
+			s.cwnd += float64(acked) / s.cwnd // congestion avoidance
+		}
+		if s.ackHigh >= s.nextSeq && s.rtoTimer != nil {
+			s.rtoTimer.Cancel()
+			s.rtoTimer = nil
+		} else {
+			s.armRTO()
+		}
+		s.trySend()
+		return
+	}
+	// Duplicate ACK.
+	if s.nextSeq == s.ackHigh {
+		return // nothing outstanding
+	}
+	s.dupAcks++
+	if s.dupAcks == 3 && !s.inFR {
+		flight := float64(s.nextSeq - s.ackHigh)
+		s.ssthresh = math.Max(flight/2, 2)
+		s.cwnd = s.ssthresh
+		s.inFR = true
+		s.recover = s.nextSeq
+		s.sendSeg(s.ackHigh, true)
+	}
+}
+
+func (s *Source) sampleRTT(rtt float64) {
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+		return
+	}
+	s.rttvar = 0.75*s.rttvar + 0.25*math.Abs(s.srtt-rtt)
+	s.srtt = 0.875*s.srtt + 0.125*rtt
+}
+
+// Delivered returns the number of segments cumulatively acknowledged.
+func (s *Source) Delivered() int64 { return s.delivered }
+
+// Retransmits returns the number of retransmitted segments.
+func (s *Source) Retransmits() int64 { return s.retrans }
+
+// Timeouts returns the number of retransmission timeouts taken.
+func (s *Source) Timeouts() int64 { return s.timeouts }
+
+// Cwnd returns the current congestion window in segments.
+func (s *Source) Cwnd() float64 { return s.cwnd }
+
+// SRTT returns the smoothed RTT estimate in seconds.
+func (s *Source) SRTT() float64 { return s.srtt }

@@ -1,0 +1,141 @@
+package tcp
+
+import (
+	"testing"
+
+	"hpfq/internal/core"
+	"hpfq/internal/des"
+	"hpfq/internal/netsim"
+	"hpfq/internal/packet"
+)
+
+const segBits = 1500 * 8
+
+func newLink(t *testing.T, rate float64, sessions ...float64) (*des.Sim, *netsim.Link) {
+	t.Helper()
+	sim := des.New()
+	s := core.NewScheduler(rate)
+	for i, r := range sessions {
+		s.AddSession(i, r)
+	}
+	return sim, netsim.NewLink(sim, rate, s)
+}
+
+// TestSingleTCPFillsLink: one connection on an uncontended 2 Mbps link
+// should reach near link utilization.
+func TestSingleTCPFillsLink(t *testing.T) {
+	sim, link := newLink(t, 2e6, 2e6)
+	link.SetSessionLimit(0, 20)
+	src := New(sim, link, 0, segBits, 0.020, 0)
+	src.Run()
+	sim.Run(20)
+	goodput := float64(src.Delivered()) * segBits / 20
+	if goodput < 1.7e6 {
+		t.Errorf("goodput %.0f bps, want >= 1.7 Mbps of 2 Mbps", goodput)
+	}
+	if src.SRTT() <= 0 {
+		t.Error("no RTT samples")
+	}
+}
+
+// TestTwoTCPsShareFairly: two identical connections under WF²Q+ with equal
+// shares converge to ~half the link each.
+func TestTwoTCPsShareFairly(t *testing.T) {
+	sim, link := newLink(t, 2e6, 1e6, 1e6)
+	link.SetSessionLimit(0, 20)
+	link.SetSessionLimit(1, 20)
+	a := New(sim, link, 0, segBits, 0.020, 0)
+	b := New(sim, link, 1, segBits, 0.020, 0.3)
+	a.Run()
+	b.Run()
+	sim.Run(30)
+	ga := float64(a.Delivered()) * segBits / 30
+	gb := float64(b.Delivered()) * segBits / 30
+	if ga < 0.75e6 || gb < 0.75e6 {
+		t.Errorf("goodputs %.0f / %.0f, want each >= 0.75 Mbps", ga, gb)
+	}
+}
+
+// TestLossRecovery: a tight buffer forces drops; the connection must keep
+// delivering (fast retransmit / RTO recovery) and record retransmissions.
+func TestLossRecovery(t *testing.T) {
+	sim, link := newLink(t, 1e6, 1e6)
+	link.SetSessionLimit(0, 5) // tight: slow start overshoots and drops
+	src := New(sim, link, 0, segBits, 0.050, 0)
+	src.Run()
+	sim.Run(30)
+	if link.Drops() == 0 {
+		t.Fatal("expected drops with a 5-packet buffer")
+	}
+	if src.Retransmits() == 0 {
+		t.Error("expected retransmissions after drops")
+	}
+	goodput := float64(src.Delivered()) * segBits / 30
+	if goodput < 0.6e6 {
+		t.Errorf("goodput %.0f bps under loss, want >= 0.6 Mbps", goodput)
+	}
+}
+
+// TestInOrderDelivery: the receiver's cumulative ACK point only advances
+// over contiguous data, so Delivered() never exceeds the highest sent
+// sequence and ends covering everything in flight.
+func TestInOrderDelivery(t *testing.T) {
+	sim, link := newLink(t, 1e6, 1e6)
+	link.SetSessionLimit(0, 4)
+	src := New(sim, link, 0, segBits, 0.030, 0)
+	src.Run()
+	sim.Run(10)
+	if src.Delivered() > src.nextSeq {
+		t.Errorf("delivered %d beyond sent %d", src.Delivered(), src.nextSeq)
+	}
+	if src.Delivered() < 100 {
+		t.Errorf("delivered only %d segments in 10 s", src.Delivered())
+	}
+}
+
+// TestTimeoutPath: with a buffer too small for fast retransmit (cwnd can
+// stay below 4), timeouts must still recover the connection.
+func TestTimeoutPath(t *testing.T) {
+	sim, link := newLink(t, 0.2e6, 0.2e6)
+	link.SetSessionLimit(0, 2)
+	src := New(sim, link, 0, segBits, 0.050, 0)
+	src.Run()
+	sim.Run(60)
+	if src.Delivered() < 100 {
+		t.Errorf("delivered %d segments, want steady progress despite tiny buffer", src.Delivered())
+	}
+	if src.Timeouts() == 0 && src.Retransmits() == 0 {
+		t.Error("expected some loss recovery on a 2-packet buffer")
+	}
+}
+
+// TestReceiverOutOfOrder: exercise the receiver's reordering buffer
+// directly.
+func TestReceiverOutOfOrder(t *testing.T) {
+	s := &Source{ooo: map[int64]bool{}}
+	if ack := s.receive(2); ack != 0 {
+		t.Fatalf("ack after seq 2 = %d, want 0", ack)
+	}
+	if ack := s.receive(1); ack != 0 {
+		t.Fatalf("ack after seq 1 = %d, want 0", ack)
+	}
+	if ack := s.receive(0); ack != 3 {
+		t.Fatalf("ack after seq 0 = %d, want 3 (holes filled)", ack)
+	}
+	if ack := s.receive(0); ack != 3 {
+		t.Fatalf("duplicate segment changed ack: %d", ack)
+	}
+}
+
+// TestCwndGrowth: slow start doubles per RTT until ssthresh/loss.
+func TestCwndGrowth(t *testing.T) {
+	sim, link := newLink(t, 10e6, 10e6)
+	link.SetSessionLimit(0, 100)
+	src := New(sim, link, 0, segBits, 0.100, 0)
+	src.Run()
+	sim.Run(0.45) // a few RTTs, no losses yet
+	if src.Cwnd() < 8 {
+		t.Errorf("cwnd = %.1f after ~4 RTTs of slow start, want >= 8", src.Cwnd())
+	}
+	_ = packet.Bits8KB
+}

@@ -1,0 +1,48 @@
+package topo
+
+import "fmt"
+
+// DelayBound computes the paper's Corollary 2 delay bound for a session in
+// an H-WF²Q+ hierarchy built over this topology:
+//
+//	σ/r_i + Σ_{h=0}^{H-1} L_max / r_{p^h(i)}
+//
+// where σ is the session's leaky-bucket depth in bits, L_max the maximum
+// packet length in bits, and r_{p^h(i)} the guaranteed rates of the session
+// and its ancestors up to (excluding) the root. The result is in seconds.
+//
+// This is the admission-control arithmetic a deployment performs before
+// promising a real-time session a delay budget.
+func (n *Node) DelayBound(linkRate float64, session int, sigma, lmax float64) (float64, error) {
+	path := n.PathToSession(session)
+	if path == nil {
+		return 0, fmt.Errorf("topo: session %d not in topology", session)
+	}
+	rates := n.Rates(linkRate)
+	ri := rates[path[len(path)-1]]
+	bound := sigma / ri
+	for i := len(path) - 1; i >= 1; i-- { // path[0] is the root
+		bound += lmax / rates[path[i]]
+	}
+	return bound, nil
+}
+
+// WFISum computes the Theorem 1 B-WFI of a session in an H-WF²Q+ server:
+//
+//	Σ_{h=0}^{H-1} (φ_i/φ_{p^h(i)}) · α_{p^h(i)}
+//
+// with the per-node WF²Q+ index α = L_max (Theorem 4, equal packet sizes).
+// The result is in bits.
+func (n *Node) WFISum(linkRate float64, session int, lmax float64) (float64, error) {
+	path := n.PathToSession(session)
+	if path == nil {
+		return 0, fmt.Errorf("topo: session %d not in topology", session)
+	}
+	rates := n.Rates(linkRate)
+	ri := rates[path[len(path)-1]]
+	var sum float64
+	for i := len(path) - 1; i >= 1; i-- {
+		sum += ri / rates[path[i]] * lmax
+	}
+	return sum, nil
+}

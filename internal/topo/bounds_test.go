@@ -1,0 +1,85 @@
+package topo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDelayBound(t *testing.T) {
+	// root{A{A1, A2}, B}: A1's bound uses r_A1 and r_A (not the root).
+	top := example()
+	const (
+		rate  = 45e6
+		sigma = 4 * 65536.0
+		lmax  = 65536.0
+	)
+	got, err := top.DelayBound(rate, 1, sigma, lmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rA1 := rate * 0.8 * (0.75 / 0.80)
+	rA := rate * 0.8
+	want := sigma/rA1 + lmax/rA1 + lmax/rA
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("DelayBound = %g, want %g", got, want)
+	}
+
+	if _, err := top.DelayBound(rate, 99, sigma, lmax); err == nil {
+		t.Error("unknown session should error")
+	}
+}
+
+func TestDelayBoundDeeperCostsMore(t *testing.T) {
+	// The same guaranteed rate placed deeper in the hierarchy has a larger
+	// bound: each extra level adds L/r_{p^h} (Theorem 2's point).
+	shallow := Interior("root", 1,
+		Leaf("x", 0.25, 0),
+		Leaf("f1", 0.75, 1),
+	)
+	deep := Interior("root", 1,
+		Interior("a", 0.5,
+			Interior("b", 0.5,
+				Leaf("x", 1, 0),
+			),
+			Leaf("f2", 0.5, 2),
+		),
+		Leaf("f1", 0.5, 1),
+	)
+	// Session 0 has rate 0.25·r in both trees.
+	const rate, sigma, lmax = 1e6, 32000.0, 8000.0
+	bs, err := shallow.DelayBound(rate, 0, sigma, lmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := deep.DelayBound(rate, 0, sigma, lmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd <= bs {
+		t.Errorf("deep bound %g should exceed shallow bound %g", bd, bs)
+	}
+	// Exactly: deep adds L/r_b (0.25·r) and L/r_a (0.5·r).
+	want := bs + lmax/(0.25e6) + lmax/(0.5e6)
+	if math.Abs(bd-want) > 1e-12 {
+		t.Errorf("deep bound = %g, want %g", bd, want)
+	}
+}
+
+func TestWFISum(t *testing.T) {
+	top := example()
+	const rate, lmax = 45e6, 65536.0
+	got, err := top.WFISum(rate, 1, lmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rA1 := rate * 0.8 * (0.75 / 0.80)
+	rA := rate * 0.8
+	// Σ (r_i/r_{p^h})·L for h = 0 (itself) and h = 1 (A).
+	want := lmax + rA1/rA*lmax
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("WFISum = %g, want %g", got, want)
+	}
+	if _, err := top.WFISum(rate, 99, lmax); err == nil {
+		t.Error("unknown session should error")
+	}
+}

@@ -1,0 +1,185 @@
+// Package topo describes link-sharing hierarchies: the trees of service
+// shares that configure both the packet H-PFQ servers (internal/hier) and
+// the fluid H-GPS reference server (internal/fluid). A topology is what the
+// paper draws in Fig. 1, Fig. 3 and Fig. 8: interior nodes are link-sharing
+// classes, leaves are sessions with packet queues.
+package topo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is one node of a link-sharing hierarchy. Share is the node's service
+// share φ relative to its siblings; shares are normalized by the sibling sum
+// when guaranteed rates are computed, so they need not sum to 1 (the paper
+// assumes Σ_child φ = φ_parent; normalization generalizes that without
+// changing any ratio).
+type Node struct {
+	Name     string
+	Share    float64
+	Session  int // leaf session id; -1 for interior nodes
+	Children []*Node
+}
+
+// Leaf returns a leaf (session) node.
+func Leaf(name string, share float64, session int) *Node {
+	return &Node{Name: name, Share: share, Session: session}
+}
+
+// Interior returns an interior (link-sharing class) node.
+func Interior(name string, share float64, children ...*Node) *Node {
+	return &Node{Name: name, Share: share, Session: -1, Children: children}
+}
+
+// IsLeaf reports whether the node is a session leaf.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Validate checks that the tree is well formed: positive finite shares,
+// non-nil children, every leaf carries a unique non-negative session id, and
+// every interior node has at least one child.
+func (n *Node) Validate() error {
+	seen := make(map[int]string)
+	return n.validate(seen)
+}
+
+func (n *Node) validate(seen map[int]string) error {
+	if n == nil {
+		return fmt.Errorf("topo: nil node")
+	}
+	if n.Share <= 0 || math.IsNaN(n.Share) || math.IsInf(n.Share, 0) {
+		return fmt.Errorf("topo: node %q has invalid share %g", n.Name, n.Share)
+	}
+	if n.IsLeaf() {
+		if n.Session < 0 {
+			return fmt.Errorf("topo: leaf %q has negative session id %d", n.Name, n.Session)
+		}
+		if prev, dup := seen[n.Session]; dup {
+			return fmt.Errorf("topo: session %d used by both %q and %q", n.Session, prev, n.Name)
+		}
+		seen[n.Session] = n.Name
+		return nil
+	}
+	if n.Session >= 0 {
+		return fmt.Errorf("topo: interior node %q must not carry session id %d", n.Name, n.Session)
+	}
+	for _, c := range n.Children {
+		if err := c.validate(seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Leaves returns all session leaves in depth-first order.
+func (n *Node) Leaves() []*Node {
+	var out []*Node
+	n.Walk(func(m *Node, _ int) {
+		if m.IsLeaf() {
+			out = append(out, m)
+		}
+	})
+	return out
+}
+
+// Walk visits every node in depth-first preorder with its depth.
+func (n *Node) Walk(fn func(node *Node, depth int)) {
+	n.walk(fn, 0)
+}
+
+func (n *Node) walk(fn func(*Node, int), depth int) {
+	fn(n, depth)
+	for _, c := range n.Children {
+		c.walk(fn, depth+1)
+	}
+}
+
+// Depth returns the height of the tree (a single leaf under the root has
+// depth 1).
+func (n *Node) Depth() int {
+	if n.IsLeaf() {
+		return 0
+	}
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Rates computes the guaranteed rate r_n = φ_n·r of every node for a link of
+// the given rate, normalizing shares by the sibling sum at each level. The
+// result maps node pointers to rates.
+func (n *Node) Rates(linkRate float64) map[*Node]float64 {
+	rates := make(map[*Node]float64)
+	rates[n] = linkRate
+	n.assignRates(linkRate, rates)
+	return rates
+}
+
+func (n *Node) assignRates(rate float64, rates map[*Node]float64) {
+	if n.IsLeaf() {
+		return
+	}
+	var sum float64
+	for _, c := range n.Children {
+		sum += c.Share
+	}
+	for _, c := range n.Children {
+		r := rate * c.Share / sum
+		rates[c] = r
+		c.assignRates(r, rates)
+	}
+}
+
+// SessionRates returns the guaranteed rate of every session leaf.
+func (n *Node) SessionRates(linkRate float64) map[int]float64 {
+	rates := n.Rates(linkRate)
+	out := make(map[int]float64)
+	for _, l := range n.Leaves() {
+		out[l.Session] = rates[l]
+	}
+	return out
+}
+
+// FindSession returns the leaf carrying the given session id, or nil.
+func (n *Node) FindSession(session int) *Node {
+	var found *Node
+	n.Walk(func(m *Node, _ int) {
+		if m.IsLeaf() && m.Session == session {
+			found = m
+		}
+	})
+	return found
+}
+
+// Find returns the first node with the given name, or nil.
+func (n *Node) Find(name string) *Node {
+	var found *Node
+	n.Walk(func(m *Node, _ int) {
+		if found == nil && m.Name == name {
+			found = m
+		}
+	})
+	return found
+}
+
+// PathToSession returns the nodes from the root (inclusive) down to the leaf
+// carrying the session, or nil if absent. This is the ancestor chain
+// p^H(i), ..., p(i), i used in Theorem 1 and Corollary 2.
+func (n *Node) PathToSession(session int) []*Node {
+	if n.IsLeaf() {
+		if n.Session == session {
+			return []*Node{n}
+		}
+		return nil
+	}
+	for _, c := range n.Children {
+		if sub := c.PathToSession(session); sub != nil {
+			return append([]*Node{n}, sub...)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+// Package traffic implements the workload generators of the paper's
+// experiments (§5): constant-rate sources (PS-n), multiplexed packet-train
+// sources (CS-n), the deterministic on/off real-time source (RT-1),
+// overloaded Poisson sources (§5.1.2), greedy always-backlogged best-effort
+// sources (BE-n), scheduled on/off sources for the link-sharing experiment
+// (Fig. 8(b)), and a (σ, ρ) leaky-bucket regulator for the delay-bound
+// experiments (eq. 17).
+package traffic
+
+import (
+	"math"
+	"math/rand"
+
+	"hpfq/internal/des"
+	"hpfq/internal/netsim"
+	"hpfq/internal/packet"
+)
+
+// Emit delivers a generated packet to the system under test; typically
+// link.Arrive wrapped by instrumentation.
+type Emit func(p *packet.Packet)
+
+// ToLink returns an Emit that submits packets to a link.
+func ToLink(l *netsim.Link) Emit {
+	return func(p *packet.Packet) { l.Arrive(p) }
+}
+
+// CBR is a constant bit rate source: fixed-size packets at fixed intervals.
+// The paper's PS-n sources are CBR at exactly their guaranteed rate with
+// identical start times (§5.1: "constant rate sessions with identical start
+// times and a peak transmission rate equal to their guaranteed rate").
+type CBR struct {
+	Session int
+	Rate    float64 // bits/sec
+	PktBits float64
+	Start   float64
+	Stop    float64 // 0 = run forever
+	seq     int64
+}
+
+// Run schedules the source on the simulator.
+func (c *CBR) Run(sim *des.Sim, emit Emit) {
+	period := c.PktBits / c.Rate
+	var tick func()
+	next := c.Start
+	tick = func() {
+		if c.Stop > 0 && sim.Now() >= c.Stop {
+			return
+		}
+		p := packet.New(c.Session, c.PktBits)
+		p.Seq = c.seq
+		c.seq++
+		emit(p)
+		next += period
+		sim.At(next, tick)
+	}
+	sim.At(next, tick)
+}
+
+// OnOff is a deterministic on/off source: during each on-period it emits at
+// its peak rate, then stays silent for the off-period. RT-1 in §5.1 is
+// OnOff{On: 25ms, Off: 75ms, Start: 200ms, Rate: 9 Mbps}.
+type OnOff struct {
+	Session int
+	Rate    float64 // peak rate while on, bits/sec
+	PktBits float64
+	On, Off float64 // seconds
+	Start   float64
+	Stop    float64 // 0 = run forever
+	seq     int64
+}
+
+// Run schedules the source on the simulator.
+func (o *OnOff) Run(sim *des.Sim, emit Emit) {
+	period := o.PktBits / o.Rate
+	perBurst := int(math.Round(o.On / period))
+	if perBurst < 1 {
+		perBurst = 1
+	}
+	var burst func()
+	cycleStart := o.Start
+	burst = func() {
+		if o.Stop > 0 && sim.Now() >= o.Stop {
+			return
+		}
+		for i := 0; i < perBurst; i++ {
+			i := i
+			sim.After(float64(i)*period, func() {
+				if o.Stop > 0 && sim.Now() >= o.Stop {
+					return
+				}
+				p := packet.New(o.Session, o.PktBits)
+				p.Seq = o.seq
+				o.seq++
+				emit(p)
+			})
+		}
+		cycleStart += o.On + o.Off
+		sim.At(cycleStart, burst)
+	}
+	sim.At(cycleStart, burst)
+}
+
+// Poisson emits fixed-size packets with exponential inter-arrival times at
+// the given average rate — the overloaded PS-n sources of §5.1.2 send
+// Poisson at 1.5× their guaranteed rate.
+type Poisson struct {
+	Session int
+	Rate    float64 // average bits/sec
+	PktBits float64
+	Start   float64
+	Stop    float64 // 0 = run forever
+	Rng     *rand.Rand
+	seq     int64
+}
+
+// Run schedules the source on the simulator.
+func (p *Poisson) Run(sim *des.Sim, emit Emit) {
+	lambda := p.Rate / p.PktBits // packets/sec
+	var tick func()
+	tick = func() {
+		if p.Stop > 0 && sim.Now() >= p.Stop {
+			return
+		}
+		pkt := packet.New(p.Session, p.PktBits)
+		pkt.Seq = p.seq
+		p.seq++
+		emit(pkt)
+		sim.After(p.Rng.ExpFloat64()/lambda, tick)
+	}
+	sim.At(p.Start+p.Rng.ExpFloat64()/lambda, tick)
+}
+
+// Train models the paper's CS-n sources: sessions "first passed through a
+// multiplexer before they arrive at the server, so that they do not have
+// simultaneous arrivals, but rather model the sort of packet train burst"
+// (§5.1). Every Period a burst of Count packets arrives back-to-back with
+// Gap spacing (one upstream-link packet time).
+type Train struct {
+	Session int
+	PktBits float64
+	Count   int     // packets per train
+	Period  float64 // seconds between train starts
+	Gap     float64 // spacing inside the train, seconds
+	Start   float64
+	Stop    float64 // 0 = run forever
+	seq     int64
+}
+
+// Run schedules the source on the simulator.
+func (t *Train) Run(sim *des.Sim, emit Emit) {
+	var train func()
+	next := t.Start
+	train = func() {
+		if t.Stop > 0 && sim.Now() >= t.Stop {
+			return
+		}
+		for i := 0; i < t.Count; i++ {
+			i := i
+			sim.After(float64(i)*t.Gap, func() {
+				p := packet.New(t.Session, t.PktBits)
+				p.Seq = t.seq
+				t.seq++
+				emit(p)
+			})
+		}
+		next += t.Period
+		sim.At(next, train)
+	}
+	sim.At(next, train)
+}
+
+// Greedy keeps a session continuously backlogged (the paper's BE-n
+// best-effort sessions): it tops the session back up to Depth packets in
+// the system every time one departs. Attach before running the simulation.
+type Greedy struct {
+	Session int
+	PktBits float64
+	Depth   int // packets kept in the system; 2 is enough to never drain
+	Start   float64
+	seq     int64
+}
+
+// Run submits the initial burst and re-fills on every departure.
+func (g *Greedy) Run(sim *des.Sim, link *netsim.Link) {
+	if g.Depth <= 0 {
+		g.Depth = 2
+	}
+	link.OnDepart(func(p *packet.Packet) {
+		if p.Session != g.Session {
+			return
+		}
+		np := packet.New(g.Session, g.PktBits)
+		np.Seq = g.seq
+		g.seq++
+		link.Arrive(np)
+	})
+	sim.At(g.Start, func() {
+		for i := 0; i < g.Depth; i++ {
+			p := packet.New(g.Session, g.PktBits)
+			p.Seq = g.seq
+			g.seq++
+			link.Arrive(p)
+		}
+	})
+}
+
+// Interval is a half-open active period [On, Off).
+type Interval struct{ On, Off float64 }
+
+// Scheduled is a CBR source active only during the listed intervals — the
+// on/off sources of the Fig. 8(b) link-sharing schedule. While on it sends
+// at Rate (set it above the guaranteed rate to keep the source backlogged,
+// as the experiment requires).
+type Scheduled struct {
+	Session   int
+	Rate      float64
+	PktBits   float64
+	Intervals []Interval
+	seq       int64
+}
+
+// Run schedules the source on the simulator.
+func (s *Scheduled) Run(sim *des.Sim, emit Emit) {
+	period := s.PktBits / s.Rate
+	for _, iv := range s.Intervals {
+		iv := iv
+		var tick func()
+		next := iv.On
+		tick = func() {
+			if sim.Now() >= iv.Off {
+				return
+			}
+			p := packet.New(s.Session, s.PktBits)
+			p.Seq = s.seq
+			s.seq++
+			emit(p)
+			next += period
+			if next < iv.Off {
+				sim.At(next, tick)
+			}
+		}
+		sim.At(next, tick)
+	}
+}
+
+// LeakyBucket is a (σ, ρ) regulator (eq. 17): it delays packets from an
+// inner source so the released stream satisfies A(t1,t2) ≤ σ + ρ(t2−t1).
+// The delay-bound experiments (Corollary 2) shape their test session with
+// it so the measured delays can be compared against σ/r + Σ L_max/r bounds.
+type LeakyBucket struct {
+	Sigma float64 // bucket depth, bits
+	Rho   float64 // token rate, bits/sec
+
+	sim     *des.Sim
+	out     Emit
+	tokens  float64
+	last    float64
+	queue   packet.FIFO
+	pending bool
+}
+
+// NewLeakyBucket returns a regulator releasing into out.
+func NewLeakyBucket(sim *des.Sim, sigma, rho float64, out Emit) *LeakyBucket {
+	return &LeakyBucket{Sigma: sigma, Rho: rho, sim: sim, out: out, tokens: sigma}
+}
+
+// Submit offers a packet to the regulator; it is released as soon as the
+// bucket holds enough tokens.
+func (lb *LeakyBucket) Submit(p *packet.Packet) {
+	lb.queue.Push(p)
+	lb.drain()
+}
+
+func (lb *LeakyBucket) refill() {
+	now := lb.sim.Now()
+	lb.tokens = math.Min(lb.Sigma, lb.tokens+(now-lb.last)*lb.Rho)
+	lb.last = now
+}
+
+func (lb *LeakyBucket) drain() {
+	if lb.pending {
+		return
+	}
+	lb.refill()
+	// Tolerance in bits: refilling for exactly (L−tokens)/ρ seconds can
+	// land a hair short in float64 and would otherwise re-arm a zero-length
+	// wait forever.
+	const tol = 1e-6
+	for !lb.queue.Empty() {
+		head := lb.queue.Head()
+		if head.Length > lb.tokens+tol {
+			wait := (head.Length - lb.tokens) / lb.Rho
+			lb.pending = true
+			lb.sim.After(wait, func() {
+				lb.pending = false
+				lb.drain()
+			})
+			return
+		}
+		lb.tokens = math.Max(0, lb.tokens-head.Length)
+		lb.out(lb.queue.Pop())
+	}
+}
+
+// Emit returns an Emit that routes packets through the regulator.
+func (lb *LeakyBucket) Emit() Emit {
+	return func(p *packet.Packet) { lb.Submit(p) }
+}
