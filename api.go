@@ -1,11 +1,15 @@
 package hpfq
 
 import (
+	"io"
+
 	"hpfq/internal/core"
 	"hpfq/internal/des"
+	"hpfq/internal/errs"
 	"hpfq/internal/fluid"
 	"hpfq/internal/hier"
 	"hpfq/internal/netsim"
+	"hpfq/internal/obs"
 	"hpfq/internal/packet"
 	"hpfq/internal/sched"
 	"hpfq/internal/shaper"
@@ -14,15 +18,33 @@ import (
 	"hpfq/internal/traffic"
 )
 
-// Algorithm names accepted by New and NewHierarchy.
+// Algorithm names a scheduling discipline accepted by New, NewNode and
+// NewHierarchy. The constants below cover the registry; untyped string
+// literals convert implicitly, so Algorithm("WF2Q+") also works.
+type Algorithm string
+
+// Registered algorithms.
 const (
-	WF2QPlus = "WF2Q+" // the paper's contribution (§3.4)
-	WFQ      = "WFQ"   // weighted fair queueing / PGPS
-	WF2Q     = "WF2Q"  // worst-case fair WFQ (exact GPS clock)
-	SCFQ     = "SCFQ"  // self-clocked fair queueing
-	SFQ      = "SFQ"   // start-time fair queueing
-	DRR      = "DRR"   // deficit round robin
-	FIFO     = "FIFO"  // no isolation (flat only)
+	WF2QPlus Algorithm = "WF2Q+" // the paper's contribution (§3.4)
+	WFQ      Algorithm = "WFQ"   // weighted fair queueing / PGPS
+	WF2Q     Algorithm = "WF2Q"  // worst-case fair WFQ (exact GPS clock)
+	SCFQ     Algorithm = "SCFQ"  // self-clocked fair queueing
+	SFQ      Algorithm = "SFQ"   // start-time fair queueing
+	DRR      Algorithm = "DRR"   // deficit round robin
+	FIFO     Algorithm = "FIFO"  // no isolation (flat only)
+)
+
+// Sentinel errors, matchable with errors.Is on anything returned by New,
+// NewNode, NewHierarchy and NewHGPS.
+var (
+	// ErrUnknownAlgorithm reports an algorithm name missing from the
+	// registry.
+	ErrUnknownAlgorithm = errs.ErrUnknownAlgorithm
+	// ErrBadTopology reports a malformed link-sharing tree.
+	ErrBadTopology = errs.ErrBadTopology
+	// ErrNoNodeForm reports an algorithm (FIFO) with no hierarchical node
+	// form.
+	ErrNoNodeForm = errs.ErrNoNodeForm
 )
 
 // Bits8KB is the paper's 8 KB packet size in bits.
@@ -36,19 +58,120 @@ func NewPacket(session int, lengthBits float64) *Packet {
 	return packet.New(session, lengthBits)
 }
 
-// Scheduler is a standalone packet fair queueing server.
+// Scheduler is a standalone packet fair queueing server. Every scheduler
+// carries the observability surface: EnableMetrics, SetTracer, Snapshot.
 type Scheduler = sched.Scheduler
 
 // NodeScheduler is a PFQ server node usable inside a hierarchy.
 type NodeScheduler = sched.NodeScheduler
 
-// Algorithms lists the registered algorithm names.
-func Algorithms() []string { return sched.Algorithms() }
+// Observability re-exports; see internal/obs.
+type (
+	// Metrics is a point-in-time snapshot of one server's counters.
+	Metrics = obs.Metrics
+	// SessionMetrics is the per-session slice of a Metrics snapshot.
+	SessionMetrics = obs.SessionMetrics
+	// DelayStats summarizes observed queueing delays.
+	DelayStats = obs.DelayStats
+	// SimMetrics are the DES kernel counters.
+	SimMetrics = obs.SimMetrics
+	// Tracer receives per-packet events from instrumented servers.
+	Tracer = obs.Tracer
+	// TraceEvent is one enqueue/dequeue/drop record, with virtual-time
+	// fields on dequeues from virtual-clock schedulers.
+	TraceEvent = obs.Event
+	// RingTracer keeps the last N events in memory.
+	RingTracer = obs.RingTracer
+	// JSONLTracer streams events as JSON lines.
+	JSONLTracer = obs.JSONLTracer
+)
 
-// New returns a standalone scheduler by algorithm name for a link of the
-// given rate in bits/sec.
-func New(algorithm string, rate float64) (Scheduler, error) {
-	return sched.New(algorithm, rate)
+// Trace event types.
+const (
+	EventEnqueue = obs.EventEnqueue
+	EventDequeue = obs.EventDequeue
+	EventDrop    = obs.EventDrop
+)
+
+// NewRingTracer returns a tracer retaining the most recent capacity events.
+func NewRingTracer(capacity int) *RingTracer { return obs.NewRingTracer(capacity) }
+
+// NewJSONLTracer returns a tracer writing one JSON object per event to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONLTracer(w) }
+
+// NamedTracer stamps every event passed to t with the given node name —
+// useful to multiplex several servers into one stream.
+func NamedTracer(node string, t Tracer) Tracer { return obs.Named(node, t) }
+
+// Option configures a scheduler, node or hierarchy at construction.
+type Option struct {
+	observe func(obs.Observable)
+	nodes   func(rate float64) NodeScheduler
+}
+
+// WithMetrics enables metric collection (counts, queue depths, delays, WFI)
+// from the first packet.
+func WithMetrics() Option {
+	return Option{observe: func(o obs.Observable) { o.EnableMetrics() }}
+}
+
+// WithTracer streams per-packet events to t. On a hierarchy the tracer also
+// receives every interior node's events, stamped with the node's topology
+// name.
+func WithTracer(t Tracer) Option {
+	return Option{observe: func(o obs.Observable) { o.SetTracer(t) }}
+}
+
+// WithNodes supplies a custom per-node scheduler constructor to
+// NewHierarchy, e.g. to mix disciplines per level. New and NewNode ignore
+// it.
+func WithNodes(fn func(rate float64) NodeScheduler) Option {
+	return Option{nodes: fn}
+}
+
+func applyOptions(o obs.Observable, opts []Option) {
+	for _, opt := range opts {
+		if opt.observe != nil {
+			opt.observe(o)
+		}
+	}
+}
+
+// Algorithms lists the registered algorithms, sorted by name.
+func Algorithms() []Algorithm {
+	names := sched.Algorithms()
+	out := make([]Algorithm, len(names))
+	for i, n := range names {
+		out[i] = Algorithm(n)
+	}
+	return out
+}
+
+// New returns a standalone scheduler for a link of the given rate in
+// bits/sec:
+//
+//	s, err := hpfq.New(hpfq.WF2QPlus, 10e6, hpfq.WithMetrics())
+//
+// Unknown algorithms return an error matching ErrUnknownAlgorithm.
+func New(algorithm Algorithm, rate float64, opts ...Option) (Scheduler, error) {
+	s, err := sched.New(string(algorithm), rate)
+	if err != nil {
+		return nil, err
+	}
+	applyOptions(s, opts)
+	return s, nil
+}
+
+// NewNode returns a hierarchical server node with guaranteed rate in
+// bits/sec (all registered algorithms except FIFO, which has no node form
+// and returns an error matching ErrNoNodeForm).
+func NewNode(algorithm Algorithm, rate float64, opts ...Option) (NodeScheduler, error) {
+	n, err := sched.NewNode(string(algorithm), rate)
+	if err != nil {
+		return nil, err
+	}
+	applyOptions(n, opts)
+	return n, nil
 }
 
 // NewWF2QPlus returns the paper's WF²Q+ scheduler for a link of the given
@@ -59,8 +182,9 @@ func NewWF2QPlus(rate float64) *core.Scheduler { return core.NewScheduler(rate) 
 // rate in bits/sec.
 func NewWF2QPlusNode(rate float64) *core.Node { return core.NewNode(rate) }
 
-// NewNodeByName returns a hierarchical server node by algorithm name (all
-// registered algorithms except FIFO, which has no node form).
+// NewNodeByName returns a hierarchical server node by algorithm name.
+//
+// Deprecated: use NewNode.
 func NewNodeByName(algorithm string, rate float64) (NodeScheduler, error) {
 	return sched.NewNode(algorithm, rate)
 }
@@ -82,25 +206,55 @@ func Interior(name string, share float64, children ...*Topology) *Topology {
 type Hierarchy = hier.Tree
 
 // NewHierarchy builds an H-PFQ server over the topology using the named
-// one-level algorithm at every interior node. H-WF²Q+ is
-// NewHierarchy(top, rate, hpfq.WF2QPlus).
-func NewHierarchy(top *Topology, linkRate float64, algorithm string) (*Hierarchy, error) {
-	return hier.New(top, linkRate, algorithm)
+// one-level algorithm at every interior node — H-WF²Q+ is
+//
+//	tree, err := hpfq.NewHierarchy(top, 45e6, hpfq.WF2QPlus)
+//
+// WithMetrics and WithTracer cover the whole tree (per-session delays and
+// WFI at the root collector, reference-time counters at every interior
+// node; see Hierarchy.NodeSnapshots). WithNodes substitutes a custom
+// per-node constructor, e.g. to mix disciplines per level. Malformed
+// topologies return an error matching ErrBadTopology.
+func NewHierarchy(top *Topology, linkRate float64, algorithm Algorithm, opts ...Option) (*Hierarchy, error) {
+	var nodes func(rate float64) NodeScheduler
+	for _, opt := range opts {
+		if opt.nodes != nil {
+			nodes = opt.nodes
+		}
+	}
+	var (
+		tree *Hierarchy
+		err  error
+	)
+	if nodes != nil {
+		tree, err = hier.Build(top, linkRate, string(algorithm), nodes)
+	} else {
+		tree, err = hier.New(top, linkRate, string(algorithm))
+	}
+	if err != nil {
+		return nil, err
+	}
+	applyOptions(tree, opts)
+	return tree, nil
 }
 
 // NewHierarchyWith builds an H-PFQ server with a caller-supplied node
-// constructor, e.g. to mix disciplines per level.
+// constructor.
+//
+// Deprecated: use NewHierarchy with WithNodes.
 func NewHierarchyWith(top *Topology, linkRate float64, algorithm string, newNode func(rate float64) NodeScheduler) (*Hierarchy, error) {
 	return hier.Build(top, linkRate, algorithm, newNode)
 }
 
 // Simulation substrate.
 type (
-	// Sim is the discrete-event simulation kernel.
+	// Sim is the discrete-event simulation kernel; Sim.Metrics reports its
+	// event counters as a SimMetrics.
 	Sim = des.Sim
 	// Event is a scheduled simulator callback.
 	Event = des.Event
-	// Link is a fixed-rate output port draining a scheduler.
+	// Link is a fixed-rate output port draining a scheduler; its embedded
+	// collector measures full per-packet sojourns and buffer-limit drops.
 	Link = netsim.Link
 	// Queue is the server contract shared by flat schedulers and
 	// hierarchies.
@@ -176,9 +330,20 @@ type TCPSource = tcp.Source
 // internal/shaper.
 type Shaper = shaper.Shaper
 
+// ShaperOption configures a Shaper at construction.
+type ShaperOption = shaper.Option
+
+// ShaperMetrics enables per-class metric collection on the shaper; read the
+// counters with Shaper.Snapshot.
+func ShaperMetrics() ShaperOption { return shaper.WithMetrics() }
+
+// ShaperTracer streams the shaper's per-item scheduling events to t. The
+// tracer runs under the shaper's lock and must not call back into it.
+func ShaperTracer(t Tracer) ShaperOption { return shaper.WithTracer(t) }
+
 // NewShaper returns a wall-clock shaper for a virtual link of the given
 // rate in cost units (e.g. bits) per second.
-func NewShaper(rate float64) *Shaper { return shaper.New(rate) }
+func NewShaper(rate float64, opts ...ShaperOption) *Shaper { return shaper.New(rate, opts...) }
 
 // NewTCPSource returns a TCP source for a session over a bottleneck link,
 // with fixed non-bottleneck RTT component delay, starting at start.

@@ -1,7 +1,10 @@
 package hpfq_test
 
 import (
+	"bytes"
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"hpfq"
@@ -47,12 +50,12 @@ func TestPublicAPIHierarchy(t *testing.T) {
 			hpfq.Leaf("be", 0.4, 1)),
 		hpfq.Leaf("A2", 0.5, 2))
 
-	for _, algo := range []string{hpfq.WF2QPlus, hpfq.WFQ, hpfq.WF2Q, hpfq.SCFQ, hpfq.SFQ, hpfq.DRR} {
+	for _, algo := range []hpfq.Algorithm{hpfq.WF2QPlus, hpfq.WFQ, hpfq.WF2Q, hpfq.SCFQ, hpfq.SFQ, hpfq.DRR} {
 		tree, err := hpfq.NewHierarchy(top, 45e6, algo)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
-		if tree.Name() != "H-"+algo {
+		if tree.Name() != "H-"+string(algo) {
 			t.Errorf("Name = %q", tree.Name())
 		}
 		sim := hpfq.NewSim()
@@ -182,6 +185,157 @@ func TestAlgorithmsList(t *testing.T) {
 	}
 }
 
+// TestSentinelErrors: every construction failure is matchable with
+// errors.Is against the exported sentinels.
+func TestSentinelErrors(t *testing.T) {
+	if _, err := hpfq.New("bogus", 1); !errors.Is(err, hpfq.ErrUnknownAlgorithm) {
+		t.Errorf("New(bogus): %v, want ErrUnknownAlgorithm", err)
+	}
+	if _, err := hpfq.NewNode("bogus", 1); !errors.Is(err, hpfq.ErrUnknownAlgorithm) {
+		t.Errorf("NewNode(bogus): %v, want ErrUnknownAlgorithm", err)
+	}
+	if _, err := hpfq.NewNode(hpfq.FIFO, 1); !errors.Is(err, hpfq.ErrNoNodeForm) {
+		t.Errorf("NewNode(FIFO): %v, want ErrNoNodeForm", err)
+	}
+	if _, err := hpfq.NewHierarchy(hpfq.Leaf("x", 1, 0), 1, hpfq.WF2QPlus); !errors.Is(err, hpfq.ErrBadTopology) {
+		t.Errorf("NewHierarchy(leaf root): %v, want ErrBadTopology", err)
+	}
+	dup := hpfq.Interior("r", 1, hpfq.Leaf("a", 1, 0), hpfq.Leaf("b", 1, 0))
+	if _, err := hpfq.NewHierarchy(dup, 1, hpfq.WF2QPlus); !errors.Is(err, hpfq.ErrBadTopology) {
+		t.Errorf("NewHierarchy(dup session): %v, want ErrBadTopology", err)
+	}
+	if _, err := hpfq.NewHGPS(dup, 1); !errors.Is(err, hpfq.ErrBadTopology) {
+		t.Errorf("NewHGPS(dup session): %v, want ErrBadTopology", err)
+	}
+	if _, err := hpfq.NewHierarchy(dup, 1, "bogus"); !errors.Is(err, hpfq.ErrUnknownAlgorithm) {
+		t.Errorf("NewHierarchy(bogus algo): %v, want ErrUnknownAlgorithm", err)
+	}
+}
+
+// TestOptionsMetricsAndTracer: the options API end to end — every algorithm
+// built with WithMetrics and WithTracer yields a conserved, populated
+// snapshot and a coherent event stream.
+func TestOptionsMetricsAndTracer(t *testing.T) {
+	for _, algo := range hpfq.Algorithms() {
+		ring := hpfq.NewRingTracer(64)
+		s, err := hpfq.New(algo, 1e6, hpfq.WithMetrics(), hpfq.WithTracer(ring))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.MetricsEnabled() {
+			t.Fatalf("%s: WithMetrics did not enable metrics", algo)
+		}
+		s.AddSession(0, 0.6e6)
+		s.AddSession(1, 0.4e6)
+		now := 0.0
+		for i := 0; i < 10; i++ {
+			s.Enqueue(now, hpfq.NewPacket(i%2, 8000))
+		}
+		for p := s.Dequeue(now); p != nil; p = s.Dequeue(now) {
+			now += p.Length / 1e6
+		}
+		m := s.Snapshot()
+		if !m.Enabled || m.Enqueued.Packets != 10 || m.Dequeued.Packets != 10 {
+			t.Errorf("%s: snapshot %+v", algo, m)
+		}
+		if !m.Conserved() {
+			t.Errorf("%s: conservation violated", algo)
+		}
+		sess, ok := m.Session(0)
+		if !ok || sess.Enqueued.Packets != 5 {
+			t.Errorf("%s: session 0 snapshot %+v", algo, sess)
+		}
+		if got := ring.Total(); got != 20 {
+			t.Errorf("%s: traced %d events, want 20", algo, got)
+		}
+	}
+}
+
+// TestHierarchyObservability: metrics and traces through a hierarchy —
+// root snapshot is conserved, interior nodes are visible by name, and the
+// virtual-time trace fields are populated for a VT discipline.
+func TestHierarchyObservability(t *testing.T) {
+	top := hpfq.Interior("link", 1,
+		hpfq.Interior("A1", 0.5,
+			hpfq.Leaf("rt", 0.6, 0),
+			hpfq.Leaf("be", 0.4, 1)),
+		hpfq.Leaf("A2", 0.5, 2))
+	ring := hpfq.NewRingTracer(4096)
+	tree, err := hpfq.NewHierarchy(top, 45e6, hpfq.WF2QPlus,
+		hpfq.WithMetrics(), hpfq.WithTracer(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := hpfq.NewSim()
+	link := hpfq.NewLink(sim, 45e6, tree)
+	for s := 0; s < 3; s++ {
+		for i := 0; i < 4; i++ {
+			link.Arrive(hpfq.NewPacket(s, hpfq.Bits8KB))
+		}
+	}
+	sim.RunAll()
+
+	m := tree.Snapshot()
+	if m.Enqueued.Packets != 12 || m.Dequeued.Packets != 12 || !m.Conserved() {
+		t.Errorf("tree snapshot %+v", m)
+	}
+	if sess, ok := m.Session(2); !ok || sess.Rate != 22.5e6 {
+		t.Errorf("session 2 rate %+v", sess)
+	}
+
+	nodes := tree.NodeSnapshots()
+	if len(nodes) != 2 {
+		t.Fatalf("NodeSnapshots: %d nodes, want 2 (link, A1)", len(nodes))
+	}
+	if a1, ok := nodes["A1"]; !ok || a1.Dequeued.Packets != 8 {
+		t.Errorf("A1 snapshot %+v", nodes["A1"])
+	}
+
+	var vtDequeues, a1Events int
+	for _, ev := range ring.Events() {
+		if ev.Type == hpfq.EventDequeue && ev.HasVT {
+			vtDequeues++
+		}
+		if ev.Node == "A1" {
+			a1Events++
+		}
+	}
+	if vtDequeues == 0 {
+		t.Error("no dequeue events carried virtual times")
+	}
+	if a1Events == 0 {
+		t.Error("no events from interior node A1")
+	}
+}
+
+// TestJSONLTrace: the stream tracer emits one valid JSON object per line.
+func TestJSONLTrace(t *testing.T) {
+	var buf bytes.Buffer
+	jt := hpfq.NewJSONLTracer(&buf)
+	s, err := hpfq.New(hpfq.WF2QPlus, 1e6, hpfq.WithTracer(jt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddSession(0, 1e6)
+	s.Enqueue(0, hpfq.NewPacket(0, 8000))
+	s.Dequeue(0)
+	if err := jt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "{") || !strings.HasSuffix(ln, "}") {
+			t.Errorf("not a JSON object line: %s", ln)
+		}
+	}
+	if !strings.Contains(lines[1], "vfinish") {
+		t.Errorf("dequeue line missing virtual times: %s", lines[1])
+	}
+}
+
 // TestMixedHierarchy: NewHierarchyWith lets callers mix disciplines —
 // WF²Q+ near the root, DRR at a cheap leaf level.
 func TestMixedHierarchy(t *testing.T) {
@@ -191,23 +345,27 @@ func TestMixedHierarchy(t *testing.T) {
 			hpfq.Leaf("b", 0.5, 1)),
 		hpfq.Leaf("c", 0.5, 2))
 	depth0 := true
-	tree, err := hpfq.NewHierarchyWith(top, 1e6, "mixed", func(rate float64) hpfq.NodeScheduler {
+	mixed := func(rate float64) hpfq.NodeScheduler {
 		if depth0 {
 			depth0 = false
 			return hpfq.NewWF2QPlusNode(rate)
 		}
-		n, err := hpfq.New(hpfq.DRR, rate)
-		_ = n
+		node, err := hpfq.NewNode(hpfq.DRR, rate)
 		if err != nil {
 			t.Fatal(err)
 		}
-		node, err2 := hpfq.NewNodeByName(hpfq.DRR, rate)
-		if err2 != nil {
-			t.Fatal(err2)
-		}
 		return node
-	})
+	}
+	tree, err := hpfq.NewHierarchy(top, 1e6, "mixed", hpfq.WithNodes(mixed))
 	if err != nil {
+		t.Fatal(err)
+	}
+	// The deprecated shims still build.
+	depth0 = true
+	if _, err := hpfq.NewHierarchyWith(top, 1e6, "mixed", mixed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hpfq.NewNodeByName("WF2Q+", 1e6); err != nil {
 		t.Fatal(err)
 	}
 	sim := hpfq.NewSim()

@@ -18,6 +18,7 @@ import (
 	"hpfq/internal/experiments"
 	"hpfq/internal/hier"
 	"hpfq/internal/netsim"
+	"hpfq/internal/obs"
 	"hpfq/internal/packet"
 	"hpfq/internal/sched"
 	"hpfq/internal/topo"
@@ -276,6 +277,49 @@ func BenchmarkAblation(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkMetricsOverhead prices the observability layer on the WF²Q+ hot
+// path: the same enqueue/dequeue cycle with the collector disabled (the
+// default — one branch per record call), with metrics accumulating, and with
+// metrics plus a ring tracer. The disabled path is the one every
+// uninstrumented simulation pays and must stay within noise (≤5%) of the
+// pre-observability baseline.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	run := func(b *testing.B, configure func(sched.Scheduler)) {
+		s, err := sched.New("WF2Q+", 1e9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const n = 64
+		for i := 0; i < n; i++ {
+			s.AddSession(i, 1e9/n)
+		}
+		configure(s)
+		for i := 0; i < n; i++ {
+			s.Enqueue(0, packet.New(i, 8000))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		now := 0.0
+		for i := 0; i < b.N; i++ {
+			p := s.Dequeue(now)
+			now += 8000 / 1e9
+			s.Enqueue(now, packet.New(p.Session, 8000))
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, func(sched.Scheduler) {})
+	})
+	b.Run("metrics", func(b *testing.B) {
+		run(b, func(s sched.Scheduler) { s.EnableMetrics() })
+	})
+	b.Run("metrics+trace", func(b *testing.B) {
+		run(b, func(s sched.Scheduler) {
+			s.EnableMetrics()
+			s.SetTracer(obs.NewRingTracer(1024))
+		})
+	})
 }
 
 // BenchmarkEnqueueDequeue is the core WF²Q+ hot path in isolation.

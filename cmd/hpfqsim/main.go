@@ -13,6 +13,14 @@
 //	hpfqsim burst [-algo WFQ] [-n 1001]
 //	hpfqsim multihop [-algo WF2Q+] [-dur 20]
 //	hpfqsim tree [-topo fig3] [-sigma bits] [-lmax bits]
+//	hpfqsim run [-algo WF2Q+] [-hier] [-dur 2] [-metrics] [-trace file.jsonl]
+//
+// The run subcommand (also reachable as plain "hpfqsim -metrics -trace f")
+// demonstrates the observability layer: -metrics prints per-class counter,
+// delay, and WFI tables for the scheduler, the link, and (with -hier) every
+// interior node, plus the DES kernel counters; -trace streams every
+// enqueue/dequeue/drop event as JSON lines with the virtual start/finish
+// times of each scheduling decision.
 package main
 
 import (
@@ -31,8 +39,14 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
+	if strings.HasPrefix(cmd, "-") {
+		// Bare flags select the observability demo: hpfqsim -metrics -trace f.
+		cmd, args = "run", os.Args[1:]
+	}
 	var err error
 	switch cmd {
+	case "run":
+		err = runRun(args)
 	case "fig2":
 		err = runFig2()
 	case "fig4", "fig6", "fig7":
@@ -64,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hpfqsim <fig2|fig4|fig5|fig6|fig7|fig9|wfi|wfisweep|bound|burst|multihop|tree> [flags]
+	fmt.Fprintln(os.Stderr, `usage: hpfqsim <fig2|fig4|fig5|fig6|fig7|fig9|wfi|wfisweep|bound|burst|multihop|tree|run> [flags]
 run "hpfqsim <cmd> -h" for per-command flags`)
 }
 

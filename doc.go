@@ -11,7 +11,7 @@
 // and drive it on a simulated link:
 //
 //	sim := hpfq.NewSim()
-//	sched := hpfq.NewWF2QPlus(10e6)
+//	sched, err := hpfq.New(hpfq.WF2QPlus, 10e6)
 //	sched.AddSession(0, 7e6) // guaranteed 7 Mbps
 //	sched.AddSession(1, 3e6) // guaranteed 3 Mbps
 //	link := hpfq.NewLink(sim, 10e6, sched)
@@ -31,6 +31,22 @@
 //
 // A hierarchy satisfies the same Queue contract as a flat scheduler, so it
 // drops into NewLink unchanged.
+//
+// # Constructors and options
+//
+// Algorithms are selected with the typed Algorithm constants (WF2QPlus, WFQ,
+// WF2Q, SCFQ, SFQ, DRR, FIFO; WF2QPlusFixed for the integer-tick engine) via
+// New, NewNode, and NewHierarchy, which accept functional options:
+// WithMetrics enables per-server and per-session counters (packets, bits,
+// queue depths, queueing-delay distributions, measured worst-case fair
+// index), frozen on demand with Snapshot; WithTracer attaches a Tracer
+// (NewRingTracer, NewJSONLTracer) that observes every enqueue, dequeue — with
+// the virtual start/finish times behind each scheduling decision — and drop.
+// Both default off and cost one branch per packet when disabled. WithNodes
+// supplies a custom per-node constructor to NewHierarchy for mixed or
+// experimental hierarchies. Unknown algorithms and malformed topologies are
+// reported by wrapping the sentinel errors ErrUnknownAlgorithm,
+// ErrBadTopology, and ErrNoNodeForm, so callers can branch with errors.Is.
 //
 // Units everywhere: bits, bits per second, seconds.
 //

@@ -2,10 +2,16 @@
 // 10 Mbps link. Session 2 misbehaves — it sends at 4× its guaranteed rate —
 // yet sessions 0 and 1 receive their guarantees untouched, and session 2 is
 // throttled to its share plus whatever is left over.
+//
+// Built with WithMetrics, the scheduler keeps its own per-session counters,
+// delays, and measured WFI; the snapshot table at the end replaces hand-kept
+// accounting.
 package main
 
 import (
 	"fmt"
+	"log"
+	"os"
 
 	"hpfq"
 )
@@ -18,7 +24,10 @@ func main() {
 	)
 
 	sim := hpfq.NewSim()
-	sched := hpfq.NewWF2QPlus(linkRate)
+	sched, err := hpfq.New(hpfq.WF2QPlus, linkRate, hpfq.WithMetrics())
+	if err != nil {
+		log.Fatal(err)
+	}
 	sched.AddSession(0, 5e6) // polite: sends at its 5 Mbps guarantee
 	sched.AddSession(1, 3e6) // polite: sends at its 3 Mbps guarantee
 	sched.AddSession(2, 2e6) // greedy: sends at 8 Mbps, guaranteed only 2
@@ -45,4 +54,11 @@ func main() {
 	fmt.Println()
 	fmt.Println("Sessions 0 and 1 get their guarantees; the misbehaving")
 	fmt.Println("session 2 is limited to its share plus the leftover capacity.")
+
+	fmt.Println()
+	fmt.Println("Scheduler snapshot (queueing delay to start of service, measured WFI):")
+	m := sched.Snapshot()
+	if err := m.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

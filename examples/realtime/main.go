@@ -37,7 +37,7 @@ func topology() *hpfq.Topology {
 	return hpfq.Interior("root", 1, kids...)
 }
 
-func run(algo string) (max, mean float64, n int) {
+func run(algo hpfq.Algorithm) (max, mean float64, n int) {
 	tree, err := hpfq.NewHierarchy(topology(), linkRate, algo)
 	if err != nil {
 		panic(err)
@@ -85,7 +85,7 @@ func main() {
 	fmt.Println("real-time session delay over a shared hierarchy (10 s):")
 	fmt.Println()
 	fmt.Println("scheduler    packets   max delay   mean delay")
-	for _, algo := range []string{hpfq.WFQ, hpfq.WF2QPlus} {
+	for _, algo := range []hpfq.Algorithm{hpfq.WFQ, hpfq.WF2QPlus} {
 		max, mean, n := run(algo)
 		fmt.Printf("H-%-9s   %5d    %6.2f ms    %6.2f ms\n",
 			algo, n, max*1e3, mean*1e3)

@@ -21,7 +21,7 @@ const (
 	udp      = 2
 )
 
-func run(algo string) map[int]float64 {
+func run(algo hpfq.Algorithm) map[int]float64 {
 	sched, err := hpfq.New(algo, linkRate)
 	if err != nil {
 		panic(err)
@@ -56,7 +56,7 @@ func main() {
 	fmt.Println("two TCP Reno flows vs an 8 Mbps UDP blast on a 10 Mbps link:")
 	fmt.Println()
 	fmt.Printf("%-8s %10s %10s %10s\n", "sched", "TCP-A", "TCP-B", "UDP")
-	for _, algo := range []string{hpfq.FIFO, hpfq.WF2QPlus} {
+	for _, algo := range []hpfq.Algorithm{hpfq.FIFO, hpfq.WF2QPlus} {
 		got := run(algo)
 		fmt.Printf("%-8s %8.2f M %8.2f M %8.2f M\n",
 			algo, got[tcpA]/1e6, got[tcpB]/1e6, got[udp]/1e6)

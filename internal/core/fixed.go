@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"hpfq/internal/obs"
 	"hpfq/internal/packet"
 	"hpfq/internal/pq"
 )
@@ -33,6 +34,7 @@ type FixedScheduler struct {
 	queues  []packet.FIFO
 	count   int
 	backlog int
+	obs.Collector
 }
 
 type fixedFlow struct {
@@ -48,11 +50,13 @@ func NewFixedScheduler(rate float64) *FixedScheduler {
 	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
 		panic(fmt.Sprintf("core: invalid server rate %g", rate))
 	}
-	return &FixedScheduler{
+	s := &FixedScheduler{
 		rate: rate,
 		elig: pq.NewHeap[uint64](8),
 		inel: pq.NewHeap[uint64](8),
 	}
+	s.InitObs("WF2Q+fixed", rate)
+	return s
 }
 
 // Name identifies the algorithm.
@@ -74,6 +78,7 @@ func (s *FixedScheduler) AddSession(id int, rate float64) {
 		panic(fmt.Sprintf("core: duplicate session id %d", id))
 	}
 	s.flows[id] = fixedFlow{rate: rate, defined: true}
+	s.RegisterSession(id, rate)
 }
 
 // ticks converts a service time L/r to integer virtual ticks, rounding up.
@@ -96,6 +101,7 @@ func (s *FixedScheduler) Enqueue(now float64, p *packet.Packet) {
 	if q.Len() == 1 {
 		s.push(p.Session, p.Length, false)
 	}
+	s.RecordEnqueue(now, p.Session, p.Length)
 }
 
 func (s *FixedScheduler) push(id int, length float64, cont bool) {
@@ -132,12 +138,17 @@ func (s *FixedScheduler) Dequeue(now float64) *packet.Packet {
 	fl := &s.flows[id]
 	s.count--
 	s.v += ticks(fl.length, s.rate)
+	vs, vf, v := fl.s, fl.f, s.v
 	q := &s.queues[id]
 	p := q.Pop()
 	s.backlog--
 	if !q.Empty() {
 		s.push(id, q.Head().Length, true)
 	}
+	// Tick-denominated virtual times, scaled back to virtual seconds so
+	// trace consumers see one unit across engines.
+	s.RecordDequeueVT(now, id, p.Length,
+		float64(vs)/TicksPerSecond, float64(vf)/TicksPerSecond, float64(v)/TicksPerSecond)
 	return p
 }
 

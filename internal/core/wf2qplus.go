@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 
+	"hpfq/internal/obs"
 	"hpfq/internal/packet"
 	"hpfq/internal/pq"
 )
@@ -168,12 +169,15 @@ type Scheduler struct {
 	eng     *engine
 	queues  []packet.FIFO
 	backlog int
+	obs.Collector
 }
 
 // NewScheduler returns a standalone WF²Q+ server for a link of the given
 // rate in bits/sec.
 func NewScheduler(rate float64) *Scheduler {
-	return &Scheduler{eng: newEngine(rate)}
+	s := &Scheduler{eng: newEngine(rate)}
+	s.InitObs("WF2Q+", rate)
+	return s
 }
 
 // AddSession registers session id with guaranteed rate in bits/sec. The sum
@@ -185,6 +189,7 @@ func (s *Scheduler) AddSession(id int, rate float64) {
 	for len(s.queues) <= id {
 		s.queues = append(s.queues, packet.FIFO{})
 	}
+	s.RegisterSession(id, rate)
 }
 
 // Name identifies the algorithm.
@@ -210,6 +215,7 @@ func (s *Scheduler) Enqueue(now float64, p *packet.Packet) {
 	if q.Len() == 1 {
 		s.eng.push(p.Session, p.Length, false)
 	}
+	s.RecordEnqueue(now, p.Session, p.Length)
 }
 
 // Dequeue selects the next packet to transmit under SEFF, or nil when the
@@ -219,12 +225,17 @@ func (s *Scheduler) Dequeue(now float64) *packet.Packet {
 	if !ok {
 		return nil
 	}
+	// The popped flow's stamps survive until a continuation re-push
+	// overwrites them; capture them for the trace hook first.
+	fl := &s.eng.flows[id]
+	vs, vf, v := fl.s, fl.f, s.eng.v
 	q := &s.queues[id]
 	p := q.Pop()
 	s.backlog--
 	if !q.Empty() {
 		s.eng.push(id, q.Head().Length, true)
 	}
+	s.RecordDequeueVT(now, id, p.Length, vs, vf, v)
 	return p
 }
 
@@ -254,18 +265,24 @@ func (s *Scheduler) QueueBits(id int) float64 {
 // the node's virtual clock by L/r_n, i.e. in Reference Time units (§4.1).
 type Node struct {
 	eng *engine
+	obs.Collector
 }
 
 // NewNode returns a WF²Q+ node with guaranteed rate r_n in bits/sec.
 func NewNode(rate float64) *Node {
-	return &Node{eng: newEngine(rate)}
+	n := &Node{eng: newEngine(rate)}
+	n.InitNodeObs("WF2Q+", rate)
+	return n
 }
 
 // Name identifies the algorithm.
 func (n *Node) Name() string { return "WF2Q+" }
 
 // AddChild registers child id with guaranteed rate r_m.
-func (n *Node) AddChild(id int, rate float64) { n.eng.addFlow(id, rate) }
+func (n *Node) AddChild(id int, rate float64) {
+	n.eng.addFlow(id, rate)
+	n.RegisterSession(id, rate)
+}
 
 // Push marks child id backlogged with a head packet of the given length.
 // cont selects the eq. 28 case: true when the child was just served and
@@ -273,10 +290,18 @@ func (n *Node) AddChild(id int, rate float64) { n.eng.addFlow(id, rate) }
 // (S ← max(F, V_n)).
 func (n *Node) Push(id int, length float64, cont bool) {
 	n.eng.push(id, length, cont)
+	n.RecordEnqueue(n.eng.v, id, length)
 }
 
 // Pop selects the next child under SEFF and advances V_n per eq. 27.
-func (n *Node) Pop() (id int, ok bool) { return n.eng.pop() }
+func (n *Node) Pop() (id int, ok bool) {
+	id, ok = n.eng.pop()
+	if ok {
+		fl := &n.eng.flows[id]
+		n.RecordDequeueVT(n.eng.v, id, fl.length, fl.s, fl.f, n.eng.v)
+	}
+	return id, ok
+}
 
 // Backlogged reports whether any child is backlogged.
 func (n *Node) Backlogged() bool { return n.eng.backlogged() }

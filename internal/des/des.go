@@ -10,6 +10,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
+
+	"hpfq/internal/obs"
 )
 
 // Event is a scheduled callback. Cancel prevents a pending event from firing.
@@ -34,10 +37,12 @@ func (e *Event) Canceled() bool { return e.canceled }
 // Sim is a discrete-event simulation kernel. The zero value is not usable;
 // call New.
 type Sim struct {
-	now    float64
-	events eventHeap
-	seq    uint64
-	fired  uint64
+	now       float64
+	events    eventHeap
+	seq       uint64
+	fired     uint64
+	highWater int           // largest heap size observed
+	wall      time.Duration // wall-clock time spent inside Run/RunAll
 }
 
 // New returns a simulator with the clock at zero.
@@ -66,6 +71,9 @@ func (s *Sim) At(t float64, fn func()) *Event {
 	s.seq++
 	ev := &Event{time: t, seq: s.seq, fn: fn}
 	heap.Push(&s.events, ev)
+	if n := s.events.Len(); n > s.highWater {
+		s.highWater = n
+	}
 	return ev
 }
 
@@ -93,6 +101,8 @@ func (s *Sim) Step() bool {
 // Events scheduled exactly at `until` are fired. The clock is left at
 // `until` so subsequent scheduling is relative to the horizon.
 func (s *Sim) Run(until float64) {
+	start := time.Now()
+	defer func() { s.wall += time.Since(start) }()
 	for s.events.Len() > 0 {
 		ev := s.events[0]
 		if ev.canceled {
@@ -115,7 +125,23 @@ func (s *Sim) Run(until float64) {
 // RunAll fires every pending event. Use with workloads that terminate;
 // a source that reschedules itself forever will never drain.
 func (s *Sim) RunAll() {
+	start := time.Now()
+	defer func() { s.wall += time.Since(start) }()
 	for s.Step() {
+	}
+}
+
+// Metrics returns the kernel's event counters: scheduling volume, heap
+// high-water mark, and the ratio of simulated time to wall-clock time spent
+// in Run/RunAll (individually Stepped events are not timed).
+func (s *Sim) Metrics() obs.SimMetrics {
+	return obs.SimMetrics{
+		EventsScheduled: s.seq,
+		EventsFired:     s.fired,
+		EventsPending:   s.events.Len(),
+		HeapHighWater:   s.highWater,
+		SimTime:         s.now,
+		WallSeconds:     s.wall.Seconds(),
 	}
 }
 

@@ -1,0 +1,22 @@
+// Package errs holds the sentinel errors shared between the internal
+// packages and re-exported by the public hpfq package. They live here —
+// not in the root package — because internal/sched, internal/hier,
+// internal/fluid and internal/topo cannot import the root package without
+// a cycle, yet errors.Is against the public sentinels must match the
+// values the internal constructors wrap.
+package errs
+
+import "errors"
+
+// ErrUnknownAlgorithm is returned when an algorithm name is not in the
+// scheduler registry.
+var ErrUnknownAlgorithm = errors.New("unknown algorithm")
+
+// ErrBadTopology is returned when a link-sharing topology is malformed:
+// non-positive shares, duplicate or negative session ids, interior nodes
+// carrying session ids, or a root that is not an interior node.
+var ErrBadTopology = errors.New("bad topology")
+
+// ErrNoNodeForm is returned when an algorithm exists only as a standalone
+// scheduler and has no hierarchical node form (FIFO, WF2Q+fixed).
+var ErrNoNodeForm = errors.New("algorithm has no node form")

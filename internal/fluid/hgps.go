@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"hpfq/internal/errs"
 	"hpfq/internal/packet"
 	"hpfq/internal/topo"
 )
@@ -45,7 +46,7 @@ func (h *hnode) backlogged() bool { return h.nback > 0 }
 // given rate.
 func NewHGPS(t *topo.Node, rate float64) (*HGPS, error) {
 	if err := t.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("fluid: %w: %v", errs.ErrBadTopology, err)
 	}
 	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
 		return nil, fmt.Errorf("fluid: invalid H-GPS rate %g", rate)

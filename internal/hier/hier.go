@@ -23,6 +23,8 @@ package hier
 import (
 	"fmt"
 
+	"hpfq/internal/errs"
+	"hpfq/internal/obs"
 	"hpfq/internal/packet"
 	"hpfq/internal/sched"
 	"hpfq/internal/topo"
@@ -31,14 +33,21 @@ import (
 // Tree is an H-PFQ server. It satisfies the queue contract used by
 // netsim.Link (Enqueue/Dequeue/Backlog), so a hierarchical server drops in
 // anywhere a flat scheduler does.
+//
+// Tree embeds a real-time collector covering the whole hierarchy (per
+// session: counts, delays, WFI against the leaf's guaranteed rate);
+// EnableMetrics and SetTracer cascade to every interior node's
+// reference-time collector, whose snapshots NodeSnapshots exposes.
 type Tree struct {
 	algo     string
 	rate     float64
 	root     *node
 	leaves   map[int]*node
 	byName   map[string]*node
+	interior []*node
 	backlog  int
 	inflight bool // root's committed packet is on the wire
+	obs.Collector
 }
 
 type node struct {
@@ -67,10 +76,10 @@ type NewNodeFunc func(rate float64) sched.NodeScheduler
 // The topology root must be an interior node.
 func Build(t *topo.Node, linkRate float64, algo string, newNode NewNodeFunc) (*Tree, error) {
 	if err := t.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("hier: %w: %v", errs.ErrBadTopology, err)
 	}
 	if t.IsLeaf() {
-		return nil, fmt.Errorf("hier: topology root must be an interior node")
+		return nil, fmt.Errorf("hier: %w: topology root must be an interior node", errs.ErrBadTopology)
 	}
 	if linkRate <= 0 {
 		return nil, fmt.Errorf("hier: invalid link rate %g", linkRate)
@@ -83,6 +92,10 @@ func Build(t *topo.Node, linkRate float64, algo string, newNode NewNodeFunc) (*T
 		byName: make(map[string]*node),
 	}
 	tr.root = tr.build(t, nil, 0, rates, newNode)
+	tr.InitObs("H-"+algo, linkRate)
+	for id, leaf := range tr.leaves {
+		tr.RegisterSession(id, leaf.rate)
+	}
 	return tr, nil
 }
 
@@ -114,6 +127,10 @@ func (tr *Tree) build(t *topo.Node, parent *node, idx int, rates map[*topo.Node]
 	if t.IsLeaf() {
 		tr.leaves[t.Session] = n
 	} else {
+		if n.name == "" {
+			n.name = fmt.Sprintf("node#%d", len(tr.interior))
+		}
+		tr.interior = append(tr.interior, n)
 		n.ns = newNode(n.rate)
 		for i, ct := range t.Children {
 			c := tr.build(ct, n, i, rates, newNode)
@@ -125,6 +142,43 @@ func (tr *Tree) build(t *topo.Node, parent *node, idx int, rates map[*topo.Node]
 		tr.byName[t.Name] = n
 	}
 	return n
+}
+
+// EnableMetrics switches on metric accumulation for the tree and for every
+// interior node scheduler.
+func (tr *Tree) EnableMetrics() {
+	tr.Collector.EnableMetrics()
+	for _, n := range tr.interior {
+		n.ns.EnableMetrics()
+	}
+}
+
+// SetTracer installs the tracer on the tree and on every interior node,
+// wrapping each node's stream so events carry the node's topology name
+// rather than the bare algorithm name.
+func (tr *Tree) SetTracer(t obs.Tracer) {
+	tr.Collector.SetTracer(t)
+	for _, n := range tr.interior {
+		if t == nil {
+			n.ns.SetTracer(nil)
+		} else {
+			n.ns.SetTracer(obs.Named(n.name, t))
+		}
+	}
+}
+
+// NodeSnapshots returns the reference-time metrics of every interior node
+// scheduler, keyed by node name (topology names, or node#i for unnamed
+// interior nodes). Interior counters are in the node's own clock: counts and
+// depths of the one-packet logical queues, no delay or WFI statistics.
+func (tr *Tree) NodeSnapshots() map[string]obs.Metrics {
+	out := make(map[string]obs.Metrics, len(tr.interior))
+	for _, n := range tr.interior {
+		m := n.ns.Snapshot()
+		m.Name = n.name + "/" + m.Name
+		out[n.name] = m
+	}
+	return out
 }
 
 // Name identifies the hierarchy and its per-node algorithm.
@@ -197,6 +251,7 @@ func (tr *Tree) Enqueue(now float64, p *packet.Packet) {
 		leaf.hol = p
 		tr.arrive(leaf)
 	}
+	tr.RecordEnqueue(now, p.Session, p.Length)
 }
 
 // arrive implements ARRIVE lines 5–9: push the newly backlogged child into
@@ -252,7 +307,9 @@ func (tr *Tree) Dequeue(now float64) *packet.Packet {
 		return nil
 	}
 	tr.inflight = true
-	return tr.root.hol
+	p := tr.root.hol
+	tr.RecordDequeue(now, p.Session, p.Length)
+	return p
 }
 
 // resetPath implements RESET-PATH(R): clear the logical queues along the

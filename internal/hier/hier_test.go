@@ -105,6 +105,7 @@ func TestTreeConservation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		tree.EnableMetrics()
 		out := randomWorkload(t, tree, 2, 4, 600, 11)
 		if len(out) != 600 {
 			t.Fatalf("%s: %d departures, want 600", algo, len(out))
@@ -116,6 +117,33 @@ func TestTreeConservation(t *testing.T) {
 					algo, p.Session, p.Seq, next[p.Session])
 			}
 			next[p.Session]++
+		}
+		// The root collector must agree: all 600 packets in and out, the
+		// conservation law intact at the tree and at every leaf session.
+		m := tree.Snapshot()
+		if m.Enqueued.Packets != 600 || m.Dequeued.Packets != 600 || m.QueueLen != 0 {
+			t.Errorf("%s: snapshot %d in / %d out / %d queued, want 600/600/0",
+				algo, m.Enqueued.Packets, m.Dequeued.Packets, m.QueueLen)
+		}
+		if !m.Conserved() {
+			t.Errorf("%s: tree conservation violated: %+v", algo, m)
+		}
+		if len(m.Sessions) != 4 {
+			t.Errorf("%s: snapshot has %d sessions, want 4", algo, len(m.Sessions))
+		}
+		// Every interior node drained too: its collector saw equal enqueue
+		// and dequeue counts and reports an empty queue.
+		nodes := tree.NodeSnapshots()
+		if len(nodes) != 3 {
+			t.Errorf("%s: %d interior node snapshots, want 3", algo, len(nodes))
+		}
+		for name, nm := range nodes {
+			if !nm.Conserved() || nm.QueueLen != 0 {
+				t.Errorf("%s: node %s not conserved after drain: %+v", algo, name, nm)
+			}
+			if nm.Enqueued.Packets == 0 {
+				t.Errorf("%s: node %s saw no traffic", algo, name)
+			}
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"hpfq/internal/des"
+	"hpfq/internal/obs"
 	"hpfq/internal/packet"
 )
 
@@ -25,6 +26,10 @@ type Queue interface {
 // Link transmits packets from a Queue at a fixed rate, one at a time — the
 // packet system model of §2: non-preemptive, work-conserving, one packet in
 // service at any instant.
+//
+// The embedded collector measures the full per-packet sojourn (arrival to
+// end of transmission), unlike a scheduler's collector which stops at the
+// start of transmission; its drop counters cover the link's buffer limits.
 type Link struct {
 	sim  *des.Sim
 	rate float64
@@ -40,6 +45,7 @@ type Link struct {
 	drops int64
 	sent  int64
 	work  float64 // bits transmitted
+	obs.Collector
 }
 
 // NewLink returns a link of the given rate in bits/sec draining q.
@@ -47,13 +53,15 @@ func NewLink(sim *des.Sim, rate float64, q Queue) *Link {
 	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
 		panic(fmt.Sprintf("netsim: invalid link rate %g", rate))
 	}
-	return &Link{
+	l := &Link{
 		sim:   sim,
 		rate:  rate,
 		q:     q,
 		limit: make(map[int]int),
 		inSys: make(map[int]int),
 	}
+	l.InitObs("link", rate)
+	return l
 }
 
 // Sim returns the simulator driving the link.
@@ -92,12 +100,14 @@ func (l *Link) Arrive(p *packet.Packet) bool {
 	p.Arrival = now
 	if max := l.limit[p.Session]; max > 0 && l.inSys[p.Session] >= max {
 		l.drops++
+		l.RecordDrop(now, p.Session, p.Length)
 		for _, fn := range l.dropHooks {
 			fn(p)
 		}
 		return false
 	}
 	l.inSys[p.Session]++
+	l.RecordEnqueue(now, p.Session, p.Length)
 	for _, fn := range l.arriveHooks {
 		fn(p)
 	}
@@ -120,6 +130,7 @@ func (l *Link) startNext() {
 		l.inSys[p.Session]--
 		l.sent++
 		l.work += p.Length
+		l.RecordDequeue(p.Depart, p.Session, p.Length)
 		for _, fn := range l.departHooks {
 			fn(p)
 		}

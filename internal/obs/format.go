@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteTable renders the snapshot as a human-readable per-session table:
+// one row per session with counters, depths, delay statistics (µs/ms
+// scaled), and the measured WFI. The cmd/hpfqsim -metrics flag prints
+// exactly this.
+func (m Metrics) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# %s: rate=%s enq=%d deq=%d drop=%d qlen=%d max_qlen=%d conserved=%v\n",
+		m.Name, rateString(m.Rate), m.Enqueued.Packets, m.Dequeued.Packets,
+		m.Dropped.Packets, m.QueueLen, m.MaxQueueLen, m.Conserved())
+	fmt.Fprintln(tw, "session\trate\tenq\tdeq\tdrop\tqlen\tmax\tdelay_min\tdelay_mean\tdelay_max\twfi")
+	for _, s := range m.Sessions {
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\n",
+			s.ID, rateString(s.Rate),
+			s.Enqueued.Packets, s.Dequeued.Packets, s.Dropped.Packets,
+			s.QueueLen, s.MaxQueueLen,
+			durString(s.Delay.Min), durString(s.Delay.Mean()), durString(s.Delay.Max),
+			durString(s.WFI))
+	}
+	return tw.Flush()
+}
+
+// rateString renders a bits/sec rate with a binary-free SI suffix.
+func rateString(r float64) string {
+	switch {
+	case r >= 1e9:
+		return fmt.Sprintf("%.3gGbps", r/1e9)
+	case r >= 1e6:
+		return fmt.Sprintf("%.3gMbps", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.3gkbps", r/1e3)
+	}
+	return fmt.Sprintf("%gbps", r)
+}
+
+// durString renders a duration in seconds at a readable scale.
+func durString(d float64) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < 1e-3:
+		return fmt.Sprintf("%.1fµs", d*1e6)
+	case d < 1:
+		return fmt.Sprintf("%.3fms", d*1e3)
+	}
+	return fmt.Sprintf("%.3fs", d)
+}

@@ -1,0 +1,478 @@
+// Package obs is the observability layer for the whole stack: a
+// zero-dependency (standard library only) metrics and trace substrate
+// shared by every scheduler, hierarchy node, link, shaper, and the DES
+// kernel.
+//
+// Two facilities, independently switchable:
+//
+//   - Metrics: cumulative counters and distributions (packets/bits
+//     enqueued, dequeued, dropped; current and max queue depth; per-session
+//     delay min/mean/max plus a fixed-bucket histogram; measured worst-case
+//     fair index against the session's guaranteed rate), frozen on demand
+//     into a Metrics snapshot.
+//   - Tracing: per-event hooks (Enqueue, Dequeue with virtual start/finish
+//     and system virtual time, Drop) delivered to a Tracer. A nil tracer
+//     costs one predictable branch per packet; bundled tracers record into
+//     a fixed-size ring (RingTracer) or stream JSON lines (JSONLTracer).
+//
+// Collector is the embeddable engine behind both. The zero value is a
+// disabled collector whose record methods return after a single flag test,
+// so instrumented hot paths stay within noise of uninstrumented ones (see
+// BenchmarkMetricsOverhead at the repository root).
+//
+// The programmable-scheduler literature (Sivaraman et al., "Programmable
+// Packet Scheduling"; Alcoz et al., "Everything Matters in Programmable
+// Packet Scheduling") treats per-decision visibility — virtual-time values,
+// eligibility, rank at dequeue — as the prerequisite for evaluating any PFQ
+// variant; this package provides exactly that for the paper's algorithms.
+package obs
+
+import "sort"
+
+// DelayBuckets are the upper bounds, in seconds, of the fixed delay
+// histogram buckets. A delay d lands in the first bucket whose bound is
+// >= d; delays above the last bound land in the overflow bucket, so a
+// histogram has len(DelayBuckets)+1 counters.
+var DelayBuckets = [...]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// NumDelayBuckets is the number of histogram counters, including the
+// overflow bucket.
+const NumDelayBuckets = len(DelayBuckets) + 1
+
+// Counter counts packets and their cumulative length in bits (or cost
+// units, for the shaper).
+type Counter struct {
+	Packets int64
+	Bits    float64
+}
+
+func (c *Counter) add(bits float64) {
+	c.Packets++
+	c.Bits += bits
+}
+
+// DelayStats summarizes the queueing delays observed for one session:
+// extremes, mean, and a fixed-bucket histogram over DelayBuckets.
+type DelayStats struct {
+	Count int64
+	Min   float64
+	Max   float64
+	Sum   float64
+	Hist  [NumDelayBuckets]int64
+}
+
+// Mean returns the mean observed delay, or 0 before the first sample.
+func (d DelayStats) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.Count)
+}
+
+func (d *DelayStats) observe(delay float64) {
+	if d.Count == 0 || delay < d.Min {
+		d.Min = delay
+	}
+	if delay > d.Max {
+		d.Max = delay
+	}
+	d.Count++
+	d.Sum += delay
+	d.Hist[bucketOf(delay)]++
+}
+
+func bucketOf(delay float64) int {
+	for i, b := range DelayBuckets {
+		if delay <= b {
+			return i
+		}
+	}
+	return len(DelayBuckets)
+}
+
+// SessionMetrics is the per-session (or per-child, or per-class) slice of a
+// Metrics snapshot.
+type SessionMetrics struct {
+	ID   int
+	Rate float64 // guaranteed rate in bits/sec (0 when the server has none)
+
+	Enqueued Counter
+	Dequeued Counter
+	Dropped  Counter
+
+	QueueLen    int
+	MaxQueueLen int
+
+	// Delay holds dequeue-time-minus-enqueue-time samples. For servers
+	// driven by the DES this is the queueing delay up to the start of
+	// transmission; the Link measures the full sojourn including
+	// transmission. Reference-time hierarchy nodes do not collect delays.
+	Delay DelayStats
+
+	// WFI is the measured worst-case fair index in seconds: the largest
+	// observed normalized service lag (guaranteed service since the session
+	// became backlogged, minus actual service, divided by the guaranteed
+	// rate). Theorem 4 bounds this near one packet time for WF²Q+;
+	// WFQ's grows with the number of sessions.
+	WFI float64
+}
+
+// Offered returns the number of packets presented to the server for this
+// session: accepted (enqueued) plus dropped.
+func (s SessionMetrics) Offered() int64 {
+	return s.Enqueued.Packets + s.Dropped.Packets
+}
+
+// Conserved reports the per-session conservation law:
+// enqueued == dequeued + queued (drops are counted separately and never
+// enter a queue).
+func (s SessionMetrics) Conserved() bool {
+	return s.Enqueued.Packets == s.Dequeued.Packets+int64(s.QueueLen)
+}
+
+// Metrics is a point-in-time snapshot of one server's counters. Snapshots
+// are plain values: safe to retain, compare, and serialize.
+type Metrics struct {
+	Name    string  // algorithm or component name
+	Rate    float64 // configured server rate in bits/sec
+	Enabled bool    // false when the collector never ran (all zeros)
+
+	Enqueued Counter
+	Dequeued Counter
+	Dropped  Counter
+
+	QueueLen    int
+	MaxQueueLen int
+
+	Sessions []SessionMetrics // sorted by ID
+}
+
+// Session returns the snapshot slice for one session id.
+func (m Metrics) Session(id int) (SessionMetrics, bool) {
+	i := sort.Search(len(m.Sessions), func(i int) bool { return m.Sessions[i].ID >= id })
+	if i < len(m.Sessions) && m.Sessions[i].ID == id {
+		return m.Sessions[i], true
+	}
+	return SessionMetrics{}, false
+}
+
+// Offered returns the number of packets presented to the server: accepted
+// (enqueued) plus dropped.
+func (m Metrics) Offered() int64 { return m.Enqueued.Packets + m.Dropped.Packets }
+
+// Conserved reports the conservation law at the server and at every
+// session: offered == dequeued + queued + dropped, i.e.
+// enqueued == dequeued + queued.
+func (m Metrics) Conserved() bool {
+	if m.Enqueued.Packets != m.Dequeued.Packets+int64(m.QueueLen) {
+		return false
+	}
+	for _, s := range m.Sessions {
+		if !s.Conserved() {
+			return false
+		}
+	}
+	return true
+}
+
+// SimMetrics are the DES kernel counters: how much work the simulator did
+// and how fast it did it.
+type SimMetrics struct {
+	EventsScheduled uint64  // total events ever pushed into the heap
+	EventsFired     uint64  // events executed
+	EventsPending   int     // events still in the heap
+	HeapHighWater   int     // largest heap size observed
+	SimTime         float64 // current simulation clock, seconds
+	WallSeconds     float64 // wall-clock time spent inside Run/RunAll
+}
+
+// SimPerWall returns the ratio of simulated seconds to wall-clock seconds
+// spent executing events (0 before any timed run).
+func (m SimMetrics) SimPerWall() float64 {
+	if m.WallSeconds <= 0 {
+		return 0
+	}
+	return m.SimTime / m.WallSeconds
+}
+
+// Observable is the uniform observability surface: exactly the methods
+// Collector promotes into every server that embeds it. The Scheduler and
+// NodeScheduler interfaces embed it so callers can enable metrics or attach
+// tracers without knowing the concrete algorithm.
+type Observable interface {
+	// EnableMetrics switches metric accumulation on.
+	EnableMetrics()
+	// MetricsEnabled reports whether metrics are being accumulated.
+	MetricsEnabled() bool
+	// SetTracer installs (or, with nil, removes) a per-event tracer.
+	SetTracer(t Tracer)
+	// Snapshot freezes the counters into a Metrics value.
+	Snapshot() Metrics
+}
+
+// sessionState is the live per-session accumulator behind SessionMetrics.
+type sessionState struct {
+	seen bool
+	rate float64
+
+	enq, deq, drop Counter
+	depth          int
+	maxDepth       int
+
+	delay    DelayStats
+	arrivals floatFIFO // enqueue times of queued packets, FIFO
+
+	busy      bool
+	busyStart float64
+	served    float64 // bits served since busyStart
+	wfi       float64
+}
+
+// Collector accumulates metrics and publishes trace events for one server.
+// It is designed to be embedded by value in a scheduler: the zero value is
+// fully disabled, record calls then cost one branch, and the promoted
+// EnableMetrics / SetTracer / MetricsEnabled / Snapshot methods become the
+// server's public observability surface.
+//
+// Collector is not internally synchronized; callers that are concurrent
+// (the shaper) must hold their own lock around record and Snapshot calls.
+// Everything driven by the single-threaded DES needs no locking.
+type Collector struct {
+	name    string
+	rate    float64
+	refTime bool // virtual/reference-time server: no delay or WFI stats
+
+	metrics bool
+	tracer  Tracer
+	active  bool // metrics || tracer != nil
+
+	enq, deq, drop Counter
+	depth          int
+	maxDepth       int
+
+	sessions []sessionState
+}
+
+// InitObs names the collector (normally the algorithm name) and records the
+// configured server rate. Constructors call it once; it does not enable
+// anything.
+func (c *Collector) InitObs(name string, rate float64) {
+	c.name = name
+	c.rate = rate
+}
+
+// InitNodeObs is InitObs for reference-time servers (hierarchy node
+// schedulers): counts, depths, and trace events are collected, but delay
+// and WFI statistics — meaningless in a clock measured in normalized work —
+// are skipped, and event times are in the node's own virtual time.
+func (c *Collector) InitNodeObs(name string, rate float64) {
+	c.InitObs(name, rate)
+	c.refTime = true
+}
+
+// EnableMetrics switches metric accumulation on. Enabling mid-run is legal:
+// counters start from zero at that instant, and delay samples begin with
+// packets enqueued after the switch.
+func (c *Collector) EnableMetrics() {
+	c.metrics = true
+	c.active = true
+}
+
+// MetricsEnabled reports whether EnableMetrics was called.
+func (c *Collector) MetricsEnabled() bool { return c.metrics }
+
+// SetTracer installs (or, with nil, removes) the per-event tracer.
+func (c *Collector) SetTracer(t Tracer) {
+	c.tracer = t
+	c.active = c.metrics || t != nil
+}
+
+// RegisterSession declares a session and its guaranteed rate, so the
+// snapshot can report rates and measure WFI. Sessions that are never
+// registered (FIFO servers, links) are created lazily with rate 0 on first
+// use.
+func (c *Collector) RegisterSession(id int, rate float64) {
+	s := c.session(id)
+	s.rate = rate
+}
+
+func (c *Collector) session(id int) *sessionState {
+	for len(c.sessions) <= id {
+		c.sessions = append(c.sessions, sessionState{})
+	}
+	s := &c.sessions[id]
+	s.seen = true
+	return s
+}
+
+// RecordEnqueue accounts one packet of the given length accepted for the
+// session at time now (seconds; node collectors pass their virtual time).
+func (c *Collector) RecordEnqueue(now float64, session int, bits float64) {
+	if !c.active {
+		return
+	}
+	c.recordEnqueue(now, session, bits)
+}
+
+func (c *Collector) recordEnqueue(now float64, session int, bits float64) {
+	s := c.session(session)
+	if c.metrics {
+		c.enq.add(bits)
+		s.enq.add(bits)
+		c.depth++
+		if c.depth > c.maxDepth {
+			c.maxDepth = c.depth
+		}
+		s.depth++
+		if s.depth > s.maxDepth {
+			s.maxDepth = s.depth
+		}
+		if !c.refTime {
+			s.arrivals.push(now)
+			if !s.busy {
+				s.busy = true
+				s.busyStart = now
+				s.served = 0
+			}
+		}
+	}
+	if c.tracer != nil {
+		c.tracer.Enqueue(Event{
+			Type: EventEnqueue, Time: now, Node: c.name,
+			Session: session, Bits: bits, QueueLen: s.depth,
+		})
+	}
+}
+
+// RecordDequeue accounts one packet leaving the server at time now, for
+// servers without a virtual clock (DRR, FIFO, links, hierarchies).
+func (c *Collector) RecordDequeue(now float64, session int, bits float64) {
+	if !c.active {
+		return
+	}
+	c.recordDequeue(now, session, bits, 0, 0, 0, false)
+}
+
+// RecordDequeueVT is RecordDequeue carrying the virtual-time fields of the
+// scheduling decision: the served packet's virtual start and finish times
+// and the system virtual time after the selection.
+func (c *Collector) RecordDequeueVT(now float64, session int, bits, vstart, vfinish, sysVT float64) {
+	if !c.active {
+		return
+	}
+	c.recordDequeue(now, session, bits, vstart, vfinish, sysVT, true)
+}
+
+func (c *Collector) recordDequeue(now float64, session int, bits, vstart, vfinish, sysVT float64, hasVT bool) {
+	s := c.session(session)
+	if c.metrics {
+		c.deq.add(bits)
+		s.deq.add(bits)
+		c.depth--
+		s.depth--
+		if !c.refTime {
+			if arr, ok := s.arrivals.pop(); ok {
+				s.delay.observe(now - arr)
+			}
+			if s.busy && s.rate > 0 {
+				// Normalized service lag at the instant this packet is
+				// selected: what the guaranteed rate promised since the
+				// backlog began, minus what was actually served.
+				lag := (now-s.busyStart)*s.rate - s.served
+				if w := lag / s.rate; w > s.wfi {
+					s.wfi = w
+				}
+				s.served += bits
+			}
+			if s.depth == 0 {
+				s.busy = false
+			}
+		}
+	}
+	if c.tracer != nil {
+		c.tracer.Dequeue(Event{
+			Type: EventDequeue, Time: now, Node: c.name,
+			Session: session, Bits: bits, QueueLen: s.depth,
+			HasVT: hasVT, VirtualStart: vstart, VirtualFinish: vfinish, SystemVT: sysVT,
+		})
+	}
+}
+
+// RecordDrop accounts one packet rejected at arrival (buffer limit, class
+// queue limit). Dropped packets never enter a queue, so depth is untouched.
+func (c *Collector) RecordDrop(now float64, session int, bits float64) {
+	if !c.active {
+		return
+	}
+	c.recordDrop(now, session, bits)
+}
+
+func (c *Collector) recordDrop(now float64, session int, bits float64) {
+	s := c.session(session)
+	if c.metrics {
+		c.drop.add(bits)
+		s.drop.add(bits)
+	}
+	if c.tracer != nil {
+		c.tracer.Drop(Event{
+			Type: EventDrop, Time: now, Node: c.name,
+			Session: session, Bits: bits, QueueLen: s.depth,
+		})
+	}
+}
+
+// Snapshot freezes the counters into a Metrics value. Cheap enough to call
+// periodically while a simulation runs.
+func (c *Collector) Snapshot() Metrics {
+	m := Metrics{
+		Name:        c.name,
+		Rate:        c.rate,
+		Enabled:     c.metrics,
+		Enqueued:    c.enq,
+		Dequeued:    c.deq,
+		Dropped:     c.drop,
+		QueueLen:    c.depth,
+		MaxQueueLen: c.maxDepth,
+	}
+	for id := range c.sessions {
+		s := &c.sessions[id]
+		if !s.seen {
+			continue
+		}
+		m.Sessions = append(m.Sessions, SessionMetrics{
+			ID:          id,
+			Rate:        s.rate,
+			Enqueued:    s.enq,
+			Dequeued:    s.deq,
+			Dropped:     s.drop,
+			QueueLen:    s.depth,
+			MaxQueueLen: s.maxDepth,
+			Delay:       s.delay,
+			WFI:         s.wfi,
+		})
+	}
+	return m
+}
+
+// floatFIFO is a slice-backed queue of float64 with amortized O(1) push and
+// pop (same compaction scheme as packet.FIFO).
+type floatFIFO struct {
+	buf  []float64
+	head int
+}
+
+func (q *floatFIFO) push(v float64) { q.buf = append(q.buf, v) }
+
+func (q *floatFIFO) pop() (float64, bool) {
+	if q.head >= len(q.buf) {
+		return 0, false
+	}
+	v := q.buf[q.head]
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return v, true
+}

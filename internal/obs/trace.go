@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// EventType discriminates trace events.
+type EventType uint8
+
+// The three event kinds every instrumented server publishes.
+const (
+	EventEnqueue EventType = iota
+	EventDequeue
+	EventDrop
+)
+
+// String returns the JSONL spelling of the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventEnqueue:
+		return "enqueue"
+	case EventDequeue:
+		return "dequeue"
+	case EventDrop:
+		return "drop"
+	}
+	return "unknown"
+}
+
+// Event is one scheduling decision. Enqueue and Drop events carry the
+// packet and queue state; Dequeue events from virtual-time schedulers
+// (WF²Q+, WFQ, WF²Q, SCFQ, SFQ) additionally carry the served packet's
+// virtual start and finish times and the system virtual time after the
+// selection (HasVT true). Time is in seconds for real-time servers and in
+// the node's own virtual/reference time for hierarchy node schedulers.
+type Event struct {
+	Type     EventType
+	Time     float64
+	Node     string // component name; hierarchy nodes use the topology name
+	Session  int    // session, child index, or class id
+	Bits     float64
+	QueueLen int // session queue depth after the operation
+
+	HasVT         bool
+	VirtualStart  float64
+	VirtualFinish float64
+	SystemVT      float64
+}
+
+// Tracer receives scheduling events. Implementations must be cheap: they
+// run inline on the enqueue/dequeue path. A nil Tracer on a Collector
+// disables tracing entirely (one branch per packet).
+type Tracer interface {
+	Enqueue(ev Event)
+	Dequeue(ev Event)
+	Drop(ev Event)
+}
+
+// named stamps a component name onto every event before forwarding, so one
+// shared tracer can tell hierarchy nodes apart.
+type named struct {
+	node string
+	t    Tracer
+}
+
+// Named wraps t so every event's Node field reads node. The hierarchy uses
+// it to label per-node schedulers with their topology names.
+func Named(node string, t Tracer) Tracer { return named{node: node, t: t} }
+
+func (n named) Enqueue(ev Event) { ev.Node = n.node; n.t.Enqueue(ev) }
+func (n named) Dequeue(ev Event) { ev.Node = n.node; n.t.Dequeue(ev) }
+func (n named) Drop(ev Event)    { ev.Node = n.node; n.t.Drop(ev) }
+
+// RingTracer keeps the most recent events in a fixed-capacity ring buffer:
+// always-on flight recording with bounded memory, inspected after the fact
+// with Events.
+type RingTracer struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRingTracer returns a ring tracer holding the last capacity events.
+func NewRingTracer(capacity int) *RingTracer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &RingTracer{buf: make([]Event, 0, capacity)}
+}
+
+func (r *RingTracer) record(ev Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Enqueue records an enqueue event.
+func (r *RingTracer) Enqueue(ev Event) { r.record(ev) }
+
+// Dequeue records a dequeue event.
+func (r *RingTracer) Dequeue(ev Event) { r.record(ev) }
+
+// Drop records a drop event.
+func (r *RingTracer) Drop(ev Event) { r.record(ev) }
+
+// Total returns the number of events ever recorded, including those the
+// ring has since overwritten.
+func (r *RingTracer) Total() uint64 { return r.total }
+
+// Events returns the retained events oldest-first.
+func (r *RingTracer) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// jsonEvent is the wire form of an Event: one JSON object per line.
+type jsonEvent struct {
+	Type     string  `json:"type"`
+	Time     float64 `json:"t"`
+	Node     string  `json:"node,omitempty"`
+	Session  int     `json:"session"`
+	Bits     float64 `json:"bits"`
+	QueueLen int     `json:"qlen"`
+
+	VirtualStart  *float64 `json:"vstart,omitempty"`
+	VirtualFinish *float64 `json:"vfinish,omitempty"`
+	SystemVT      *float64 `json:"vtime,omitempty"`
+}
+
+// JSONLTracer streams every event as one JSON object per line (JSON Lines)
+// to a writer. Virtual-time fields appear only on dequeue events from
+// virtual-time schedulers. Write errors are sticky: tracing stops at the
+// first failure and Err reports it.
+type JSONLTracer struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLTracer returns a tracer writing JSON lines to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{enc: json.NewEncoder(w)}
+}
+
+// Err returns the first write error, if any.
+func (t *JSONLTracer) Err() error { return t.err }
+
+func (t *JSONLTracer) write(ev Event) {
+	if t.err != nil {
+		return
+	}
+	je := jsonEvent{
+		Type:     ev.Type.String(),
+		Time:     ev.Time,
+		Node:     ev.Node,
+		Session:  ev.Session,
+		Bits:     ev.Bits,
+		QueueLen: ev.QueueLen,
+	}
+	if ev.HasVT {
+		vs, vf, vt := ev.VirtualStart, ev.VirtualFinish, ev.SystemVT
+		je.VirtualStart, je.VirtualFinish, je.SystemVT = &vs, &vf, &vt
+	}
+	t.err = t.enc.Encode(je)
+}
+
+// Enqueue writes an enqueue event line.
+func (t *JSONLTracer) Enqueue(ev Event) { t.write(ev) }
+
+// Dequeue writes a dequeue event line.
+func (t *JSONLTracer) Dequeue(ev Event) { t.write(ev) }
+
+// Drop writes a drop event line.
+func (t *JSONLTracer) Drop(ev Event) { t.write(ev) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"hpfq/internal/obs"
 	"hpfq/internal/packet"
 )
 
@@ -28,13 +29,15 @@ type DRR struct {
 	credited int // session at the front already credited this visit (-1 none)
 	minRate  float64
 	backlog  int
+	obs.Collector
 }
 
 // NewDRR returns a DRR server. The link rate is accepted for interface
 // uniformity; DRR needs only the relative session rates.
 func NewDRR(rate float64) *DRR {
-	_ = rate
-	return &DRR{minRate: math.Inf(1), credited: -1}
+	d := &DRR{minRate: math.Inf(1), credited: -1}
+	d.InitObs("DRR", rate)
+	return d
 }
 
 // Name identifies the algorithm.
@@ -69,6 +72,7 @@ func (d *DRR) AddSession(id int, rate float64) {
 			d.quantum[i] = drrQuantumBase * r / d.minRate
 		}
 	}
+	d.RegisterSession(id, rate)
 }
 
 // Enqueue queues the packet; a newly backlogged session joins the tail of
@@ -82,6 +86,7 @@ func (d *DRR) Enqueue(now float64, p *packet.Packet) {
 		d.deficit[p.Session] = 0
 		d.active = append(d.active, p.Session)
 	}
+	d.RecordEnqueue(now, p.Session, p.Length)
 }
 
 // Dequeue serves the session at the head of the round while its deficit
@@ -112,6 +117,7 @@ func (d *DRR) Dequeue(now float64) *packet.Packet {
 			d.active = d.active[1:]
 			d.credited = -1
 		}
+		d.RecordDequeue(now, id, head.Length)
 		return head
 	}
 	return nil
@@ -125,26 +131,38 @@ func (d *DRR) Backlog() int { return d.backlog }
 // failing when any session misbehaves.
 type FIFO struct {
 	q packet.FIFO
+	obs.Collector
 }
 
 // NewFIFO returns a FIFO server. Rate and session registration are accepted
 // for interface uniformity.
 func NewFIFO(rate float64) *FIFO {
-	_ = rate
-	return &FIFO{}
+	f := &FIFO{}
+	f.InitObs("FIFO", rate)
+	return f
 }
 
 // Name identifies the algorithm.
 func (f *FIFO) Name() string { return "FIFO" }
 
-// AddSession is a no-op; FIFO has no per-session state.
-func (f *FIFO) AddSession(id int, rate float64) {}
+// AddSession records the session's rate for metrics; FIFO itself has no
+// per-session state (sessions it never sees are created lazily).
+func (f *FIFO) AddSession(id int, rate float64) { f.RegisterSession(id, rate) }
 
 // Enqueue appends the packet.
-func (f *FIFO) Enqueue(now float64, p *packet.Packet) { f.q.Push(p) }
+func (f *FIFO) Enqueue(now float64, p *packet.Packet) {
+	f.q.Push(p)
+	f.RecordEnqueue(now, p.Session, p.Length)
+}
 
 // Dequeue pops the oldest packet.
-func (f *FIFO) Dequeue(now float64) *packet.Packet { return f.q.Pop() }
+func (f *FIFO) Dequeue(now float64) *packet.Packet {
+	p := f.q.Pop()
+	if p != nil {
+		f.RecordDequeue(now, p.Session, p.Length)
+	}
+	return p
+}
 
 // Backlog returns the number of queued packets.
 func (f *FIFO) Backlog() int { return f.q.Len() }

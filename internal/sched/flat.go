@@ -1,6 +1,9 @@
 package sched
 
-import "hpfq/internal/packet"
+import (
+	"hpfq/internal/obs"
+	"hpfq/internal/packet"
+)
 
 // Flat adapts any NodeScheduler into a standalone Scheduler by placing a
 // per-session FIFO in front of each child slot. A packet arriving to an
@@ -18,11 +21,16 @@ type Flat struct {
 	node    NodeScheduler
 	queues  []packet.FIFO
 	backlog int
+	obs.Collector
 }
 
-// NewFlat wraps a node scheduler as a standalone scheduler.
+// NewFlat wraps a node scheduler as a standalone scheduler. Flat keeps its
+// own real-time collector (delays, WFI); the wrapped node's reference-time
+// collector remains reachable through the node itself.
 func NewFlat(node NodeScheduler) *Flat {
-	return &Flat{node: node}
+	f := &Flat{node: node}
+	f.InitObs(node.Name()+"/flat", 0)
+	return f
 }
 
 // Name identifies the wrapped algorithm.
@@ -34,6 +42,7 @@ func (f *Flat) AddSession(id int, rate float64) {
 	for len(f.queues) <= id {
 		f.queues = append(f.queues, packet.FIFO{})
 	}
+	f.RegisterSession(id, rate)
 }
 
 // Enqueue queues the packet, pushing a newly backlogged session into the
@@ -45,6 +54,7 @@ func (f *Flat) Enqueue(now float64, p *packet.Packet) {
 	if q.Len() == 1 {
 		f.node.Push(p.Session, p.Length, false)
 	}
+	f.RecordEnqueue(now, p.Session, p.Length)
 }
 
 // Dequeue pops the next session from the node scheduler and serves its head
@@ -60,6 +70,7 @@ func (f *Flat) Dequeue(now float64) *packet.Packet {
 	if !q.Empty() {
 		f.node.Push(id, q.Head().Length, true)
 	}
+	f.RecordDequeue(now, id, p.Length)
 	return p
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"hpfq/internal/fluid"
+	"hpfq/internal/obs"
 	"hpfq/internal/pq"
 )
 
@@ -63,11 +64,14 @@ type WFQNode struct {
 	t     float64
 	cs    childSet
 	hol   *pq.Heap[float64] // child → head virtual finish
+	obs.Collector
 }
 
 // NewWFQNode returns a WFQ node with guaranteed rate r_n in bits/sec.
 func NewWFQNode(rate float64) *WFQNode {
-	return &WFQNode{rate: rate, clock: fluid.NewClock(rate), hol: pq.NewHeap[float64](4)}
+	n := &WFQNode{rate: rate, clock: fluid.NewClock(rate), hol: pq.NewHeap[float64](4)}
+	n.InitNodeObs("WFQ", rate)
+	return n
 }
 
 // Name identifies the algorithm.
@@ -77,6 +81,7 @@ func (n *WFQNode) Name() string { return "WFQ" }
 func (n *WFQNode) AddChild(id int, rate float64) {
 	n.cs.add(id, rate)
 	n.clock.AddSession(id, rate)
+	n.RegisterSession(id, rate)
 }
 
 // Push stamps the child's new head packet against the node's GPS fluid
@@ -99,6 +104,7 @@ func (n *WFQNode) Push(id int, length float64, cont bool) {
 	c.s, c.f, c.length, c.queued = s, f, length, true
 	n.cs.count++
 	n.hol.Push(id, f)
+	n.RecordEnqueue(n.clock.V(), id, length)
 }
 
 // Pop selects the child with the smallest virtual finish (SFF) and advances
@@ -114,6 +120,7 @@ func (n *WFQNode) Pop() (int, bool) {
 	n.cs.count--
 	n.t += c.length / n.rate
 	n.clock.Advance(n.t)
+	n.RecordDequeueVT(n.clock.V(), id, c.length, c.s, c.f, n.clock.V())
 	return id, true
 }
 
@@ -132,11 +139,14 @@ type WF2QNode struct {
 	cs    childSet
 	elig  *pq.Heap[float64] // by head F
 	inel  *pq.Heap[float64] // by head S
+	obs.Collector
 }
 
 // NewWF2QNode returns a WF²Q node with guaranteed rate r_n in bits/sec.
 func NewWF2QNode(rate float64) *WF2QNode {
-	return &WF2QNode{rate: rate, clock: fluid.NewClock(rate), elig: pq.NewHeap[float64](4), inel: pq.NewHeap[float64](4)}
+	n := &WF2QNode{rate: rate, clock: fluid.NewClock(rate), elig: pq.NewHeap[float64](4), inel: pq.NewHeap[float64](4)}
+	n.InitNodeObs("WF2Q", rate)
+	return n
 }
 
 // Name identifies the algorithm.
@@ -146,6 +156,7 @@ func (n *WF2QNode) Name() string { return "WF2Q" }
 func (n *WF2QNode) AddChild(id int, rate float64) {
 	n.cs.add(id, rate)
 	n.clock.AddSession(id, rate)
+	n.RegisterSession(id, rate)
 }
 
 // Push stamps the child's new head packet: eq. 6–7 for new backlogs,
@@ -169,6 +180,7 @@ func (n *WF2QNode) Push(id int, length float64, cont bool) {
 	} else {
 		n.inel.Push(id, s)
 	}
+	n.RecordEnqueue(n.clock.V(), id, length)
 }
 
 // Pop selects the eligible child with the smallest virtual finish (SEFF)
@@ -196,6 +208,7 @@ func (n *WF2QNode) Pop() (int, bool) {
 	n.cs.count--
 	n.t += c.length / n.rate
 	n.clock.Advance(n.t)
+	n.RecordDequeueVT(n.clock.V(), id, c.length, c.s, c.f, n.clock.V())
 	return id, true
 }
 
@@ -208,19 +221,24 @@ type SCFQNode struct {
 	cs  childSet
 	v   float64
 	hol *pq.Heap[float64] // by head finish tag
+	obs.Collector
 }
 
 // NewSCFQNode returns an SCFQ node; rate is accepted for uniformity.
 func NewSCFQNode(rate float64) *SCFQNode {
-	_ = rate
-	return &SCFQNode{hol: pq.NewHeap[float64](4)}
+	n := &SCFQNode{hol: pq.NewHeap[float64](4)}
+	n.InitNodeObs("SCFQ", rate)
+	return n
 }
 
 // Name identifies the algorithm.
 func (n *SCFQNode) Name() string { return "SCFQ" }
 
 // AddChild registers child id with guaranteed rate in bits/sec.
-func (n *SCFQNode) AddChild(id int, rate float64) { n.cs.add(id, rate) }
+func (n *SCFQNode) AddChild(id int, rate float64) {
+	n.cs.add(id, rate)
+	n.RegisterSession(id, rate)
+}
 
 // Push tags the child's head packet: F = max(F_prev, v) + L/r for a new
 // backlog, F = F_prev + L/r for a continuation (chaining per the paper's
@@ -238,6 +256,7 @@ func (n *SCFQNode) Push(id int, length float64, cont bool) {
 	c.length, c.queued = length, true
 	n.cs.count++
 	n.hol.Push(id, c.f)
+	n.RecordEnqueue(n.v, id, length)
 }
 
 // Pop selects the smallest finish tag and advances v to it.
@@ -251,6 +270,7 @@ func (n *SCFQNode) Pop() (int, bool) {
 	c.queued = false
 	n.cs.count--
 	n.v = c.f
+	n.RecordDequeueVT(n.v, id, c.length, c.f-c.length/c.rate, c.f, n.v)
 	return id, true
 }
 
@@ -265,19 +285,24 @@ type SFQNode struct {
 	v    float64
 	maxF float64
 	hol  *pq.Heap[float64] // by head start tag
+	obs.Collector
 }
 
 // NewSFQNode returns an SFQ node; rate is accepted for uniformity.
 func NewSFQNode(rate float64) *SFQNode {
-	_ = rate
-	return &SFQNode{hol: pq.NewHeap[float64](4)}
+	n := &SFQNode{hol: pq.NewHeap[float64](4)}
+	n.InitNodeObs("SFQ", rate)
+	return n
 }
 
 // Name identifies the algorithm.
 func (n *SFQNode) Name() string { return "SFQ" }
 
 // AddChild registers child id with guaranteed rate in bits/sec.
-func (n *SFQNode) AddChild(id int, rate float64) { n.cs.add(id, rate) }
+func (n *SFQNode) AddChild(id int, rate float64) {
+	n.cs.add(id, rate)
+	n.RegisterSession(id, rate)
+}
 
 // Push tags the child's head packet: S = max(F_prev, v) for a new backlog,
 // S = F_prev for a continuation (chaining per the paper's Reset-Path
@@ -299,6 +324,7 @@ func (n *SFQNode) Push(id int, length float64, cont bool) {
 	c.length, c.queued = length, true
 	n.cs.count++
 	n.hol.Push(id, c.s)
+	n.RecordEnqueue(n.v, id, length)
 }
 
 // Pop selects the smallest start tag and advances v to it. When the node
@@ -316,6 +342,7 @@ func (n *SFQNode) Pop() (int, bool) {
 	if n.cs.count == 0 {
 		n.v = n.maxF
 	}
+	n.RecordDequeueVT(n.v, id, c.length, c.s, c.f, n.v)
 	return id, true
 }
 
@@ -333,12 +360,15 @@ type DRRNode struct {
 	ring     []int
 	credited int // front child already credited this round visit (-1 none)
 	minRate  float64
+	work     float64 // cumulative bits served, the node's only clock
+	obs.Collector
 }
 
 // NewDRRNode returns a DRR node; rate is accepted for uniformity.
 func NewDRRNode(rate float64) *DRRNode {
-	_ = rate
-	return &DRRNode{minRate: math.Inf(1), credited: -1}
+	n := &DRRNode{minRate: math.Inf(1), credited: -1}
+	n.InitNodeObs("DRR", rate)
+	return n
 }
 
 // Name identifies the algorithm.
@@ -359,6 +389,7 @@ func (n *DRRNode) AddChild(id int, rate float64) {
 			n.quantum[i] = drrQuantumBase * n.cs.children[i].rate / n.minRate
 		}
 	}
+	n.RegisterSession(id, rate)
 }
 
 // Push marks the child backlogged. A continuation rejoins at the front of
@@ -377,6 +408,7 @@ func (n *DRRNode) Push(id int, length float64, cont bool) {
 		n.deficit[id] = 0
 		n.ring = append(n.ring, id)
 	}
+	n.RecordEnqueue(n.work, id, length)
 }
 
 // Pop serves the front of the round once its deficit covers the head
@@ -401,6 +433,8 @@ func (n *DRRNode) Pop() (int, bool) {
 		c.queued = false
 		n.cs.count--
 		n.ring = n.ring[1:]
+		n.work += c.length
+		n.RecordDequeue(n.work, id, c.length)
 		return id, true
 	}
 	return -1, false

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"hpfq/internal/obs"
 	"hpfq/internal/packet"
 	"hpfq/internal/pq"
 )
@@ -23,13 +24,15 @@ type SCFQ struct {
 	queues  []stampQueue
 	hol     *pq.Heap[float64] // session → head finish tag
 	backlog int
+	obs.Collector
 }
 
 // NewSCFQ returns an SCFQ server. The link rate is accepted for interface
 // uniformity; SCFQ's tags depend only on session rates.
 func NewSCFQ(rate float64) *SCFQ {
-	_ = rate
-	return &SCFQ{hol: pq.NewHeap[float64](8)}
+	s := &SCFQ{hol: pq.NewHeap[float64](8)}
+	s.InitObs("SCFQ", rate)
+	return s
 }
 
 // Name identifies the algorithm.
@@ -52,6 +55,7 @@ func (s *SCFQ) AddSession(id int, rate float64) {
 		panic(fmt.Sprintf("sched: duplicate session id %d", id))
 	}
 	s.rates[id] = rate
+	s.RegisterSession(id, rate)
 }
 
 // Enqueue tags the packet with its self-clocked finish time and queues it.
@@ -64,6 +68,7 @@ func (s *SCFQ) Enqueue(now float64, p *packet.Packet) {
 	if q.Len() == 1 {
 		s.hol.Push(p.Session, f)
 	}
+	s.RecordEnqueue(now, p.Session, p.Length)
 }
 
 // Dequeue returns the packet with the smallest finish tag, advancing the
@@ -81,6 +86,8 @@ func (s *SCFQ) Dequeue(now float64) *packet.Packet {
 	if !q.Empty() {
 		s.hol.Push(id, q.Head().f)
 	}
+	// SCFQ has no start tag; trace the finish tag and the self-clocked v.
+	s.RecordDequeueVT(now, id, st.p.Length, st.f-st.p.Length/s.rates[id], st.f, s.v)
 	return st.p
 }
 
@@ -101,13 +108,15 @@ type SFQ struct {
 	queues  []stampQueue
 	hol     *pq.Heap[float64] // session → head start tag
 	backlog int
+	obs.Collector
 }
 
 // NewSFQ returns an SFQ server. The link rate is accepted for interface
 // uniformity.
 func NewSFQ(rate float64) *SFQ {
-	_ = rate
-	return &SFQ{hol: pq.NewHeap[float64](8)}
+	s := &SFQ{hol: pq.NewHeap[float64](8)}
+	s.InitObs("SFQ", rate)
+	return s
 }
 
 // Name identifies the algorithm.
@@ -130,6 +139,7 @@ func (s *SFQ) AddSession(id int, rate float64) {
 		panic(fmt.Sprintf("sched: duplicate session id %d", id))
 	}
 	s.rates[id] = rate
+	s.RegisterSession(id, rate)
 }
 
 // Enqueue tags the packet with start/finish tags and queues it.
@@ -146,6 +156,7 @@ func (s *SFQ) Enqueue(now float64, p *packet.Packet) {
 	if q.Len() == 1 {
 		s.hol.Push(p.Session, start)
 	}
+	s.RecordEnqueue(now, p.Session, p.Length)
 }
 
 // Dequeue returns the packet with the smallest start tag, advancing the
@@ -168,6 +179,7 @@ func (s *SFQ) Dequeue(now float64) *packet.Packet {
 	if s.backlog == 0 {
 		s.v = s.maxF
 	}
+	s.RecordDequeueVT(now, id, st.p.Length, st.s, st.f, s.v)
 	return st.p
 }
 

@@ -14,6 +14,8 @@ import (
 	"sort"
 
 	"hpfq/internal/core"
+	"hpfq/internal/errs"
+	"hpfq/internal/obs"
 	"hpfq/internal/packet"
 )
 
@@ -38,6 +40,8 @@ type Scheduler interface {
 	Backlog() int
 	// Name identifies the algorithm.
 	Name() string
+	// Observable is the metrics/tracing surface every scheduler carries.
+	obs.Observable
 }
 
 // NodeScheduler is a PFQ server node inside an H-PFQ hierarchy: it
@@ -60,6 +64,10 @@ type NodeScheduler interface {
 	Backlogged() bool
 	// Name identifies the algorithm.
 	Name() string
+	// Observable is the metrics/tracing surface every node carries. Node
+	// collectors run in the node's reference time: counts, depths, and
+	// virtual-time trace events, but no delay/WFI statistics.
+	obs.Observable
 }
 
 // Algorithms returns the registry names, sorted.
@@ -115,7 +123,7 @@ var registry = map[string]factory{
 func New(name string, rate float64) (Scheduler, error) {
 	f, ok := registry[name]
 	if !ok || f.flat == nil {
-		return nil, fmt.Errorf("sched: unknown scheduler %q (have %v)", name, Algorithms())
+		return nil, fmt.Errorf("sched: %w: %q (have %v)", errs.ErrUnknownAlgorithm, name, Algorithms())
 	}
 	return f.flat(rate), nil
 }
@@ -124,8 +132,11 @@ func New(name string, rate float64) (Scheduler, error) {
 // node form (it is not a fair queueing discipline).
 func NewNode(name string, rate float64) (NodeScheduler, error) {
 	f, ok := registry[name]
-	if !ok || f.node == nil {
-		return nil, fmt.Errorf("sched: no node scheduler %q", name)
+	if !ok {
+		return nil, fmt.Errorf("sched: %w: %q (have %v)", errs.ErrUnknownAlgorithm, name, Algorithms())
+	}
+	if f.node == nil {
+		return nil, fmt.Errorf("sched: %w: %q", errs.ErrNoNodeForm, name)
 	}
 	return f.node(rate), nil
 }

@@ -58,6 +58,7 @@ func TestContract(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			s.EnableMetrics()
 			const nsess = 6
 			for i := 0; i < nsess; i++ {
 				s.AddSession(i, 100/float64(nsess))
@@ -110,6 +111,44 @@ func TestContract(t *testing.T) {
 			_ = lastArrival
 			if s.Backlog() != 0 {
 				t.Errorf("backlog %d after drain", s.Backlog())
+			}
+			// The collector must agree with the packet flow: every packet
+			// accepted was either dequeued or is still queued (here: none),
+			// at the server and at every session.
+			m := s.Snapshot()
+			if !m.Enabled {
+				t.Fatal("snapshot not enabled after EnableMetrics")
+			}
+			if m.Enqueued.Packets != npkts || m.Dequeued.Packets != npkts {
+				t.Errorf("snapshot counted %d in / %d out, want %d / %d",
+					m.Enqueued.Packets, m.Dequeued.Packets, npkts, npkts)
+			}
+			if m.QueueLen != 0 {
+				t.Errorf("snapshot queue length %d after drain", m.QueueLen)
+			}
+			if !m.Conserved() {
+				t.Errorf("conservation violated: %+v", m)
+			}
+			if m.Enqueued.Bits != totalBits || m.Dequeued.Bits != totalBits {
+				t.Errorf("snapshot bits %g in / %g out, want %g",
+					m.Enqueued.Bits, m.Dequeued.Bits, totalBits)
+			}
+			if len(m.Sessions) != nsess {
+				t.Fatalf("snapshot has %d sessions, want %d", len(m.Sessions), nsess)
+			}
+			var sessPkts int64
+			for _, sm := range m.Sessions {
+				sessPkts += sm.Dequeued.Packets
+				if sm.Delay.Count != sm.Dequeued.Packets {
+					t.Errorf("session %d: %d delay samples for %d dequeues",
+						sm.ID, sm.Delay.Count, sm.Dequeued.Packets)
+				}
+				if sm.Rate != 100/float64(nsess) {
+					t.Errorf("session %d rate %g", sm.ID, sm.Rate)
+				}
+			}
+			if sessPkts != npkts {
+				t.Errorf("per-session dequeues sum to %d, want %d", sessPkts, npkts)
 			}
 		})
 	}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"hpfq/internal/fluid"
+	"hpfq/internal/obs"
 	"hpfq/internal/packet"
 	"hpfq/internal/pq"
 )
@@ -22,11 +23,14 @@ type WFQ struct {
 	queues  []stampQueue
 	hol     *pq.Heap[float64] // session → virtual finish of head packet
 	backlog int
+	obs.Collector
 }
 
 // NewWFQ returns a WFQ server for a link of the given rate in bits/sec.
 func NewWFQ(rate float64) *WFQ {
-	return &WFQ{clock: fluid.NewClock(rate), hol: pq.NewHeap[float64](8)}
+	w := &WFQ{clock: fluid.NewClock(rate), hol: pq.NewHeap[float64](8)}
+	w.InitObs("WFQ", rate)
+	return w
 }
 
 // Name identifies the algorithm.
@@ -38,6 +42,7 @@ func (w *WFQ) AddSession(id int, rate float64) {
 	for len(w.queues) <= id {
 		w.queues = append(w.queues, stampQueue{})
 	}
+	w.RegisterSession(id, rate)
 }
 
 // Enqueue stamps the packet against the GPS fluid system at time now and
@@ -51,6 +56,7 @@ func (w *WFQ) Enqueue(now float64, p *packet.Packet) {
 	if q.Len() == 1 {
 		w.hol.Push(p.Session, f)
 	}
+	w.RecordEnqueue(now, p.Session, p.Length)
 }
 
 // Dequeue returns the queued packet with the smallest GPS virtual finish
@@ -69,6 +75,7 @@ func (w *WFQ) Dequeue(now float64) *packet.Packet {
 	if !q.Empty() {
 		w.hol.Push(id, q.Head().f)
 	}
+	w.RecordDequeueVT(now, id, st.p.Length, st.s, st.f, w.clock.V())
 	return st.p
 }
 
@@ -95,11 +102,14 @@ type WF2Q struct {
 	elig    *pq.Heap[float64] // eligible sessions (head S <= V), by head F
 	inel    *pq.Heap[float64] // ineligible sessions, by head S
 	backlog int
+	obs.Collector
 }
 
 // NewWF2Q returns a WF²Q server for a link of the given rate in bits/sec.
 func NewWF2Q(rate float64) *WF2Q {
-	return &WF2Q{clock: fluid.NewClock(rate), elig: pq.NewHeap[float64](8), inel: pq.NewHeap[float64](8)}
+	w := &WF2Q{clock: fluid.NewClock(rate), elig: pq.NewHeap[float64](8), inel: pq.NewHeap[float64](8)}
+	w.InitObs("WF2Q", rate)
+	return w
 }
 
 // Name identifies the algorithm.
@@ -111,6 +121,7 @@ func (w *WF2Q) AddSession(id int, rate float64) {
 	for len(w.queues) <= id {
 		w.queues = append(w.queues, stampQueue{})
 	}
+	w.RegisterSession(id, rate)
 }
 
 // Enqueue stamps the packet against the GPS fluid system and queues it.
@@ -123,6 +134,7 @@ func (w *WF2Q) Enqueue(now float64, p *packet.Packet) {
 	if q.Len() == 1 {
 		w.insertHOL(p.Session, s, f)
 	}
+	w.RecordEnqueue(now, p.Session, p.Length)
 }
 
 func (w *WF2Q) insertHOL(id int, s, f float64) {
@@ -163,6 +175,7 @@ func (w *WF2Q) Dequeue(now float64) *packet.Packet {
 		h := q.Head()
 		w.insertHOL(id, h.s, h.f)
 	}
+	w.RecordDequeueVT(now, id, st.p.Length, st.s, st.f, w.clock.V())
 	return st.p
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"hpfq/internal/core"
+	"hpfq/internal/obs"
 	"hpfq/internal/packet"
 )
 
@@ -30,12 +31,16 @@ import (
 type Clock interface {
 	// AfterFunc runs fn after d on the clock's timeline.
 	AfterFunc(d time.Duration, fn func())
+	// Now returns the current instant on the clock's timeline; the shaper
+	// timestamps metric and trace events with seconds since its creation.
+	Now() time.Time
 }
 
 // realClock is the default wall clock.
 type realClock struct{}
 
 func (realClock) AfterFunc(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+func (realClock) Now() time.Time                       { return time.Now() }
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("shaper: closed")
@@ -48,6 +53,7 @@ var ErrQueueFull = errors.New("shaper: class queue full")
 type Shaper struct {
 	rate  float64
 	clock Clock
+	epoch time.Time
 
 	mu      sync.Mutex
 	sched   *core.Scheduler
@@ -65,6 +71,22 @@ type Option func(*Shaper)
 // WithClock replaces the wall clock (for tests).
 func WithClock(c Clock) Option {
 	return func(s *Shaper) { s.clock = c }
+}
+
+// WithMetrics enables metric collection on the shaper's scheduler: per-class
+// counts in cost units, queueing delay to the start of the paced slot, and
+// WFI against the class's guaranteed rate, all timestamped in seconds since
+// the shaper was created.
+func WithMetrics() Option {
+	return func(s *Shaper) { s.sched.EnableMetrics() }
+}
+
+// WithTracer streams the scheduler's per-item events (with WF²Q+ virtual
+// times) to t. The tracer is called with the shaper's mutex held, from
+// Submit callers and timer goroutines; it must not call back into the
+// shaper.
+func WithTracer(t obs.Tracer) Option {
+	return func(s *Shaper) { s.sched.SetTracer(t) }
 }
 
 // New returns a shaper for a virtual link of the given rate in cost units
@@ -85,7 +107,21 @@ func New(rate float64, opts ...Option) *Shaper {
 	for _, o := range opts {
 		o(s)
 	}
+	s.epoch = s.clock.Now()
 	return s
+}
+
+// now returns seconds since the shaper's creation on its clock.
+func (s *Shaper) now() float64 {
+	return s.clock.Now().Sub(s.epoch).Seconds()
+}
+
+// Snapshot freezes the scheduler's counters. Safe to call concurrently with
+// Submit and releases.
+func (s *Shaper) Snapshot() obs.Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched.Snapshot()
 }
 
 // AddClass registers a class with a guaranteed rate in cost units per
@@ -123,7 +159,7 @@ func (s *Shaper) Submit(class int, cost float64, release func()) error {
 	p := packet.New(class, cost)
 	p.Payload = release
 	s.queued[class] += cost
-	s.sched.Enqueue(0, p)
+	s.sched.Enqueue(s.now(), p)
 	if !s.busy {
 		s.startNext()
 	}
@@ -132,7 +168,7 @@ func (s *Shaper) Submit(class int, cost float64, release func()) error {
 
 // startNext must be called with the mutex held.
 func (s *Shaper) startNext() {
-	p := s.sched.Dequeue(0)
+	p := s.sched.Dequeue(s.now())
 	if p == nil {
 		s.busy = false
 		return

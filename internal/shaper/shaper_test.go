@@ -43,6 +43,12 @@ func (c *fakeClock) AfterFunc(d time.Duration, fn func()) {
 	c.mu.Unlock()
 }
 
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Unix(0, 0).Add(c.now)
+}
+
 // Advance moves virtual time forward, firing due timers in order. Timers
 // may schedule more timers (the shaper's startNext chain does).
 func (c *fakeClock) Advance(d time.Duration) {
