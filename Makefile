@@ -1,0 +1,26 @@
+# Build/verify entry points. `make verify` is the extended pre-merge gate
+# referenced from ROADMAP.md; `make race` exercises the concurrent
+# components under the race detector.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/shaper/... ./internal/wallclock/... ./internal/dataplane/... ./cmd/hpfqgw/...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+verify: build test vet fmt race

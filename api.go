@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"hpfq/internal/core"
+	"hpfq/internal/dataplane"
 	"hpfq/internal/des"
 	"hpfq/internal/errs"
 	"hpfq/internal/fluid"
@@ -45,6 +46,18 @@ var (
 	// ErrNoNodeForm reports an algorithm (FIFO) with no hierarchical node
 	// form.
 	ErrNoNodeForm = errs.ErrNoNodeForm
+)
+
+// Data-plane sentinel errors, matchable with errors.Is on anything returned
+// by Dataplane.Ingest, Start and AddClass.
+var (
+	// ErrDataplaneClosed reports an Ingest or Start after Close.
+	ErrDataplaneClosed = dataplane.ErrClosed
+	// ErrNoClass reports an Ingest for an unregistered class id.
+	ErrNoClass = dataplane.ErrNoClass
+	// ErrClassQueueFull reports an arrival beyond a class's queue or byte
+	// cap; the datagram was dropped and the drop recorded.
+	ErrClassQueueFull = dataplane.ErrQueueFull
 )
 
 // Bits8KB is the paper's 8 KB packet size in bits.
@@ -350,3 +363,74 @@ func NewShaper(rate float64, opts ...ShaperOption) *Shaper { return shaper.New(r
 func NewTCPSource(sim *Sim, link *Link, session int, segBits, delay, start float64) *TCPSource {
 	return tcp.New(sim, link, session, segBits, delay, start)
 }
+
+// Dataplane is a concurrent UDP egress engine: datagrams in from any number
+// of goroutines, WF²Q+-ordered and rate-paced datagrams out through a single
+// batching pump. See internal/dataplane and cmd/hpfqgw.
+type Dataplane = dataplane.Dataplane
+
+// DataplaneOption configures a Dataplane at construction.
+type DataplaneOption = dataplane.Option
+
+// Datagram I/O contracts: one datagram per call, Conn-agnostic. Connected
+// *net.UDPConn values adapt via PacketReaderFrom / PacketWriterTo; the
+// in-memory PacketPipe stands in for a socket in tests.
+type (
+	// PacketReader is the datagram ingress contract.
+	PacketReader = dataplane.Reader
+	// PacketWriter is the datagram egress contract.
+	PacketWriter = dataplane.Writer
+	// PacketPipe is an in-memory datagram conduit with message boundaries.
+	PacketPipe = dataplane.Pipe
+)
+
+// NewDataplane returns an egress engine pacing at rate bits/sec under the
+// named algorithm:
+//
+//	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 50e6,
+//	        hpfq.WithTopology(top), hpfq.WithQueueCap(256))
+//
+// Flat mode (no WithTopology) registers classes with Dataplane.AddClass;
+// WithTopology builds an H-PFQ tree whose leaves become the classes. Start
+// the pump with Start, feed it with Ingest or RunReader, stop with Close.
+func NewDataplane(algorithm Algorithm, rate float64, opts ...DataplaneOption) (*Dataplane, error) {
+	return dataplane.New(string(algorithm), rate, opts...)
+}
+
+// WithTopology schedules the data-plane's classes hierarchically over a
+// link-sharing tree (the leaves become the classes).
+func WithTopology(top *Topology) DataplaneOption { return dataplane.WithTopology(top) }
+
+// WithQueueCap bounds every class's staging queue to n datagrams; arrivals
+// beyond it are tail-dropped and recorded in the metrics. 0 = unlimited.
+func WithQueueCap(n int) DataplaneOption { return dataplane.WithQueueCap(n) }
+
+// WithByteCap bounds every class's staged bytes to n; arrivals that would
+// exceed it are dropped and recorded. 0 = unlimited.
+func WithByteCap(n int) DataplaneOption { return dataplane.WithByteCap(n) }
+
+// WithBurst sets the data-plane's token-bucket depth in bits (default: 5 ms
+// of the configured rate), trading batching efficiency against short-term
+// burstiness.
+func WithBurst(bits float64) DataplaneOption { return dataplane.WithBurst(bits) }
+
+// DataplaneMetrics enables per-class metric collection on the data-plane's
+// scheduler; read the counters (including the per-reason drop breakdown)
+// with Dataplane.Snapshot.
+func DataplaneMetrics() DataplaneOption { return dataplane.WithMetrics() }
+
+// DataplaneTracer streams the data-plane's per-datagram scheduling events to
+// t. The tracer runs under the engine's lock and must not call back into it.
+func DataplaneTracer(t Tracer) DataplaneOption { return dataplane.WithTracer(t) }
+
+// NewPacketPipe returns an in-memory datagram conduit buffering up to
+// capacity in-flight datagrams.
+func NewPacketPipe(capacity int) *PacketPipe { return dataplane.NewPipe(capacity) }
+
+// PacketReaderFrom adapts an io.Reader with datagram semantics (e.g. a
+// connected *net.UDPConn) to the PacketReader contract.
+func PacketReaderFrom(r io.Reader) PacketReader { return dataplane.ReaderFrom(r) }
+
+// PacketWriterTo adapts an io.Writer with datagram semantics (e.g. a
+// connected *net.UDPConn) to the PacketWriter contract.
+func PacketWriterTo(w io.Writer) PacketWriter { return dataplane.WriterTo(w) }

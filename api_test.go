@@ -386,3 +386,82 @@ func TestMixedHierarchy(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicAPIDataplane pushes datagrams through the public data-plane
+// facade over an in-memory pipe and checks delivery plus conservation.
+func TestPublicAPIDataplane(t *testing.T) {
+	if _, err := hpfq.NewDataplane(hpfq.Algorithm("nope"), 1e6); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := hpfq.NewDataplane(hpfq.WF2QPlus, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+
+	d, err := hpfq.NewDataplane(hpfq.WF2QPlus, 1e9,
+		hpfq.WithQueueCap(64), hpfq.WithByteCap(1<<20),
+		hpfq.WithBurst(1e5), hpfq.DataplaneMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AddClass(0, 7.5e8)
+	d.AddClass(1, 2.5e8)
+
+	pipe := hpfq.NewPacketPipe(64)
+	if err := d.Start(pipe); err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := d.Ingest(i%2, make([]byte, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 2048)
+	for i := 0; i < n; i++ {
+		if _, err := pipe.ReadPacket(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m := d.Snapshot(); !m.Conserved() {
+		t.Error("metrics not conserved")
+	}
+}
+
+// TestPublicAPIDataplaneHierarchy drives the hierarchical data-plane through
+// the same topology type the simulator uses.
+func TestPublicAPIDataplaneHierarchy(t *testing.T) {
+	top := hpfq.Interior("root", 1,
+		hpfq.Interior("agg", 3,
+			hpfq.Leaf("a", 2, 0),
+			hpfq.Leaf("b", 1, 1)),
+		hpfq.Leaf("c", 1, 2))
+	d, err := hpfq.NewDataplane(hpfq.WF2QPlus, 1e9,
+		hpfq.WithTopology(top), hpfq.DataplaneMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Classes()); got != 3 {
+		t.Fatalf("classes = %d, want 3", got)
+	}
+	pipe := hpfq.NewPacketPipe(16)
+	if err := d.Start(pipe); err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range d.Classes() {
+		if err := d.Ingest(class, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 256)
+	for i := 0; i < 3; i++ {
+		if _, err := pipe.ReadPacket(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

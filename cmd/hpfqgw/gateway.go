@@ -1,0 +1,249 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hpfq"
+)
+
+// classifier assigns an arriving datagram to one of the gateway's classes.
+// Both the source address and the payload are available so policies can key
+// on either (hash keys on the sender, byte0 on the first payload byte).
+type classifier func(src *net.UDPAddr, payload []byte) int
+
+// gateway forwards UDP datagrams from a listen socket to an upstream peer,
+// pacing egress through an hpfq.Dataplane. Replies from the upstream are
+// relayed back to the most recent client (single-client return path; the
+// forward path is what the scheduler shapes).
+type gateway struct {
+	dp       *hpfq.Dataplane
+	listen   *net.UDPConn
+	upstream *net.UDPConn
+	classify classifier
+
+	mu         sync.Mutex
+	lastClient *net.UDPAddr
+}
+
+func newGateway(dp *hpfq.Dataplane, listen, upstream *net.UDPConn, classify classifier) *gateway {
+	return &gateway{dp: dp, listen: listen, upstream: upstream, classify: classify}
+}
+
+// run starts the paced egress pump and the return-path relay, then reads the
+// listen socket until it is closed. Queue-full and unknown-class drops are
+// deliberate policy (recorded in the metrics), so only hard socket errors
+// end the loop.
+func (g *gateway) run() error {
+	if err := g.dp.Start(hpfq.PacketWriterTo(g.upstream)); err != nil {
+		return err
+	}
+	go g.returnPath()
+
+	buf := make([]byte, 64<<10)
+	for {
+		n, src, err := g.listen.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if n == 0 {
+			continue
+		}
+		g.mu.Lock()
+		g.lastClient = src
+		g.mu.Unlock()
+		b := make([]byte, n)
+		copy(b, buf[:n])
+		if err := g.dp.Ingest(g.classify(src, b), b); err != nil {
+			if errors.Is(err, hpfq.ErrDataplaneClosed) {
+				return nil
+			}
+			// Tail/byte-cap drops and unknown classes are accounted by the
+			// data-plane's metrics; keep forwarding.
+		}
+	}
+}
+
+// returnPath relays upstream replies to the last client seen on the listen
+// socket. Exits when either socket closes.
+func (g *gateway) returnPath() {
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := g.upstream.Read(buf)
+		if err != nil {
+			return
+		}
+		g.mu.Lock()
+		dst := g.lastClient
+		g.mu.Unlock()
+		if dst == nil {
+			continue
+		}
+		if _, err := g.listen.WriteToUDP(buf[:n], dst); err != nil {
+			return
+		}
+	}
+}
+
+// close stops the ingress loop and drains the paced queue.
+func (g *gateway) close() error {
+	g.listen.Close()
+	err := g.dp.Close()
+	g.upstream.Close()
+	return err
+}
+
+// byte0Classifier maps the first payload byte onto the class list, so test
+// traffic can steer itself explicitly.
+func byte0Classifier(classes []int) classifier {
+	return func(_ *net.UDPAddr, payload []byte) int {
+		return classes[int(payload[0])%len(classes)]
+	}
+}
+
+// hashClassifier hashes the client address onto the class list, giving each
+// sender a sticky class without any packet marking.
+func hashClassifier(classes []int) classifier {
+	return func(src *net.UDPAddr, _ []byte) int {
+		h := fnv.New32a()
+		h.Write([]byte(src.String()))
+		return classes[int(h.Sum32())%len(classes)]
+	}
+}
+
+func newClassifier(name string, classes []int) (classifier, error) {
+	if len(classes) == 0 {
+		return nil, errors.New("no classes configured")
+	}
+	sorted := append([]int(nil), classes...)
+	sort.Ints(sorted)
+	switch name {
+	case "byte0":
+		return byte0Classifier(sorted), nil
+	case "hash":
+		return hashClassifier(sorted), nil
+	}
+	return nil, fmt.Errorf("unknown classifier %q (want hash or byte0)", name)
+}
+
+// parseClasses parses a flat class spec "id=rate,id=rate,..." with rates in
+// bits/sec (floats, so 5e6 works).
+func parseClasses(spec string) (ids []int, rates []float64, err error) {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, nil, fmt.Errorf("class %q: want id=rate", part)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(kv[0]))
+		if err != nil {
+			return nil, nil, fmt.Errorf("class %q: bad id: %v", part, err)
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil || rate <= 0 {
+			return nil, nil, fmt.Errorf("class %q: bad rate", part)
+		}
+		ids = append(ids, id)
+		rates = append(rates, rate)
+	}
+	if len(ids) == 0 {
+		return nil, nil, errors.New("empty class spec")
+	}
+	return ids, rates, nil
+}
+
+// parseTopo parses a link-sharing tree spec:
+//
+//	node     := name '=' share body
+//	body     := ':' session            (leaf)
+//	          | '(' node {',' node} ')' (interior)
+//
+// e.g. "root=1(agg=3(a=2:0,b=1:1),c=1:2)". Shares are relative to siblings,
+// exactly as in the simulator's topologies.
+func parseTopo(spec string) (*hpfq.Topology, error) {
+	p := &topoParser{s: spec}
+	n, err := p.node()
+	if err != nil {
+		return nil, fmt.Errorf("topo spec %q: %v", spec, err)
+	}
+	if p.i != len(p.s) {
+		return nil, fmt.Errorf("topo spec %q: trailing input at offset %d", spec, p.i)
+	}
+	return n, nil
+}
+
+type topoParser struct {
+	s string
+	i int
+}
+
+func (p *topoParser) node() (*hpfq.Topology, error) {
+	name := p.until("=")
+	if name == "" {
+		return nil, fmt.Errorf("missing node name at offset %d", p.i)
+	}
+	if !p.eat('=') {
+		return nil, fmt.Errorf("node %q: missing '='", name)
+	}
+	shareStr := p.until(":(,)")
+	share, err := strconv.ParseFloat(shareStr, 64)
+	if err != nil || share <= 0 {
+		return nil, fmt.Errorf("node %q: bad share %q", name, shareStr)
+	}
+	switch {
+	case p.eat(':'):
+		sessStr := p.until(",)")
+		session, err := strconv.Atoi(sessStr)
+		if err != nil || session < 0 {
+			return nil, fmt.Errorf("leaf %q: bad session %q", name, sessStr)
+		}
+		return hpfq.Leaf(name, share, session), nil
+	case p.eat('('):
+		var children []*hpfq.Topology
+		for {
+			child, err := p.node()
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, child)
+			if p.eat(',') {
+				continue
+			}
+			if p.eat(')') {
+				return hpfq.Interior(name, share, children...), nil
+			}
+			return nil, fmt.Errorf("node %q: expected ',' or ')' at offset %d", name, p.i)
+		}
+	}
+	return nil, fmt.Errorf("node %q: expected ':' or '(' at offset %d", name, p.i)
+}
+
+// until consumes and returns characters up to (not including) the first byte
+// in stop, or the rest of the input.
+func (p *topoParser) until(stop string) string {
+	start := p.i
+	for p.i < len(p.s) && !strings.ContainsRune(stop, rune(p.s[p.i])) {
+		p.i++
+	}
+	return p.s[start:p.i]
+}
+
+func (p *topoParser) eat(c byte) bool {
+	if p.i < len(p.s) && p.s[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}

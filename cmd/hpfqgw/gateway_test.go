@@ -1,0 +1,204 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"hpfq"
+)
+
+func TestParseClasses(t *testing.T) {
+	ids, rates, err := parseClasses("0=7.5e6, 1=2.5e6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if rates[0] != 7.5e6 || rates[1] != 2.5e6 {
+		t.Fatalf("rates = %v", rates)
+	}
+	for _, bad := range []string{"", "x=1e6", "0=", "0=-5", "0"} {
+		if _, _, err := parseClasses(bad); err == nil {
+			t.Errorf("parseClasses(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseTopo(t *testing.T) {
+	top, err := parseTopo("root=1(agg=3(a=2:0,b=1:1),c=1:2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tree must be usable: drive a hierarchical data-plane with it.
+	d, err := hpfq.NewDataplane(hpfq.WF2QPlus, 1e6, hpfq.WithTopology(top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Classes()); got != 3 {
+		t.Fatalf("leaves = %d, want 3", got)
+	}
+
+	for _, bad := range []string{
+		"",
+		"root",
+		"root=x(a=1:0)",
+		"root=1",
+		"root=1(a=1:0",
+		"root=1(a=1:0)x",
+		"root=1(a=1:bad)",
+		"root=1(a=0:0)",
+		"=1(a=1:0)",
+	} {
+		if _, err := parseTopo(bad); err == nil {
+			t.Errorf("parseTopo(%q) accepted", bad)
+		}
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	classes := []int{3, 1, 2}
+	byByte, err := newClassifier("byte0", classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted class list: byte 0 → class 1, byte 1 → class 2, byte 2 → 3.
+	if got := byByte(nil, []byte{0}); got != 1 {
+		t.Errorf("byte0(0) = %d, want 1", got)
+	}
+	if got := byByte(nil, []byte{2}); got != 3 {
+		t.Errorf("byte0(2) = %d, want 3", got)
+	}
+
+	byHash, err := newClassifier("hash", classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 4242}
+	first := byHash(src, nil)
+	for i := 0; i < 10; i++ {
+		if got := byHash(src, nil); got != first {
+			t.Fatalf("hash classifier not sticky: %d then %d", first, got)
+		}
+	}
+
+	if _, err := newClassifier("nope", classes); err == nil {
+		t.Error("unknown classifier accepted")
+	}
+	if _, err := newClassifier("hash", nil); err == nil {
+		t.Error("empty class list accepted")
+	}
+}
+
+// TestGatewayForwards runs the whole binary's data path over loopback:
+// client → gateway listen socket → classify → paced WF²Q+ egress →
+// upstream receiver, plus the reply relay back to the client.
+func TestGatewayForwards(t *testing.T) {
+	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	listen, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upstream, err := net.DialUDP("udp", nil, recv.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.DataplaneMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.AddClass(0, 4e7)
+	dp.AddClass(1, 1e7)
+	classify, err := newClassifier("byte0", dp.Classes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := newGateway(dp, listen, upstream, classify)
+	runDone := make(chan error, 1)
+	go func() { runDone <- gw.run() }()
+
+	client, err := net.DialUDP("udp", nil, listen.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		b := make([]byte, 300)
+		b[0] = byte(i % 2)
+		if _, err := client.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[int]int{}
+	buf := make([]byte, 2048)
+	recv.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for total := 0; total < n; total++ {
+		nn, err := recv.Read(buf)
+		if err != nil {
+			if total >= n*9/10 { // tolerate rare kernel-level loopback drops
+				break
+			}
+			t.Fatalf("received %d/%d: %v", total, n, err)
+		}
+		if nn != 300 {
+			t.Fatalf("datagram length %d, want 300", nn)
+		}
+		got[int(buf[0])]++
+	}
+	if got[0] == 0 || got[1] == 0 {
+		t.Errorf("per-class counts %v, want both classes", got)
+	}
+
+	// Return path: a reply from the upstream reaches the last client.
+	if _, err := recv.WriteToUDP([]byte("pong"), upstream.LocalAddr().(*net.UDPAddr)); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	nn, err := client.Read(buf)
+	if err != nil {
+		t.Fatalf("return path: %v", err)
+	}
+	if string(buf[:nn]) != "pong" {
+		t.Fatalf("return path payload %q", buf[:nn])
+	}
+
+	if err := gw.close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gateway run loop did not exit on close")
+	}
+	if m := dp.Snapshot(); !m.Conserved() {
+		t.Error("metrics not conserved")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{},                           // missing -upstream
+		{"-upstream", "127.0.0.1:9"}, // neither -classes nor -topo
+		{"-upstream", "127.0.0.1:9", "-classes", "0=1e6", "-topo", "r=1(a=1:0)"}, // both
+		{"-upstream", "127.0.0.1:9", "-classes", "bogus"},
+		{"-upstream", "127.0.0.1:9", "-topo", "bogus"},
+		{"-upstream", "127.0.0.1:9", "-classes", "0=1e6", "-algo", "nope"},
+		{"-upstream", "127.0.0.1:9", "-classes", "0=1e6", "-classify", "nope"},
+		{"-upstream", "127.0.0.1:9", "-classes", "0=1e6", "-listen", "not-an-addr:x:y"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command hpfqgw is a UDP forwarding gateway whose egress is paced by the
+// paper's schedulers: datagrams arriving on -listen are classified, staged
+// per class, released in WF²Q+ (or any registered algorithm's) order at the
+// configured link rate, and forwarded to -upstream. Replies from the
+// upstream are relayed back to the most recent client.
+//
+// Flat mode gives each class an explicit rate:
+//
+//	hpfqgw -listen :9000 -upstream 10.0.0.2:9000 -rate 10e6 \
+//	       -classes "0=7.5e6,1=2.5e6"
+//
+// Hierarchical mode shares the link through a tree (leaf syntax
+// name=share:session, interior syntax name=share(children...)):
+//
+//	hpfqgw -listen :9000 -upstream 10.0.0.2:9000 -rate 45e6 \
+//	       -topo "root=1(video=3(hd=2:0,sd=1:1),bulk=1:2)"
+//
+// -classify picks the demultiplexer: "hash" (default) gives each client
+// address a sticky class, "byte0" reads the class from the first payload
+// byte. -metrics prints the per-class counter tables on SIGINT/SIGTERM
+// before exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+
+	"hpfq"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hpfqgw:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hpfqgw", flag.ExitOnError)
+	var (
+		listenAddr   = fs.String("listen", ":9000", "UDP address to accept client datagrams on")
+		upstreamAddr = fs.String("upstream", "", "UDP address to forward paced datagrams to (required)")
+		rate         = fs.Float64("rate", 10e6, "egress link rate in bits/sec")
+		algo         = fs.String("algo", string(hpfq.WF2QPlus), "scheduling algorithm")
+		classSpec    = fs.String("classes", "", "flat classes as id=rate,... (bits/sec)")
+		topoSpec     = fs.String("topo", "", "hierarchical tree, e.g. root=1(a=3:0,b=1:1)")
+		classifyName = fs.String("classify", "hash", "classifier: hash (by client address) or byte0 (first payload byte)")
+		queueCap     = fs.Int("queuecap", 512, "per-class staging cap in datagrams (0 = unlimited)")
+		byteCap      = fs.Int("bytecap", 0, "per-class staging cap in bytes (0 = unlimited)")
+		metrics      = fs.Bool("metrics", false, "print per-class metric tables on shutdown")
+	)
+	fs.Parse(args)
+	if *upstreamAddr == "" {
+		return fmt.Errorf("-upstream is required")
+	}
+	if (*classSpec == "") == (*topoSpec == "") {
+		return fmt.Errorf("exactly one of -classes or -topo is required")
+	}
+
+	opts := []hpfq.DataplaneOption{hpfq.WithQueueCap(*queueCap), hpfq.WithByteCap(*byteCap)}
+	if *metrics {
+		opts = append(opts, hpfq.DataplaneMetrics())
+	}
+	var top *hpfq.Topology
+	if *topoSpec != "" {
+		var err error
+		if top, err = parseTopo(*topoSpec); err != nil {
+			return err
+		}
+		opts = append(opts, hpfq.WithTopology(top))
+	}
+	dp, err := hpfq.NewDataplane(hpfq.Algorithm(*algo), *rate, opts...)
+	if err != nil {
+		return err
+	}
+	if *classSpec != "" {
+		ids, rates, err := parseClasses(*classSpec)
+		if err != nil {
+			return err
+		}
+		for i, id := range ids {
+			if err := dp.AddClass(id, rates[i]); err != nil {
+				return err
+			}
+		}
+	}
+	classify, err := newClassifier(*classifyName, dp.Classes())
+	if err != nil {
+		return err
+	}
+
+	laddr, err := net.ResolveUDPAddr("udp", *listenAddr)
+	if err != nil {
+		return fmt.Errorf("-listen %q: %v", *listenAddr, err)
+	}
+	listen, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return err
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", *upstreamAddr)
+	if err != nil {
+		return fmt.Errorf("-upstream %q: %v", *upstreamAddr, err)
+	}
+	upstream, err := net.DialUDP("udp", nil, uaddr)
+	if err != nil {
+		return err
+	}
+
+	gw := newGateway(dp, listen, upstream, classify)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		gw.close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "hpfqgw: %s %s → %s at %g bit/s, classes %v\n",
+		*algo, listen.LocalAddr(), *upstreamAddr, *rate, dp.Classes())
+	runErr := gw.run()
+	gw.close()
+	if *metrics {
+		fmt.Println("# egress scheduler")
+		if err := dp.Snapshot().WriteTable(os.Stdout); err != nil {
+			return err
+		}
+		nodes := dp.NodeSnapshots()
+		names := make([]string, 0, len(nodes))
+		for name := range nodes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("# node %s\n", name)
+			if err := nodes[name].WriteTable(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	return runErr
+}

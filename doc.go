@@ -50,6 +50,27 @@
 //
 // Units everywhere: bits, bits per second, seconds.
 //
+// # Serving real traffic
+//
+// NewDataplane builds a concurrent UDP egress engine around any registered
+// algorithm: goroutine-safe Ingest into bounded per-class staging queues
+// (WithQueueCap / WithByteCap; drops recorded with their reason), a single
+// pump goroutine releasing token-bucket batches in scheduler order at the
+// configured rate, and Conn-agnostic datagram I/O (PacketReaderFrom /
+// PacketWriterTo adapt connected *net.UDPConn values; NewPacketPipe is the
+// in-memory test double). WithTopology schedules the classes through a full
+// H-PFQ tree. Close drains the staged backlog before stopping:
+//
+//	dp, _ := hpfq.NewDataplane(hpfq.WF2QPlus, 10e6, hpfq.WithQueueCap(512))
+//	dp.AddClass(0, 7.5e6)
+//	dp.AddClass(1, 2.5e6)
+//	dp.Start(hpfq.PacketWriterTo(conn))
+//	dp.Ingest(0, payload) // any goroutine
+//	defer dp.Close()
+//
+// The cmd/hpfqgw gateway packages this as a standalone paced UDP forwarder
+// (see its command documentation for the flag grammar).
+//
 // # Layout
 //
 //   - internal/core: WF²Q+ (the paper's §3.4 algorithm, eq. 27–29)
@@ -58,9 +79,12 @@
 //   - internal/fluid: GPS virtual clock, GPS and H-GPS fluid servers
 //   - internal/des, internal/netsim, internal/traffic, internal/tcp,
 //     internal/stats: simulation substrate and instrumentation
+//   - internal/shaper, internal/wallclock, internal/dataplane: wall-clock
+//     pacing and the concurrent UDP egress engine
 //   - internal/experiments: every figure of the paper as a runnable
 //     experiment (see EXPERIMENTS.md)
 //
 // This package re-exports the library's public surface; the cmd/hpfqsim and
-// cmd/hpfqwfi tools regenerate the paper's figures from the command line.
+// cmd/hpfqwfi tools regenerate the paper's figures from the command line,
+// and cmd/hpfqgw forwards real UDP traffic under the schedulers' control.
 package hpfq

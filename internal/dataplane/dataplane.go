@@ -1,0 +1,471 @@
+// Package dataplane is a concurrent UDP egress engine driven by the paper's
+// schedulers: real datagrams in, WF²Q+-ordered and rate-paced datagrams out.
+// It is the step from reproducing the paper inside a discrete-event
+// simulation to serving traffic on a link.
+//
+// The pipeline is
+//
+//	Reader → classify → bounded per-class staging → scheduler pump → Writer
+//
+// Producers (any number of goroutines) call Ingest, which classifies a
+// datagram into a class, enforces the class's drop policy — tail-drop at the
+// packet cap plus a byte cap, with every drop recorded in the obs layer
+// tagged by reason — and stages it in the scheduler's per-class queue. A
+// single pump goroutine drains the other end: it acquires the lock once per
+// batch, refills a token bucket from the configured rate and the elapsed
+// wall time, dequeues every packet the tokens cover in scheduler order
+// (WF²Q+ flat, or H-WF²Q+/any registered discipline over a topology), and
+// writes the batch to the Writer outside the lock. Between batches it sleeps
+// on the pluggable wall clock until the bucket refills or new work arrives,
+// so the hot path is one lock acquisition and one timer per batch, not per
+// packet.
+//
+// I/O is Conn-agnostic: Reader and Writer are one-datagram-per-call
+// interfaces satisfied by connected UDP sockets (via ReaderFrom/WriterTo)
+// and by the in-memory Pipe for tests. Close stops intake and drains the
+// staged backlog through the pacer before returning. cmd/hpfqgw wraps the
+// engine into a UDP forwarding gateway.
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"hpfq/internal/hier"
+	"hpfq/internal/obs"
+	"hpfq/internal/packet"
+	"hpfq/internal/sched"
+	"hpfq/internal/topo"
+	"hpfq/internal/wallclock"
+)
+
+// Lifecycle and drop-policy errors.
+var (
+	// ErrClosed is returned by Ingest and Start after Close.
+	ErrClosed = errors.New("dataplane: closed")
+	// ErrNoClass is returned by Ingest for an unregistered class.
+	ErrNoClass = errors.New("dataplane: unknown class")
+	// ErrQueueFull is returned by Ingest when the class's staging queue is
+	// at its packet or byte cap; the datagram is dropped (tail-drop) and the
+	// drop is recorded in the metrics with its reason.
+	ErrQueueFull = errors.New("dataplane: class queue full")
+)
+
+// minWait is the shortest pacing sleep, bounding the pump's wakeup frequency
+// when the token deficit is tiny.
+const minWait = 50 * time.Microsecond
+
+// queue is the scheduler contract the pump drives: the flat schedulers and
+// hier.Tree all satisfy it (Observable and the drop recorder come from the
+// embedded obs.Collector).
+type queue interface {
+	Enqueue(now float64, p *packet.Packet)
+	Dequeue(now float64) *packet.Packet
+	Backlog() int
+	RecordDropReason(now float64, session int, bits float64, reason string)
+	obs.Observable
+}
+
+// classState tracks one class's staged datagrams against its caps.
+type classState struct {
+	rate    float64
+	packets int
+	bytes   int
+}
+
+// config collects construction options.
+type config struct {
+	top      *topo.Node
+	clock    wallclock.Clock
+	capPkts  int
+	capBytes int
+	burst    float64
+	metrics  bool
+	tracer   obs.Tracer
+}
+
+// Option configures a Dataplane at construction.
+type Option func(*config)
+
+// WithTopology schedules classes hierarchically: the engine builds an H-PFQ
+// tree (internal/hier) over top with the chosen algorithm at every interior
+// node, and the topology's leaves become the classes — AddClass is then
+// disallowed. Without it the engine runs the flat one-level scheduler.
+func WithTopology(top *topo.Node) Option { return func(c *config) { c.top = top } }
+
+// WithClock replaces the wall clock (for tests).
+func WithClock(clk wallclock.Clock) Option { return func(c *config) { c.clock = clk } }
+
+// WithQueueCap bounds every class's staging queue to n datagrams; arrivals
+// beyond it are tail-dropped and recorded. 0 means unlimited.
+func WithQueueCap(n int) Option { return func(c *config) { c.capPkts = n } }
+
+// WithByteCap bounds every class's staged bytes to n; arrivals that would
+// exceed it are dropped and recorded. 0 means unlimited.
+func WithByteCap(n int) Option { return func(c *config) { c.capBytes = n } }
+
+// WithBurst sets the token-bucket depth in bits: how much the pump may
+// release in one batch after an idle period, trading batching efficiency
+// against short-term burstiness. The default is 5 ms worth of the configured
+// rate.
+func WithBurst(bits float64) Option { return func(c *config) { c.burst = bits } }
+
+// WithMetrics enables metric collection on the underlying scheduler from
+// construction; read the counters with Snapshot.
+func WithMetrics() Option { return func(c *config) { c.metrics = true } }
+
+// WithTracer streams the scheduler's per-datagram events (with WF²Q+
+// virtual times) to t. The tracer runs under the engine's lock, from Ingest
+// callers and the pump; it must not call back into the Dataplane.
+func WithTracer(t obs.Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// Dataplane is the engine. Construct with New, register classes (flat mode)
+// with AddClass, start the pump with Start, feed datagrams with Ingest or
+// RunReader, and stop with Close.
+type Dataplane struct {
+	rate  float64
+	burst float64
+	clock wallclock.Clock
+	epoch time.Time
+
+	mu       sync.Mutex
+	q        queue
+	flat     sched.Scheduler // non-nil in flat mode: has AddSession
+	tree     *hier.Tree      // non-nil in topology mode
+	classes  map[int]*classState
+	capPkts  int
+	capBytes int
+	closed   bool
+	started  bool
+
+	w    Writer
+	wake chan struct{} // buffered(1) pump wakeup
+	done chan struct{} // closed when the pump exits
+}
+
+// released is one scheduled datagram in flight from the lock to the Writer.
+type released struct {
+	class   int
+	payload []byte
+}
+
+// New returns an engine pacing egress at rate bits/sec using the named
+// algorithm ("WF2Q+", "WFQ", "SCFQ", …; see internal/sched). Unknown
+// algorithms and malformed topologies return the registry's sentinel
+// errors.
+func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("dataplane: invalid rate %g", rate)
+	}
+	cfg := config{clock: wallclock.Real{}}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d := &Dataplane{
+		rate:     rate,
+		burst:    cfg.burst,
+		clock:    cfg.clock,
+		classes:  make(map[int]*classState),
+		capPkts:  cfg.capPkts,
+		capBytes: cfg.capBytes,
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	if d.burst <= 0 {
+		d.burst = rate * 0.005 // 5 ms of egress per batch
+	}
+	if cfg.top != nil {
+		tree, err := hier.New(cfg.top, rate, algorithm)
+		if err != nil {
+			return nil, err
+		}
+		d.tree = tree
+		d.q = tree
+		for _, id := range tree.Sessions() {
+			d.classes[id] = &classState{rate: tree.SessionRate(id)}
+		}
+	} else {
+		s, err := sched.New(algorithm, rate)
+		if err != nil {
+			return nil, err
+		}
+		q, ok := s.(queue)
+		if !ok {
+			return nil, fmt.Errorf("dataplane: algorithm %q lacks the collector surface", algorithm)
+		}
+		d.flat = s
+		d.q = q
+	}
+	if cfg.metrics {
+		d.q.EnableMetrics()
+	}
+	if cfg.tracer != nil {
+		d.q.SetTracer(cfg.tracer)
+	}
+	d.epoch = d.clock.Now()
+	return d, nil
+}
+
+// now returns seconds since the engine's creation on its clock — the
+// timestamp domain of its metrics and trace events.
+func (d *Dataplane) now() float64 {
+	return d.clock.Now().Sub(d.epoch).Seconds()
+}
+
+// AddClass registers a class with a guaranteed rate in bits/sec (flat mode
+// only; a topology fixes the classes at construction). The sum of class
+// rates should not exceed the engine rate for the WF²Q+ guarantees to hold.
+func (d *Dataplane) AddClass(id int, rate float64) error {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("dataplane: invalid class rate %g", rate)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.flat == nil {
+		return fmt.Errorf("dataplane: classes are fixed by the topology")
+	}
+	if _, dup := d.classes[id]; dup {
+		return fmt.Errorf("dataplane: duplicate class %d", id)
+	}
+	d.flat.AddSession(id, rate)
+	d.classes[id] = &classState{rate: rate}
+	return nil
+}
+
+// Classes returns the registered class ids (unordered).
+func (d *Dataplane) Classes() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]int, 0, len(d.classes))
+	for id := range d.classes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Ingest stages one datagram for a class, taking ownership of b. It never
+// blocks: when the class is at its packet or byte cap the datagram is
+// tail-dropped, the drop is recorded in the metrics tagged with its reason,
+// and ErrQueueFull is returned. Safe for any number of concurrent callers.
+func (d *Dataplane) Ingest(class int, b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("dataplane: empty datagram")
+	}
+	bits := float64(len(b)) * 8
+	d.mu.Lock()
+	cs := d.classes[class]
+	switch {
+	case d.closed:
+		if cs != nil {
+			d.q.RecordDropReason(d.now(), class, bits, obs.DropClosed)
+		}
+		d.mu.Unlock()
+		return ErrClosed
+	case cs == nil:
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNoClass, class)
+	case d.capPkts > 0 && cs.packets >= d.capPkts:
+		staged := cs.packets
+		d.q.RecordDropReason(d.now(), class, bits, obs.DropTail)
+		d.mu.Unlock()
+		return fmt.Errorf("%w: class %d at %d datagrams", ErrQueueFull, class, staged)
+	case d.capBytes > 0 && cs.bytes+len(b) > d.capBytes:
+		staged := cs.bytes
+		d.q.RecordDropReason(d.now(), class, bits, obs.DropBytes)
+		d.mu.Unlock()
+		return fmt.Errorf("%w: class %d at %d bytes", ErrQueueFull, class, staged)
+	}
+	p := packet.New(class, bits)
+	p.Payload = b
+	d.q.Enqueue(d.now(), p)
+	cs.packets++
+	cs.bytes += len(b)
+	d.mu.Unlock()
+	d.signal()
+	return nil
+}
+
+// signal nudges the pump without blocking; a pending nudge is enough.
+func (d *Dataplane) signal() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Start launches the pump goroutine writing scheduled datagrams to w.
+func (d *Dataplane) Start(w Writer) error {
+	if w == nil {
+		return fmt.Errorf("dataplane: nil writer")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.started {
+		return fmt.Errorf("dataplane: already started")
+	}
+	d.w = w
+	d.started = true
+	go d.pump()
+	return nil
+}
+
+// pump is the single scheduler-drain goroutine: one lock acquisition per
+// batch, token-bucket pacing between batches.
+func (d *Dataplane) pump() {
+	defer close(d.done)
+	var tokens float64
+	last := d.clock.Now()
+	var batch []released
+	for {
+		d.mu.Lock()
+		now := d.clock.Now()
+		tokens += now.Sub(last).Seconds() * d.rate
+		last = now
+		if tokens > d.burst {
+			tokens = d.burst
+		}
+		batch = batch[:0]
+		for tokens >= 0 {
+			p := d.q.Dequeue(d.now())
+			if p == nil {
+				break
+			}
+			tokens -= p.Length
+			cs := d.classes[p.Session]
+			cs.packets--
+			cs.bytes -= int(p.Length) / 8
+			batch = append(batch, released{class: p.Session, payload: p.Payload.([]byte)})
+		}
+		backlog := d.q.Backlog()
+		closed := d.closed
+		d.mu.Unlock()
+
+		var failed []released
+		for _, r := range batch {
+			if _, err := d.w.WritePacket(r.payload); err != nil {
+				failed = append(failed, r)
+			}
+		}
+		if len(failed) > 0 {
+			d.mu.Lock()
+			for _, r := range failed {
+				d.q.RecordDropReason(d.now(), r.class, float64(len(r.payload))*8, obs.DropWrite)
+			}
+			d.mu.Unlock()
+		}
+		if len(batch) > 0 {
+			continue // the scheduler may have more immediately releasable work
+		}
+		switch {
+		case closed && backlog == 0:
+			return
+		case backlog > 0:
+			// Out of tokens: sleep until the bucket covers the deficit.
+			wait := time.Duration(-tokens / d.rate * float64(time.Second))
+			if wait < minWait {
+				wait = minWait
+			}
+			d.await(wait)
+		default:
+			<-d.wake // idle: wait for an Ingest or Close nudge
+		}
+	}
+}
+
+// await blocks until dur elapses on the engine's clock or a wake nudge
+// arrives (new work or shutdown).
+func (d *Dataplane) await(dur time.Duration) {
+	t := make(chan struct{})
+	d.clock.AfterFunc(dur, func() { close(t) })
+	select {
+	case <-t:
+	case <-d.wake:
+	}
+}
+
+// Backlog returns the number of staged datagrams across all classes.
+func (d *Dataplane) Backlog() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.q.Backlog()
+}
+
+// Queued returns the staged datagram and byte counts for a class.
+func (d *Dataplane) Queued(class int) (packets, bytes int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cs := d.classes[class]
+	if cs == nil {
+		return 0, 0
+	}
+	return cs.packets, cs.bytes
+}
+
+// Snapshot freezes the scheduler's counters — per-class counts, queue
+// depths, delays, WFI, and the per-reason drop breakdown. Safe to call
+// concurrently with Ingest and the pump.
+func (d *Dataplane) Snapshot() obs.Metrics {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.q.Snapshot()
+}
+
+// NodeSnapshots returns the per-node reference-time metrics when the engine
+// schedules over a topology, nil in flat mode.
+func (d *Dataplane) NodeSnapshots() map[string]obs.Metrics {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.tree == nil {
+		return nil
+	}
+	return d.tree.NodeSnapshots()
+}
+
+// RunReader reads datagrams from r, classifies each with classify, and
+// ingests them until the reader fails (a closed socket's error ends the
+// loop) or the engine closes. Drop-policy rejections are recorded and
+// skipped. It runs in the caller's goroutine; run several with different
+// readers for multi-socket ingress.
+func (d *Dataplane) RunReader(r Reader, classify func(b []byte) int) error {
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := r.ReadPacket(buf)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			continue
+		}
+		b := append([]byte(nil), buf[:n]...)
+		if err := d.Ingest(classify(b), b); errors.Is(err, ErrClosed) {
+			return err
+		}
+	}
+}
+
+// Close stops intake, drains the staged backlog through the pacer, and
+// waits for the pump to exit. Datagrams arriving after Close are dropped
+// (recorded with reason "closed"). If Start was never called the staged
+// backlog is discarded. The Writer must not block forever, or Close won't
+// return.
+func (d *Dataplane) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	started := d.started
+	d.mu.Unlock()
+	if !started {
+		return nil
+	}
+	d.signal()
+	<-d.done
+	return nil
+}

@@ -1,0 +1,99 @@
+package dataplane
+
+import (
+	"io"
+	"sync"
+)
+
+// Reader is the datagram ingress contract: one datagram per call, written
+// into buf, its length returned. A connected *net.UDPConn satisfies the
+// underlying io.Reader shape — adapt it with ReaderFrom. Readers block until
+// a datagram arrives or the transport fails (a closed socket returns its
+// error, which ends the RunReader loop).
+type Reader interface {
+	ReadPacket(buf []byte) (int, error)
+}
+
+// Writer is the datagram egress contract: one datagram per call, sent
+// whole. A connected *net.UDPConn satisfies the underlying io.Writer shape —
+// adapt it with WriterTo.
+type Writer interface {
+	WritePacket(b []byte) (int, error)
+}
+
+// ReaderFrom adapts an io.Reader with datagram semantics (each Read returns
+// one message), e.g. a connected *net.UDPConn, to the Reader interface.
+func ReaderFrom(r io.Reader) Reader { return ioReader{r} }
+
+type ioReader struct{ r io.Reader }
+
+func (a ioReader) ReadPacket(buf []byte) (int, error) { return a.r.Read(buf) }
+
+// WriterTo adapts an io.Writer with datagram semantics (each Write sends one
+// message), e.g. a connected *net.UDPConn, to the Writer interface.
+func WriterTo(w io.Writer) Writer { return ioWriter{w} }
+
+type ioWriter struct{ w io.Writer }
+
+func (a ioWriter) WritePacket(b []byte) (int, error) { return a.w.Write(b) }
+
+// Pipe is an in-memory datagram conduit with message boundaries: whatever is
+// passed to one WritePacket call comes out of exactly one ReadPacket call.
+// It stands in for a UDP socket in tests and examples — wire a Dataplane's
+// egress to one end and read released datagrams from the other. Both ends
+// are safe for concurrent use.
+type Pipe struct {
+	ch   chan []byte
+	done chan struct{}
+	once sync.Once
+}
+
+// NewPipe returns a pipe buffering up to capacity in-flight datagrams
+// (minimum 1). WritePacket blocks while the buffer is full.
+func NewPipe(capacity int) *Pipe {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pipe{ch: make(chan []byte, capacity), done: make(chan struct{})}
+}
+
+// WritePacket copies b into the pipe as one datagram. It fails with
+// io.ErrClosedPipe after Close.
+func (p *Pipe) WritePacket(b []byte) (int, error) {
+	select {
+	case <-p.done:
+		return 0, io.ErrClosedPipe
+	default:
+	}
+	c := append([]byte(nil), b...)
+	select {
+	case p.ch <- c:
+		return len(b), nil
+	case <-p.done:
+		return 0, io.ErrClosedPipe
+	}
+}
+
+// ReadPacket blocks for the next datagram and copies it into buf, returning
+// its length (truncated to len(buf), like a UDP socket read). After Close it
+// drains buffered datagrams, then returns io.EOF.
+func (p *Pipe) ReadPacket(buf []byte) (int, error) {
+	select {
+	case b := <-p.ch:
+		return copy(buf, b), nil
+	case <-p.done:
+		select {
+		case b := <-p.ch:
+			return copy(buf, b), nil
+		default:
+			return 0, io.EOF
+		}
+	}
+}
+
+// Close unblocks writers and readers. Datagrams already buffered remain
+// readable.
+func (p *Pipe) Close() error {
+	p.once.Do(func() { close(p.done) })
+	return nil
+}

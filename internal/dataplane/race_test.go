@@ -1,0 +1,108 @@
+package dataplane
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countWriter counts datagrams and bytes written, atomically.
+type countWriter struct {
+	packets atomic.Int64
+	bytes   atomic.Int64
+}
+
+func (w *countWriter) WritePacket(b []byte) (int, error) {
+	w.packets.Add(1)
+	w.bytes.Add(int64(len(b)))
+	return len(b), nil
+}
+
+// TestConcurrentProducersStress is the -race workout: many producer
+// goroutines hammer Ingest (with caps tight enough to force the drop path)
+// while the pump drains at high rate and other goroutines poll the
+// observability surface. Every accepted datagram must come out exactly once
+// and the counters must conserve.
+func TestConcurrentProducersStress(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 400
+		classes   = 4
+	)
+	d, err := New("WF2Q+", 5e8, WithQueueCap(64), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < classes; c++ {
+		d.AddClass(c, 5e8/classes)
+	}
+	w := &countWriter{}
+	if err := d.Start(w); err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted, dropped atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				size := 64 + (p*perProd+i)%1024
+				b := make([]byte, size)
+				b[0] = byte((p + i) % classes)
+				switch err := d.Ingest(int(b[0]), b); {
+				case err == nil:
+					accepted.Add(1)
+				case errors.Is(err, ErrQueueFull):
+					dropped.Add(1)
+				default:
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	// Concurrent observers on the snapshot and stats surfaces.
+	stop := make(chan struct{})
+	var owg sync.WaitGroup
+	owg.Add(1)
+	go func() {
+		defer owg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = d.Snapshot()
+				_ = d.Backlog()
+				_, _ = d.Queued(0)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	owg.Wait()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := d.Snapshot()
+	if !m.Conserved() {
+		t.Error("metrics not conserved after concurrent run")
+	}
+	if m.Enqueued.Packets != accepted.Load() {
+		t.Errorf("scheduler enqueued %d, producers accepted %d", m.Enqueued.Packets, accepted.Load())
+	}
+	if m.Dropped.Packets != dropped.Load() {
+		t.Errorf("scheduler dropped %d, producers saw %d rejections", m.Dropped.Packets, dropped.Load())
+	}
+	if w.packets.Load() != accepted.Load() {
+		t.Errorf("writer got %d datagrams, want %d (every accepted datagram exactly once)",
+			w.packets.Load(), accepted.Load())
+	}
+	if total := accepted.Load() + dropped.Load(); total != producers*perProd {
+		t.Errorf("accounted %d submissions, want %d", total, producers*perProd)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 	"text/tabwriter"
 )
 
@@ -15,6 +16,18 @@ func (m Metrics) WriteTable(w io.Writer) error {
 	fmt.Fprintf(tw, "# %s: rate=%s enq=%d deq=%d drop=%d qlen=%d max_qlen=%d conserved=%v\n",
 		m.Name, rateString(m.Rate), m.Enqueued.Packets, m.Dequeued.Packets,
 		m.Dropped.Packets, m.QueueLen, m.MaxQueueLen, m.Conserved())
+	if len(m.DropReasons) > 0 {
+		reasons := make([]string, 0, len(m.DropReasons))
+		for r := range m.DropReasons {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		fmt.Fprintf(tw, "# drops:")
+		for _, r := range reasons {
+			fmt.Fprintf(tw, " %s=%d", r, m.DropReasons[r].Packets)
+		}
+		fmt.Fprintln(tw)
+	}
 	fmt.Fprintln(tw, "session\trate\tenq\tdeq\tdrop\tqlen\tmax\tdelay_min\tdelay_mean\tdelay_max\twfi")
 	for _, s := range m.Sessions {
 		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\n",

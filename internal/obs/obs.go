@@ -39,6 +39,22 @@ var DelayBuckets = [...]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 // overflow bucket.
 const NumDelayBuckets = len(DelayBuckets) + 1
 
+// Drop reasons shared across the stack. Components record drops tagged with
+// one of these (or their own string) via Collector.RecordDropReason; the
+// per-reason counters appear in Metrics.DropReasons and on trace events.
+const (
+	// DropTail: the class's staging queue was at its packet cap (tail-drop).
+	DropTail = "tail-drop"
+	// DropBytes: the class's queued bytes (or cost) were at their cap.
+	DropBytes = "byte-cap"
+	// DropClosed: the datagram arrived after shutdown began.
+	DropClosed = "closed"
+	// DropWrite: the egress write failed after the packet was scheduled.
+	// Write-error drops are recorded post-dequeue, so they inflate Offered
+	// relative to arrival-time drops.
+	DropWrite = "write-error"
+)
+
 // Counter counts packets and their cumulative length in bits (or cost
 // units, for the shaper).
 type Counter struct {
@@ -143,6 +159,11 @@ type Metrics struct {
 
 	QueueLen    int
 	MaxQueueLen int
+
+	// DropReasons breaks Dropped down by the reason tag passed to
+	// RecordDropReason. Untagged drops (RecordDrop) are not listed, so the
+	// per-reason counters sum to at most Dropped.
+	DropReasons map[string]Counter
 
 	Sessions []SessionMetrics // sorted by ID
 }
@@ -249,6 +270,7 @@ type Collector struct {
 	enq, deq, drop Counter
 	depth          int
 	maxDepth       int
+	reasons        map[string]Counter // drop counters keyed by reason tag
 
 	sessions []sessionState
 }
@@ -404,19 +426,39 @@ func (c *Collector) RecordDrop(now float64, session int, bits float64) {
 	if !c.active {
 		return
 	}
-	c.recordDrop(now, session, bits)
+	c.recordDrop(now, session, bits, "")
 }
 
-func (c *Collector) recordDrop(now float64, session int, bits float64) {
+// RecordDropReason is RecordDrop tagged with a drop reason (one of the Drop*
+// constants, or any component-specific string). Tagged drops additionally
+// accumulate into the snapshot's DropReasons map and carry the reason on
+// their trace event.
+func (c *Collector) RecordDropReason(now float64, session int, bits float64, reason string) {
+	if !c.active {
+		return
+	}
+	c.recordDrop(now, session, bits, reason)
+}
+
+func (c *Collector) recordDrop(now float64, session int, bits float64, reason string) {
 	s := c.session(session)
 	if c.metrics {
 		c.drop.add(bits)
 		s.drop.add(bits)
+		if reason != "" {
+			if c.reasons == nil {
+				c.reasons = make(map[string]Counter)
+			}
+			r := c.reasons[reason]
+			r.add(bits)
+			c.reasons[reason] = r
+		}
 	}
 	if c.tracer != nil {
 		c.tracer.Drop(Event{
 			Type: EventDrop, Time: now, Node: c.name,
 			Session: session, Bits: bits, QueueLen: s.depth,
+			Reason: reason,
 		})
 	}
 }
@@ -433,6 +475,12 @@ func (c *Collector) Snapshot() Metrics {
 		Dropped:     c.drop,
 		QueueLen:    c.depth,
 		MaxQueueLen: c.maxDepth,
+	}
+	if len(c.reasons) > 0 {
+		m.DropReasons = make(map[string]Counter, len(c.reasons))
+		for r, n := range c.reasons {
+			m.DropReasons[r] = n
+		}
 	}
 	for id := range c.sessions {
 		s := &c.sessions[id]

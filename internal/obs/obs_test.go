@@ -250,3 +250,63 @@ func TestSimMetricsRatio(t *testing.T) {
 		t.Errorf("ratio = %g", m.SimPerWall())
 	}
 }
+
+// TestDropReasons: tagged drops accumulate per-reason counters, appear on
+// trace events, and are rendered by WriteTable; untagged drops stay out of
+// the reason map.
+func TestDropReasons(t *testing.T) {
+	var c Collector
+	c.InitObs("dp", 1e6)
+	c.EnableMetrics()
+	ring := NewRingTracer(8)
+	c.SetTracer(ring)
+	c.RegisterSession(0, 5e5)
+
+	c.RecordDropReason(0.1, 0, 8000, DropTail)
+	c.RecordDropReason(0.2, 0, 4000, DropTail)
+	c.RecordDropReason(0.3, 0, 16000, DropBytes)
+	c.RecordDrop(0.4, 0, 1000) // untagged
+
+	m := c.Snapshot()
+	if m.Dropped.Packets != 4 {
+		t.Fatalf("dropped = %d, want 4", m.Dropped.Packets)
+	}
+	if got := m.DropReasons[DropTail]; got.Packets != 2 || got.Bits != 12000 {
+		t.Errorf("tail-drop counter = %+v, want 2 pkts / 12000 bits", got)
+	}
+	if got := m.DropReasons[DropBytes]; got.Packets != 1 {
+		t.Errorf("byte-cap counter = %+v, want 1 pkt", got)
+	}
+	if len(m.DropReasons) != 2 {
+		t.Errorf("reason map %v, want exactly tail-drop and byte-cap", m.DropReasons)
+	}
+
+	evs := ring.Events()
+	if len(evs) != 4 {
+		t.Fatalf("traced %d events, want 4", len(evs))
+	}
+	if evs[0].Reason != DropTail || evs[2].Reason != DropBytes || evs[3].Reason != "" {
+		t.Errorf("trace reasons = %q %q %q %q", evs[0].Reason, evs[1].Reason, evs[2].Reason, evs[3].Reason)
+	}
+
+	var buf strings.Builder
+	if err := m.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tail-drop=2") || !strings.Contains(buf.String(), "byte-cap=1") {
+		t.Errorf("table missing drop reasons:\n%s", buf.String())
+	}
+}
+
+// TestDropReasonsSnapshotIsolated: mutating a snapshot's reason map must not
+// write through to the live collector.
+func TestDropReasonsSnapshotIsolated(t *testing.T) {
+	var c Collector
+	c.EnableMetrics()
+	c.RecordDropReason(0, 0, 100, DropTail)
+	m := c.Snapshot()
+	m.DropReasons[DropTail] = Counter{Packets: 99}
+	if c.Snapshot().DropReasons[DropTail].Packets != 1 {
+		t.Error("snapshot shares reason map with collector")
+	}
+}

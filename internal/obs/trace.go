@@ -40,7 +40,8 @@ type Event struct {
 	Node     string // component name; hierarchy nodes use the topology name
 	Session  int    // session, child index, or class id
 	Bits     float64
-	QueueLen int // session queue depth after the operation
+	QueueLen int    // session queue depth after the operation
+	Reason   string // drop reason tag; empty except on tagged Drop events
 
 	HasVT         bool
 	VirtualStart  float64
@@ -128,6 +129,7 @@ type jsonEvent struct {
 	Session  int     `json:"session"`
 	Bits     float64 `json:"bits"`
 	QueueLen int     `json:"qlen"`
+	Reason   string  `json:"reason,omitempty"`
 
 	VirtualStart  *float64 `json:"vstart,omitempty"`
 	VirtualFinish *float64 `json:"vfinish,omitempty"`
@@ -162,6 +164,7 @@ func (t *JSONLTracer) write(ev Event) {
 		Session:  ev.Session,
 		Bits:     ev.Bits,
 		QueueLen: ev.QueueLen,
+		Reason:   ev.Reason,
 	}
 	if ev.HasVT {
 		vs, vf, vt := ev.VirtualStart, ev.VirtualFinish, ev.SystemVT

@@ -24,23 +24,14 @@ import (
 	"hpfq/internal/core"
 	"hpfq/internal/obs"
 	"hpfq/internal/packet"
+	"hpfq/internal/wallclock"
 )
 
 // Clock abstracts timer scheduling so tests can drive the shaper
-// deterministically.
-type Clock interface {
-	// AfterFunc runs fn after d on the clock's timeline.
-	AfterFunc(d time.Duration, fn func())
-	// Now returns the current instant on the clock's timeline; the shaper
-	// timestamps metric and trace events with seconds since its creation.
-	Now() time.Time
-}
-
-// realClock is the default wall clock.
-type realClock struct{}
-
-func (realClock) AfterFunc(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
-func (realClock) Now() time.Time                       { return time.Now() }
+// deterministically; it is the shared abstraction from internal/wallclock
+// (the data-plane paces on the same one). The shaper timestamps metric and
+// trace events with seconds since its creation.
+type Clock = wallclock.Clock
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("shaper: closed")
@@ -55,14 +46,15 @@ type Shaper struct {
 	clock Clock
 	epoch time.Time
 
-	mu      sync.Mutex
-	sched   *core.Scheduler
-	limits  map[int]float64 // class → max queued cost (0 = unlimited)
-	queued  map[int]float64
-	busy    bool
-	closed  bool
-	defined map[int]bool
-	relSeq  map[int]int64
+	mu       sync.Mutex
+	sched    *core.Scheduler
+	limits   map[int]float64 // class → max queued cost (0 = unlimited)
+	defLimit float64         // cap applied to classes registered without one
+	queued   map[int]float64
+	busy     bool
+	closed   bool
+	defined  map[int]bool
+	relSeq   map[int]int64
 }
 
 // Option configures the shaper.
@@ -71,6 +63,14 @@ type Option func(*Shaper)
 // WithClock replaces the wall clock (for tests).
 func WithClock(c Clock) Option {
 	return func(s *Shaper) { s.clock = c }
+}
+
+// WithDefaultClassCap bounds the queued cost of every class registered
+// without an explicit cap, so a shaper is never an unbounded buffer by
+// accident. Submissions beyond the cap fail with ErrQueueFull and are
+// recorded as byte-cap drops in the shaper's metrics.
+func WithDefaultClassCap(maxQueued float64) Option {
+	return func(s *Shaper) { s.defLimit = maxQueued }
 }
 
 // WithMetrics enables metric collection on the shaper's scheduler: per-class
@@ -97,7 +97,7 @@ func New(rate float64, opts ...Option) *Shaper {
 	}
 	s := &Shaper{
 		rate:    rate,
-		clock:   realClock{},
+		clock:   wallclock.Real{},
 		sched:   core.NewScheduler(rate),
 		limits:  make(map[int]float64),
 		queued:  make(map[int]float64),
@@ -125,14 +125,18 @@ func (s *Shaper) Snapshot() obs.Metrics {
 }
 
 // AddClass registers a class with a guaranteed rate in cost units per
-// second. maxQueued caps the total queued cost for the class (0 =
-// unlimited); submissions beyond it fail with ErrQueueFull, giving callers
-// backpressure instead of unbounded memory.
+// second. maxQueued caps the total queued cost for the class (0 = the
+// WithDefaultClassCap value, unlimited if none); submissions beyond the cap
+// fail with ErrQueueFull, giving callers backpressure instead of unbounded
+// memory, and are recorded as byte-cap drops in the shaper's metrics.
 func (s *Shaper) AddClass(id int, rate, maxQueued float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sched.AddSession(id, rate)
 	s.defined[id] = true
+	if maxQueued <= 0 {
+		maxQueued = s.defLimit
+	}
 	if maxQueued > 0 {
 		s.limits[id] = maxQueued
 	}
@@ -148,12 +152,16 @@ func (s *Shaper) Submit(class int, cost float64, release func()) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		if s.defined[class] {
+			s.sched.RecordDropReason(s.now(), class, cost, obs.DropClosed)
+		}
 		return ErrClosed
 	}
 	if !s.defined[class] {
 		return fmt.Errorf("shaper: unknown class %d", class)
 	}
 	if lim, ok := s.limits[class]; ok && s.queued[class]+cost > lim {
+		s.sched.RecordDropReason(s.now(), class, cost, obs.DropBytes)
 		return ErrQueueFull
 	}
 	p := packet.New(class, cost)

@@ -1,80 +1,22 @@
 package shaper
 
 import (
-	"container/heap"
 	"math"
-	"sync"
 	"testing"
 	"time"
+
+	"hpfq/internal/obs"
+	"hpfq/internal/wallclock"
 )
 
-// fakeClock is a deterministic Clock: timers fire when the test advances
-// virtual time.
-type fakeClock struct {
-	mu     sync.Mutex
-	now    time.Duration
-	timers timerHeap
-	seq    int
-}
-
-type fakeTimer struct {
-	at  time.Duration
-	seq int
-	fn  func()
-}
-
-type timerHeap []*fakeTimer
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*fakeTimer)) }
-func (h *timerHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
-
-func (c *fakeClock) AfterFunc(d time.Duration, fn func()) {
-	c.mu.Lock()
-	c.seq++
-	heap.Push(&c.timers, &fakeTimer{at: c.now + d, seq: c.seq, fn: fn})
-	c.mu.Unlock()
-}
-
-func (c *fakeClock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return time.Unix(0, 0).Add(c.now)
-}
-
-// Advance moves virtual time forward, firing due timers in order. Timers
-// may schedule more timers (the shaper's startNext chain does).
-func (c *fakeClock) Advance(d time.Duration) {
-	c.mu.Lock()
-	target := c.now + d
-	for len(c.timers) > 0 && c.timers[0].at <= target {
-		t := heap.Pop(&c.timers).(*fakeTimer)
-		c.now = t.at
-		c.mu.Unlock()
-		t.fn()
-		c.mu.Lock()
-	}
-	c.now = target
-	c.mu.Unlock()
-}
-
 func TestShaperPacesAtRate(t *testing.T) {
-	clk := &fakeClock{}
+	clk := wallclock.NewFake()
 	s := New(1000, WithClock(clk)) // 1000 cost/sec
 	s.AddClass(0, 1000, 0)
 	var releases []time.Duration
 	for i := 0; i < 5; i++ {
 		err := s.Submit(0, 100, func() {
-			clk.mu.Lock()
-			releases = append(releases, clk.now)
-			clk.mu.Unlock()
+			releases = append(releases, clk.Elapsed())
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -97,7 +39,7 @@ func TestShaperPacesAtRate(t *testing.T) {
 }
 
 func TestShaperFairShares(t *testing.T) {
-	clk := &fakeClock{}
+	clk := wallclock.NewFake()
 	s := New(1000, WithClock(clk))
 	s.AddClass(0, 700, 0)
 	s.AddClass(1, 300, 0)
@@ -127,7 +69,7 @@ func TestShaperFairShares(t *testing.T) {
 }
 
 func TestShaperIsolationLatency(t *testing.T) {
-	clk := &fakeClock{}
+	clk := wallclock.NewFake()
 	s := New(1000, WithClock(clk))
 	s.AddClass(0, 500, 0) // polite
 	s.AddClass(1, 500, 0) // flooding
@@ -141,9 +83,7 @@ func TestShaperIsolationLatency(t *testing.T) {
 	var done time.Duration
 	start := 50 * time.Millisecond
 	s.Submit(0, 10, func() {
-		clk.mu.Lock()
-		done = clk.now
-		clk.mu.Unlock()
+		done = clk.Elapsed()
 	})
 	clk.Advance(2 * time.Second)
 	if done == 0 {
@@ -157,7 +97,7 @@ func TestShaperIsolationLatency(t *testing.T) {
 }
 
 func TestShaperBackpressure(t *testing.T) {
-	clk := &fakeClock{}
+	clk := wallclock.NewFake()
 	s := New(1000, WithClock(clk))
 	s.AddClass(0, 1000, 25)
 	if err := s.Submit(0, 10, nil); err != nil {
@@ -175,8 +115,58 @@ func TestShaperBackpressure(t *testing.T) {
 	}
 }
 
+// TestShaperDropMetrics: rejected submissions show up in the snapshot as
+// tagged drops — byte-cap for limit rejections, closed for post-Close ones.
+func TestShaperDropMetrics(t *testing.T) {
+	clk := wallclock.NewFake()
+	s := New(1000, WithClock(clk), WithMetrics())
+	s.AddClass(0, 1000, 15)
+	s.Submit(0, 10, nil)
+	if err := s.Submit(0, 10, nil); err != ErrQueueFull {
+		t.Fatalf("over-limit submit: %v, want ErrQueueFull", err)
+	}
+	s.Close()
+	s.Submit(0, 10, nil)
+	m := s.Snapshot()
+	if m.Dropped.Packets != 2 {
+		t.Fatalf("dropped = %d, want 2", m.Dropped.Packets)
+	}
+	if m.DropReasons[obs.DropBytes].Packets != 1 {
+		t.Errorf("byte-cap drops = %+v, want 1", m.DropReasons[obs.DropBytes])
+	}
+	if m.DropReasons[obs.DropClosed].Packets != 1 {
+		t.Errorf("closed drops = %+v, want 1", m.DropReasons[obs.DropClosed])
+	}
+	if sess, ok := m.Session(0); !ok || sess.Dropped.Packets != 2 {
+		t.Errorf("session drop counter = %+v", sess.Dropped)
+	}
+}
+
+// TestShaperDefaultClassCap: classes registered without an explicit cap
+// inherit the WithDefaultClassCap bound.
+func TestShaperDefaultClassCap(t *testing.T) {
+	clk := wallclock.NewFake()
+	s := New(1000, WithClock(clk), WithDefaultClassCap(15))
+	s.AddClass(0, 500, 0)  // inherits the default cap
+	s.AddClass(1, 500, 50) // explicit cap wins
+	if err := s.Submit(0, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(0, 10, nil); err != ErrQueueFull {
+		t.Fatalf("default-capped class: %v, want ErrQueueFull", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Submit(1, 10, nil); err != nil {
+			t.Fatalf("explicit-cap class submit %d: %v", i, err)
+		}
+	}
+	if err := s.Submit(1, 10, nil); err != ErrQueueFull {
+		t.Fatalf("explicit cap: %v, want ErrQueueFull", err)
+	}
+}
+
 func TestShaperErrors(t *testing.T) {
-	clk := &fakeClock{}
+	clk := wallclock.NewFake()
 	s := New(100, WithClock(clk))
 	s.AddClass(0, 100, 0)
 	if err := s.Submit(9, 1, nil); err == nil {
