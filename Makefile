@@ -1,10 +1,12 @@
 # Build/verify entry points. `make verify` is the extended pre-merge gate
 # referenced from ROADMAP.md; `make race` exercises the concurrent
-# components under the race detector.
+# components under the race detector; `make fault` runs the fault-injection
+# stress suite with a fixed seed (override: make fault HPFQ_FAULT_SEED=7).
 
 GO ?= go
+HPFQ_FAULT_SEED ?= 20260806
 
-.PHONY: all build test race vet fmt verify
+.PHONY: all build test race vet fmt fault verify
 
 all: verify
 
@@ -22,5 +24,10 @@ vet:
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+fault:
+	HPFQ_FAULT_SEED=$(HPFQ_FAULT_SEED) $(GO) test -race -count=1 \
+		-run 'Fault|Retry|Requeue|Panic|AQM|CoDel|IngestCloseRace|Drain|Flow' \
+		./internal/faultconn/... ./internal/dataplane/... ./cmd/hpfqgw/...
 
 verify: build test vet fmt race

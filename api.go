@@ -2,6 +2,7 @@ package hpfq
 
 import (
 	"io"
+	"time"
 
 	"hpfq/internal/core"
 	"hpfq/internal/dataplane"
@@ -104,6 +105,37 @@ const (
 	EventEnqueue = obs.EventEnqueue
 	EventDequeue = obs.EventDequeue
 	EventDrop    = obs.EventDrop
+	EventRetry   = obs.EventRetry
+)
+
+// Drop reasons, as recorded in Metrics.DropReasons and on EventDrop trace
+// events. The first three are ingest-time policy; the rest happen after
+// dequeue, on the data-plane's egress side.
+const (
+	// DropTail is a tail-drop at a class's packet cap.
+	DropTail = obs.DropTail
+	// DropBytes is a drop at a class's byte cap.
+	DropBytes = obs.DropBytes
+	// DropClosed is an arrival after Close.
+	DropClosed = obs.DropClosed
+	// DropWrite is a fatal (non-retryable) Writer error.
+	DropWrite = obs.DropWrite
+	// DropRetries is a transient Writer error that outlived its retry and
+	// requeue budget.
+	DropRetries = obs.DropRetries
+	// DropCoDel is a packet shed by the WithAQM CoDel policy.
+	DropCoDel = obs.DropCoDel
+	// DropPanic is a packet lost in flight when the pump recovered a panic.
+	DropPanic = obs.DropPanic
+)
+
+// Retry reasons, as recorded in Metrics.RetryReasons and on EventRetry trace
+// events.
+const (
+	// RetryTransient is a re-attempt after a transient Writer error.
+	RetryTransient = obs.RetryTransient
+	// RetryRequeue is a packet re-entering the scheduler under WithRequeue.
+	RetryRequeue = obs.RetryRequeue
 )
 
 // NewRingTracer returns a tracer retaining the most recent capacity events.
@@ -380,6 +412,11 @@ type (
 	PacketReader = dataplane.Reader
 	// PacketWriter is the datagram egress contract.
 	PacketWriter = dataplane.Writer
+	// PacketCtxWriter is the optional PacketWriter extension for per-datagram
+	// routing: when the Writer passed to Dataplane.Start also implements it,
+	// datagrams staged with Dataplane.IngestCtx are delivered through
+	// WritePacketCtx with their opaque context.
+	PacketCtxWriter = dataplane.CtxWriter
 	// PacketPipe is an in-memory datagram conduit with message boundaries.
 	PacketPipe = dataplane.Pipe
 )
@@ -422,6 +459,33 @@ func DataplaneMetrics() DataplaneOption { return dataplane.WithMetrics() }
 // DataplaneTracer streams the data-plane's per-datagram scheduling events to
 // t. The tracer runs under the engine's lock and must not call back into it.
 func DataplaneTracer(t Tracer) DataplaneOption { return dataplane.WithTracer(t) }
+
+// WithWriteRetry tunes the data-plane pump's reaction to transient Writer
+// errors: up to limit re-attempts per packet, sleeping backoff before the
+// first and doubling up to cap between the rest. limit 0 disables retries.
+func WithWriteRetry(limit int, backoff, cap time.Duration) DataplaneOption {
+	return dataplane.WithWriteRetry(limit, backoff, cap)
+}
+
+// WithRequeue lets a packet whose retry budget ran out rejoin the data-plane
+// scheduler instead of being dropped, at most n times per packet.
+func WithRequeue(n int) DataplaneOption { return dataplane.WithRequeue(n) }
+
+// Data-plane retry defaults for transient Writer errors.
+const (
+	DefaultRetryLimit   = dataplane.DefaultRetryLimit
+	DefaultRetryBackoff = dataplane.DefaultRetryBackoff
+	DefaultRetryCap     = dataplane.DefaultRetryCap
+)
+
+// WithAQM enables a per-class CoDel drop policy on the data-plane as
+// graceful degradation under overload: packets whose staging sojourn stays
+// above target for a full interval are shed at dequeue (reason DropCoDel).
+// Non-positive target or interval selects the CoDel defaults (5 ms /
+// 100 ms).
+func WithAQM(target, interval time.Duration) DataplaneOption {
+	return dataplane.WithAQM(target, interval)
+}
 
 // NewPacketPipe returns an in-memory datagram conduit buffering up to
 // capacity in-flight datagrams.

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Flow-table defaults: how long an idle client keeps its upstream flow, and
+// how many concurrent clients the gateway tracks before evicting the oldest.
+const (
+	defaultFlowTTL  = 2 * time.Minute
+	defaultMaxFlows = 1024
+)
+
+// flow is one client's NAT-style mapping: a dedicated connected upstream
+// socket (its local port identifies the client to the upstream) plus a
+// return-path reader relaying replies back to that client. A flow's lifetime
+// is its socket: evicting closes the socket, which ends the reader and makes
+// any still-queued forward datagram fail fatally at write time (recorded as
+// a "write-error" drop).
+type flow struct {
+	client *net.UDPAddr
+	conn   *net.UDPConn
+	last   time.Time // guarded by the owning table's mutex
+}
+
+// flowTable maps client addresses to flows with TTL eviction, replacing the
+// old last-client-wins relay: replies reach the client that owns the flow,
+// however many clients are interleaved. Safe for concurrent use.
+type flowTable struct {
+	listen   *net.UDPConn // return-path source socket (WriteToUDP per client)
+	upstream *net.UDPAddr
+	ttl      time.Duration
+	max      int
+
+	mu     sync.Mutex
+	flows  map[string]*flow
+	closed bool
+	stop   chan struct{}
+	wg     sync.WaitGroup // return-path readers + janitor
+}
+
+func newFlowTable(listen *net.UDPConn, upstream *net.UDPAddr, ttl time.Duration, max int) *flowTable {
+	if ttl <= 0 {
+		ttl = defaultFlowTTL
+	}
+	if max <= 0 {
+		max = defaultMaxFlows
+	}
+	t := &flowTable{
+		listen:   listen,
+		upstream: upstream,
+		ttl:      ttl,
+		max:      max,
+		flows:    make(map[string]*flow),
+		stop:     make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.janitor()
+	return t
+}
+
+// lookup returns src's flow, refreshing its TTL, creating it (and its
+// return-path reader) on first sight. At capacity the idlest flow is evicted
+// first, NAT-style.
+func (t *flowTable) lookup(src *net.UDPAddr) (*flow, error) {
+	key := src.String()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, net.ErrClosed
+	}
+	if f, ok := t.flows[key]; ok {
+		f.last = time.Now()
+		return f, nil
+	}
+	if len(t.flows) >= t.max {
+		t.evictIdlestLocked()
+	}
+	conn, err := net.DialUDP("udp", nil, t.upstream)
+	if err != nil {
+		return nil, err
+	}
+	f := &flow{client: src, conn: conn, last: time.Now()}
+	t.flows[key] = f
+	t.wg.Add(1)
+	go t.returnPath(f)
+	return f, nil
+}
+
+// returnPath relays upstream replies on f's socket back to f's client and
+// keeps the flow alive while replies arrive. It ends when the flow's socket
+// closes (eviction or table close).
+func (t *flowTable) returnPath(f *flow) {
+	defer t.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := f.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if !t.closed {
+			f.last = time.Now()
+		}
+		t.mu.Unlock()
+		if _, err := t.listen.WriteToUDP(buf[:n], f.client); err != nil {
+			return
+		}
+	}
+}
+
+// janitor evicts flows idle beyond the TTL.
+func (t *flowTable) janitor() {
+	defer t.wg.Done()
+	period := t.ttl / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case now := <-tick.C:
+			t.mu.Lock()
+			for key, f := range t.flows {
+				if now.Sub(f.last) > t.ttl {
+					delete(t.flows, key)
+					f.conn.Close()
+				}
+			}
+			t.mu.Unlock()
+		}
+	}
+}
+
+// evictIdlestLocked drops the longest-idle flow to make room. Caller holds
+// t.mu.
+func (t *flowTable) evictIdlestLocked() {
+	var oldestKey string
+	var oldest *flow
+	for key, f := range t.flows {
+		if oldest == nil || f.last.Before(oldest.last) {
+			oldestKey, oldest = key, f
+		}
+	}
+	if oldest != nil {
+		delete(t.flows, oldestKey)
+		oldest.conn.Close()
+	}
+}
+
+// count returns the live flow count.
+func (t *flowTable) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.flows)
+}
+
+// close evicts every flow, stops the janitor, and waits for the return-path
+// readers to exit. Idempotent.
+func (t *flowTable) close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	close(t.stop)
+	for key, f := range t.flows {
+		delete(t.flows, key)
+		f.conn.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+}

@@ -4,102 +4,214 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hpfq"
+	"hpfq/internal/faultconn"
 )
+
+// errOut is where the gateway reports recovered panics (swapped out by
+// tests).
+var errOut io.Writer = os.Stderr
 
 // classifier assigns an arriving datagram to one of the gateway's classes.
 // Both the source address and the payload are available so policies can key
 // on either (hash keys on the sender, byte0 on the first payload byte).
 type classifier func(src *net.UDPAddr, payload []byte) int
 
+// gwConfig tunes the gateway's flow table and optional egress fault plan.
+type gwConfig struct {
+	flowTTL  time.Duration
+	maxFlows int
+	fault    []faultconn.Option // non-empty: wrap egress writes with injected faults
+}
+
 // gateway forwards UDP datagrams from a listen socket to an upstream peer,
-// pacing egress through an hpfq.Dataplane. Replies from the upstream are
-// relayed back to the most recent client (single-client return path; the
-// forward path is what the scheduler shapes).
+// pacing egress through an hpfq.Dataplane. Each client gets a NAT-style flow
+// — a dedicated connected upstream socket plus a return-path relay — tracked
+// in a TTL-evicted flow table, so replies reach the client that sent the
+// request however many clients interleave. The ingress reader runs under a
+// crash-only supervisor: a panic (e.g. out of a classifier on a hostile
+// payload) costs that one datagram, the loop restarts, and the restart is
+// counted.
 type gateway struct {
 	dp       *hpfq.Dataplane
 	listen   *net.UDPConn
-	upstream *net.UDPConn
+	ft       *flowTable
 	classify classifier
+	fault    []faultconn.Option
+	restarts atomic.Int64
 
-	mu         sync.Mutex
-	lastClient *net.UDPAddr
+	closeOnce sync.Once
+	closeErr  error
 }
 
-func newGateway(dp *hpfq.Dataplane, listen, upstream *net.UDPConn, classify classifier) *gateway {
-	return &gateway{dp: dp, listen: listen, upstream: upstream, classify: classify}
+func newGateway(dp *hpfq.Dataplane, listen *net.UDPConn, upstream *net.UDPAddr, classify classifier, cfg gwConfig) *gateway {
+	return &gateway{
+		dp:       dp,
+		listen:   listen,
+		ft:       newFlowTable(listen, upstream, cfg.flowTTL, cfg.maxFlows),
+		classify: classify,
+		fault:    cfg.fault,
+	}
 }
 
-// run starts the paced egress pump and the return-path relay, then reads the
-// listen socket until it is closed. Queue-full and unknown-class drops are
-// deliberate policy (recorded in the metrics), so only hard socket errors
-// end the loop.
+// errNoFlow fails a scheduled datagram with no routable flow. It is not
+// transient, so the data-plane drops the datagram (reason "write-error")
+// instead of retrying a write that can never succeed.
+var errNoFlow = errors.New("hpfqgw: datagram has no flow")
+
+// connSink writes to the flow socket selected for the current datagram. Only
+// the data-plane's single pump goroutine touches it, so the field needs no
+// lock.
+type connSink struct{ conn *net.UDPConn }
+
+func (s *connSink) WritePacket(b []byte) (int, error) {
+	if s.conn == nil {
+		return 0, errNoFlow
+	}
+	return s.conn.Write(b)
+}
+
+// egress is the gateway's data-plane Writer: it routes each scheduled
+// datagram to its flow's upstream socket via the IngestCtx context
+// (hpfq.PacketCtxWriter), optionally through a faultconn wrapper so the
+// whole retry/backoff path can be exercised from the command line. A
+// datagram whose flow was evicted while queued fails fatally (closed socket)
+// and is recorded as a "write-error" drop — the NAT mapping is gone, so the
+// datagram has nowhere to go.
+type egress struct {
+	sink connSink
+	w    hpfq.PacketWriter // &sink, or the faultconn wrapper around it
+}
+
+func newEgress(fault []faultconn.Option) *egress {
+	e := &egress{}
+	e.w = &e.sink
+	if len(fault) > 0 {
+		e.w = faultconn.NewWriter(&e.sink, fault...)
+	}
+	return e
+}
+
+func (e *egress) WritePacket(b []byte) (int, error) { return e.WritePacketCtx(b, nil) }
+
+func (e *egress) WritePacketCtx(b []byte, ctx any) (int, error) {
+	f, _ := ctx.(*flow)
+	if f == nil {
+		return 0, errNoFlow
+	}
+	e.sink.conn = f.conn
+	return e.w.WritePacket(b)
+}
+
+// faultOptions assembles the faultconn plan behind the -fault.* flags.
+func faultOptions(seed int64, errRate, short, drop float64, latency time.Duration, failAfter uint64) []faultconn.Option {
+	opts := []faultconn.Option{faultconn.WithSeed(seed)}
+	if errRate > 0 {
+		opts = append(opts, faultconn.WithErrorRate(errRate))
+	}
+	if short > 0 {
+		opts = append(opts, faultconn.WithShortWrites(short))
+	}
+	if drop > 0 {
+		opts = append(opts, faultconn.WithDropRate(drop))
+	}
+	if latency > 0 {
+		opts = append(opts, faultconn.WithLatency(latency))
+	}
+	if failAfter > 0 {
+		opts = append(opts, faultconn.WithFailAfter(failAfter))
+	}
+	return opts
+}
+
+// run starts the paced egress pump, then reads the listen socket under the
+// crash-only supervisor until the socket is closed. Queue-full and
+// unknown-class drops are deliberate policy (recorded in the metrics), so
+// only hard socket errors end the loop.
 func (g *gateway) run() error {
-	if err := g.dp.Start(hpfq.PacketWriterTo(g.upstream)); err != nil {
+	if err := g.dp.Start(newEgress(g.fault)); err != nil {
 		return err
 	}
-	go g.returnPath()
-
 	buf := make([]byte, 64<<10)
+	for {
+		err, panicked := g.readOnce(buf)
+		if !panicked {
+			return err
+		}
+		g.restarts.Add(1)
+	}
+}
+
+// readOnce runs the ingress loop until a clean exit (socket closed or hard
+// error) or a recovered panic, which costs only the datagram being handled.
+func (g *gateway) readOnce(buf []byte) (err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			fmt.Fprintf(errOut, "hpfqgw: ingress panic recovered, restarting reader: %v\n", r)
+		}
+	}()
 	for {
 		n, src, err := g.listen.ReadFromUDP(buf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
-				return nil
+				return nil, false
 			}
-			return err
+			return err, false
 		}
 		if n == 0 {
 			continue
 		}
-		g.mu.Lock()
-		g.lastClient = src
-		g.mu.Unlock()
+		f, err := g.ft.lookup(src)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil, false
+			}
+			continue // transient flow-setup failure: drop this datagram
+		}
 		b := make([]byte, n)
 		copy(b, buf[:n])
-		if err := g.dp.Ingest(g.classify(src, b), b); err != nil {
-			if errors.Is(err, hpfq.ErrDataplaneClosed) {
-				return nil
+		if err := g.dp.IngestCtx(g.classify(src, b), b, f); errors.Is(err, hpfq.ErrDataplaneClosed) {
+			return nil, false
+		}
+		// Tail/byte-cap drops and unknown classes are accounted by the
+		// data-plane's metrics; keep forwarding.
+	}
+}
+
+// close stops intake and drains the paced backlog, waiting at most drain (0
+// = forever) before giving up; the deadline bounds shutdown when the queue
+// holds more than the link can flush in time. The flow table and its sockets
+// are torn down either way. Idempotent — concurrent and repeated calls share
+// one shutdown and its result.
+func (g *gateway) close(drain time.Duration) error {
+	g.closeOnce.Do(func() {
+		g.listen.Close()
+		done := make(chan error, 1)
+		go func() { done <- g.dp.Close() }()
+		if drain <= 0 {
+			g.closeErr = <-done
+		} else {
+			select {
+			case g.closeErr = <-done:
+			case <-time.After(drain):
+				g.closeErr = fmt.Errorf("hpfqgw: drain deadline %s exceeded with %d datagrams queued",
+					drain, g.dp.Backlog())
 			}
-			// Tail/byte-cap drops and unknown classes are accounted by the
-			// data-plane's metrics; keep forwarding.
 		}
-	}
-}
-
-// returnPath relays upstream replies to the last client seen on the listen
-// socket. Exits when either socket closes.
-func (g *gateway) returnPath() {
-	buf := make([]byte, 64<<10)
-	for {
-		n, err := g.upstream.Read(buf)
-		if err != nil {
-			return
-		}
-		g.mu.Lock()
-		dst := g.lastClient
-		g.mu.Unlock()
-		if dst == nil {
-			continue
-		}
-		if _, err := g.listen.WriteToUDP(buf[:n], dst); err != nil {
-			return
-		}
-	}
-}
-
-// close stops the ingress loop and drains the paced queue.
-func (g *gateway) close() error {
-	g.listen.Close()
-	err := g.dp.Close()
-	g.upstream.Close()
-	return err
+		g.ft.close()
+	})
+	return g.closeErr
 }
 
 // byte0Classifier maps the first payload byte onto the class list, so test

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"io"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -91,24 +93,41 @@ func TestClassifiers(t *testing.T) {
 	}
 }
 
-// TestGatewayForwards runs the whole binary's data path over loopback:
-// client → gateway listen socket → classify → paced WF²Q+ egress →
-// upstream receiver, plus the reply relay back to the client.
-func TestGatewayForwards(t *testing.T) {
+// testGateway assembles a loopback gateway: an upstream receiver socket, a
+// listen socket, and a started gateway forwarding between them. Callers get
+// the pieces plus a cleanup-checked run-exit channel.
+func testGateway(t *testing.T, dp *hpfq.Dataplane, cfg gwConfig, classify classifier) (gw *gateway, recv, listen *net.UDPConn, runDone chan error) {
+	t.Helper()
 	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer recv.Close()
-	listen, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	t.Cleanup(func() { recv.Close() })
+	listen, err = net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	upstream, err := net.DialUDP("udp", nil, recv.LocalAddr().(*net.UDPAddr))
-	if err != nil {
-		t.Fatal(err)
-	}
+	gw = newGateway(dp, listen, recv.LocalAddr().(*net.UDPAddr), classify, cfg)
+	runDone = make(chan error, 1)
+	go func() { runDone <- gw.run() }()
+	return gw, recv, listen, runDone
+}
 
+func dialClient(t *testing.T, listen *net.UDPConn) *net.UDPConn {
+	t.Helper()
+	client, err := net.DialUDP("udp", nil, listen.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+// TestGatewayForwards runs the whole binary's data path over loopback:
+// client → gateway listen socket → classify → paced WF²Q+ egress → per-flow
+// upstream socket → upstream receiver, plus the reply relay back through the
+// flow table to the client.
+func TestGatewayForwards(t *testing.T) {
 	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.DataplaneMetrics())
 	if err != nil {
 		t.Fatal(err)
@@ -119,15 +138,8 @@ func TestGatewayForwards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw := newGateway(dp, listen, upstream, classify)
-	runDone := make(chan error, 1)
-	go func() { runDone <- gw.run() }()
-
-	client, err := net.DialUDP("udp", nil, listen.LocalAddr().(*net.UDPAddr))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer client.Close()
+	gw, recv, listen, runDone := testGateway(t, dp, gwConfig{}, classify)
+	client := dialClient(t, listen)
 
 	const n = 40
 	for i := 0; i < n; i++ {
@@ -138,10 +150,11 @@ func TestGatewayForwards(t *testing.T) {
 		}
 	}
 	got := map[int]int{}
+	var flowAddr *net.UDPAddr
 	buf := make([]byte, 2048)
 	recv.SetReadDeadline(time.Now().Add(5 * time.Second))
 	for total := 0; total < n; total++ {
-		nn, err := recv.Read(buf)
+		nn, src, err := recv.ReadFromUDP(buf)
 		if err != nil {
 			if total >= n*9/10 { // tolerate rare kernel-level loopback drops
 				break
@@ -152,13 +165,18 @@ func TestGatewayForwards(t *testing.T) {
 			t.Fatalf("datagram length %d, want 300", nn)
 		}
 		got[int(buf[0])]++
+		flowAddr = src
 	}
 	if got[0] == 0 || got[1] == 0 {
 		t.Errorf("per-class counts %v, want both classes", got)
 	}
+	if c := gw.ft.count(); c != 1 {
+		t.Errorf("flow table has %d flows, want 1 (one client)", c)
+	}
 
-	// Return path: a reply from the upstream reaches the last client.
-	if _, err := recv.WriteToUDP([]byte("pong"), upstream.LocalAddr().(*net.UDPAddr)); err != nil {
+	// Return path: a reply sent to the client's flow socket reaches the
+	// client.
+	if _, err := recv.WriteToUDP([]byte("pong"), flowAddr); err != nil {
 		t.Fatal(err)
 	}
 	client.SetReadDeadline(time.Now().Add(5 * time.Second))
@@ -170,7 +188,7 @@ func TestGatewayForwards(t *testing.T) {
 		t.Fatalf("return path payload %q", buf[:nn])
 	}
 
-	if err := gw.close(); err != nil {
+	if err := gw.close(time.Second); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -183,6 +201,260 @@ func TestGatewayForwards(t *testing.T) {
 	}
 	if m := dp.Snapshot(); !m.Conserved() {
 		t.Error("metrics not conserved")
+	}
+}
+
+// TestGatewayMultiClientReturnPath: the flow table must route each upstream
+// reply to the client that owns the flow — the regression the NAT-style
+// table fixes over the old last-client-wins relay.
+func TestGatewayMultiClientReturnPath(t *testing.T) {
+	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.AddClass(0, 5e7)
+	gw, recv, listen, _ := testGateway(t, dp, gwConfig{},
+		func(*net.UDPAddr, []byte) int { return 0 })
+	defer gw.close(time.Second)
+
+	// An upstream echo server: replies "re:"+payload to whichever flow
+	// socket sent it.
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, src, err := recv.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			recv.WriteToUDP(append([]byte("re:"), buf[:n]...), src)
+		}
+	}()
+
+	clients := []*net.UDPConn{dialClient(t, listen), dialClient(t, listen), dialClient(t, listen)}
+	// Interleave sends so a last-client-wins relay would misroute most
+	// replies; with per-flow sockets each client gets exactly its own.
+	for round := 0; round < 3; round++ {
+		for i, c := range clients {
+			msg := []byte{byte('a' + i), byte('0' + round)}
+			if _, err := c.Write(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, c := range clients {
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 64)
+		for round := 0; round < 3; round++ {
+			n, err := c.Read(buf)
+			if err != nil {
+				t.Fatalf("client %d reply %d: %v", i, round, err)
+			}
+			if n != 5 || buf[0] != 'r' || buf[3] != byte('a'+i) {
+				t.Fatalf("client %d got reply %q, want its own echo", i, buf[:n])
+			}
+		}
+	}
+	if c := gw.ft.count(); c != len(clients) {
+		t.Errorf("flow table has %d flows, want %d", c, len(clients))
+	}
+}
+
+// TestFlowTTLEviction: idle flows are evicted after the TTL and their
+// return-path readers exit.
+func TestFlowTTLEviction(t *testing.T) {
+	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.AddClass(0, 5e7)
+	gw, _, listen, _ := testGateway(t, dp, gwConfig{flowTTL: 50 * time.Millisecond},
+		func(*net.UDPAddr, []byte) int { return 0 })
+	defer gw.close(time.Second)
+
+	client := dialClient(t, listen)
+	if _, err := client.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.ft.count() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("flow never created")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for gw.ft.count() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle flow not evicted; table has %d", gw.ft.count())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFlowTableMaxFlows: at capacity the idlest flow is evicted to admit a
+// new client.
+func TestFlowTableMaxFlows(t *testing.T) {
+	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.AddClass(0, 5e7)
+	gw, _, listen, _ := testGateway(t, dp, gwConfig{maxFlows: 2},
+		func(*net.UDPAddr, []byte) int { return 0 })
+	defer gw.close(time.Second)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; i < 3; i++ {
+		client := dialClient(t, listen)
+		if _, err := client.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		want := i + 1
+		if want > 2 {
+			want = 2
+		}
+		for gw.ft.count() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("after client %d: table has %d flows, want %d", i, gw.ft.count(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(2 * time.Millisecond) // order the flows' last-seen times
+	}
+}
+
+// TestGatewayReaderPanicRestart: a classifier panic on a hostile payload
+// costs that datagram only — the supervisor restarts the ingress loop,
+// counts the restart, and later traffic still flows.
+func TestGatewayReaderPanicRestart(t *testing.T) {
+	prevOut := errOut
+	errOut = io.Discard // the recovered panic is expected noise here
+	defer func() { errOut = prevOut }()
+
+	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.AddClass(0, 5e7)
+	classify := func(_ *net.UDPAddr, payload []byte) int {
+		if payload[0] == 0xFF {
+			panic("hostile payload")
+		}
+		return 0
+	}
+	gw, recv, listen, runDone := testGateway(t, dp, gwConfig{}, classify)
+	client := dialClient(t, listen)
+
+	if _, err := client.Write([]byte{0xFF, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.restarts.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("ingress reader never restarted after the panic")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := client.Write([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	recv.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, _, err := recv.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatalf("no forwarding after restart: %v", err)
+	}
+	if string(buf[:n]) != "after" {
+		t.Fatalf("forwarded %q after restart, want %q", buf[:n], "after")
+	}
+
+	if err := gw.close(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gateway run loop did not exit on close")
+	}
+}
+
+// TestGatewayDrainDeadline: a backlog the link cannot flush in time must not
+// hold shutdown hostage — close returns the deadline error once the drain
+// window expires.
+func TestGatewayDrainDeadline(t *testing.T) {
+	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 1000) // 1 kbit/s: ~1.6s per datagram
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.AddClass(0, 1000)
+	gw, _, listen, _ := testGateway(t, dp, gwConfig{},
+		func(*net.UDPAddr, []byte) int { return 0 })
+	client := dialClient(t, listen)
+
+	for i := 0; i < 50; i++ {
+		if _, err := client.Write(make([]byte, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for dp.Backlog() < 10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog never built: %d", dp.Backlog())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	err = gw.close(100 * time.Millisecond)
+	if err == nil {
+		t.Fatal("close returned nil despite an undrainable backlog")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("close took %s, want ~100ms drain deadline", elapsed)
+	}
+	if !strings.Contains(err.Error(), "drain deadline") {
+		t.Fatalf("close error %q, want drain-deadline message", err)
+	}
+}
+
+// TestGatewayFaultInjectionDelivers wires the hidden -fault.* path end to
+// end: with seeded transient faults on ~30% of egress writes, retry/backoff
+// still delivers every datagram to the upstream.
+func TestGatewayFaultInjectionDelivers(t *testing.T) {
+	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.DataplaneMetrics(),
+		hpfq.WithWriteRetry(10, 100*time.Microsecond, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.AddClass(0, 5e7)
+	cfg := gwConfig{fault: faultOptions(42, 0.3, 0, 0, 0, 0)}
+	gw, recv, listen, _ := testGateway(t, dp, cfg,
+		func(*net.UDPAddr, []byte) int { return 0 })
+	defer gw.close(time.Second)
+	client := dialClient(t, listen)
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := client.Write([]byte{byte(i), 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	buf := make([]byte, 64)
+	recv.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for ; got < n; got++ {
+		if _, _, err := recv.ReadFromUDP(buf); err != nil {
+			break
+		}
+	}
+	if got < n*9/10 { // tolerate rare kernel-level loopback drops
+		t.Fatalf("delivered %d/%d through the fault plan", got, n)
+	}
+	if m := dp.Snapshot(); m.Retried.Packets == 0 {
+		t.Error("fault plan injected no retries; the test is vacuous")
 	}
 }
 

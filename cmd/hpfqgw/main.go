@@ -1,8 +1,10 @@
 // Command hpfqgw is a UDP forwarding gateway whose egress is paced by the
 // paper's schedulers: datagrams arriving on -listen are classified, staged
 // per class, released in WF²Q+ (or any registered algorithm's) order at the
-// configured link rate, and forwarded to -upstream. Replies from the
-// upstream are relayed back to the most recent client.
+// configured link rate, and forwarded to -upstream. Each client gets a
+// NAT-style flow — a dedicated upstream socket with a return-path relay — so
+// replies reach the client that sent the request; flows idle beyond
+// -flowttl are evicted (-maxflows bounds the table, oldest first).
 //
 // Flat mode gives each class an explicit rate:
 //
@@ -17,8 +19,18 @@
 //
 // -classify picks the demultiplexer: "hash" (default) gives each client
 // address a sticky class, "byte0" reads the class from the first payload
-// byte. -metrics prints the per-class counter tables on SIGINT/SIGTERM
-// before exiting.
+// byte. -metrics prints the per-class counter tables on shutdown.
+//
+// Failure handling: transient upstream write errors are retried with capped
+// exponential backoff (-retries, -retry.backoff, -retry.cap); -aqm switches
+// the per-class drop policy to CoDel (-aqm.target, -aqm.interval) for
+// bounded latency under overload; the ingress reader restarts itself after a
+// panic. SIGINT/SIGTERM drains the staged backlog through the pacer for at
+// most -drain before exiting (a second signal exits immediately).
+//
+// The hidden -fault.* flags (seed, errors, short, drop, latency, failafter)
+// inject deterministic faults into the egress path via internal/faultconn —
+// testing only.
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 	"os/signal"
 	"sort"
 	"syscall"
+	"time"
 
 	"hpfq"
 )
@@ -53,6 +66,26 @@ func run(args []string) error {
 		queueCap     = fs.Int("queuecap", 512, "per-class staging cap in datagrams (0 = unlimited)")
 		byteCap      = fs.Int("bytecap", 0, "per-class staging cap in bytes (0 = unlimited)")
 		metrics      = fs.Bool("metrics", false, "print per-class metric tables on shutdown")
+
+		drain    = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline (0 = wait forever)")
+		flowTTL  = fs.Duration("flowttl", defaultFlowTTL, "evict client flows idle longer than this")
+		maxFlows = fs.Int("maxflows", defaultMaxFlows, "max concurrent client flows (oldest evicted first)")
+
+		retries      = fs.Int("retries", hpfq.DefaultRetryLimit, "retry budget per datagram for transient upstream errors")
+		retryBackoff = fs.Duration("retry.backoff", hpfq.DefaultRetryBackoff, "first retry backoff (doubles per attempt)")
+		retryCap     = fs.Duration("retry.cap", hpfq.DefaultRetryCap, "retry backoff ceiling")
+		requeue      = fs.Int("requeue", 0, "times a retry-exhausted datagram may rejoin the scheduler")
+		aqm          = fs.Bool("aqm", false, "shed standing queues with per-class CoDel instead of growing latency")
+		aqmTarget    = fs.Duration("aqm.target", 0, "CoDel sojourn target (0 = default 5ms)")
+		aqmInterval  = fs.Duration("aqm.interval", 0, "CoDel interval (0 = default 100ms)")
+
+		// Fault injection (testing only; see internal/faultconn).
+		faultSeed      = fs.Int64("fault.seed", 1, "fault-injection seed")
+		faultErrors    = fs.Float64("fault.errors", 0, "probability of an injected transient egress error")
+		faultShort     = fs.Float64("fault.short", 0, "probability of an injected short write")
+		faultDrop      = fs.Float64("fault.drop", 0, "probability of silently dropping an egress datagram")
+		faultLatency   = fs.Duration("fault.latency", 0, "added latency per egress write")
+		faultFailAfter = fs.Uint64("fault.failafter", 0, "fail every egress write permanently after this many (0 = never)")
 	)
 	fs.Parse(args)
 	if *upstreamAddr == "" {
@@ -62,9 +95,17 @@ func run(args []string) error {
 		return fmt.Errorf("exactly one of -classes or -topo is required")
 	}
 
-	opts := []hpfq.DataplaneOption{hpfq.WithQueueCap(*queueCap), hpfq.WithByteCap(*byteCap)}
+	opts := []hpfq.DataplaneOption{
+		hpfq.WithQueueCap(*queueCap),
+		hpfq.WithByteCap(*byteCap),
+		hpfq.WithWriteRetry(*retries, *retryBackoff, *retryCap),
+		hpfq.WithRequeue(*requeue),
+	}
 	if *metrics {
 		opts = append(opts, hpfq.DataplaneMetrics())
+	}
+	if *aqm {
+		opts = append(opts, hpfq.WithAQM(*aqmTarget, *aqmInterval))
 	}
 	var top *hpfq.Topology
 	if *topoSpec != "" {
@@ -106,23 +147,38 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-upstream %q: %v", *upstreamAddr, err)
 	}
-	upstream, err := net.DialUDP("udp", nil, uaddr)
-	if err != nil {
-		return err
-	}
 
-	gw := newGateway(dp, listen, upstream, classify)
+	cfg := gwConfig{flowTTL: *flowTTL, maxFlows: *maxFlows}
+	if *faultErrors > 0 || *faultShort > 0 || *faultDrop > 0 || *faultLatency > 0 || *faultFailAfter > 0 {
+		cfg.fault = faultOptions(*faultSeed, *faultErrors, *faultShort, *faultDrop, *faultLatency, *faultFailAfter)
+		fmt.Fprintln(os.Stderr, "hpfqgw: egress fault injection ENABLED (testing only)")
+	}
+	gw := newGateway(dp, listen, uaddr, classify, cfg)
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigs
-		gw.close()
+		fmt.Fprintf(os.Stderr, "hpfqgw: shutting down, draining (deadline %s)\n", *drain)
+		go func() {
+			<-sigs
+			fmt.Fprintln(os.Stderr, "hpfqgw: second signal, exiting now")
+			os.Exit(1)
+		}()
+		if err := gw.close(*drain); err != nil {
+			fmt.Fprintln(os.Stderr, "hpfqgw:", err)
+		}
 	}()
 
 	fmt.Fprintf(os.Stderr, "hpfqgw: %s %s → %s at %g bit/s, classes %v\n",
 		*algo, listen.LocalAddr(), *upstreamAddr, *rate, dp.Classes())
 	runErr := gw.run()
-	gw.close()
+	closeErr := gw.close(*drain)
+	if runErr == nil {
+		runErr = closeErr
+	}
+	if n := gw.restarts.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "hpfqgw: ingress reader recovered %d panic(s)\n", n)
+	}
 	if *metrics {
 		fmt.Println("# egress scheduler")
 		if err := dp.Snapshot().WriteTable(os.Stdout); err != nil {

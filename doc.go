@@ -69,7 +69,33 @@
 //	defer dp.Close()
 //
 // The cmd/hpfqgw gateway packages this as a standalone paced UDP forwarder
-// (see its command documentation for the flag grammar).
+// (see its command documentation for the flag grammar), with a NAT-style
+// per-client flow table for the return path and a supervised, graceful-drain
+// lifecycle.
+//
+// # Failure handling
+//
+// The data-plane assumes its Writer can fail and the engine must not. Writer
+// errors are classified: transient conditions (EAGAIN-style buffer
+// exhaustion, timeouts, short writes, a momentarily absent UDP peer, or any
+// error exposing Transient() bool) are retried in place with capped
+// exponential backoff — WithWriteRetry(limit, backoff, cap), defaults
+// DefaultRetryLimit / DefaultRetryBackoff / DefaultRetryCap — while
+// everything else drops the packet immediately. WithRequeue lets a packet
+// that exhausts its retry budget rejoin the scheduler a bounded number of
+// times. WithAQM adds a per-class CoDel policy (RFC 8289) that sheds packets
+// whose staging sojourn stays above target, bounding latency under overload
+// where tail-drop would let it grow. The pump runs under a crash-only
+// supervisor: a panic out of the Writer costs the in-flight batch, never the
+// link, and Dataplane.Restarts counts the recoveries.
+//
+// Every outcome is accounted in Metrics by reason. Drop reasons: DropTail
+// and DropBytes (ingest caps), DropClosed (arrival after Close), DropWrite
+// (fatal write error), DropRetries (retry budget exhausted), DropCoDel (AQM
+// shed), DropPanic (lost with a recovered pump panic). Retry reasons:
+// RetryTransient (a backoff re-attempt) and RetryRequeue (a WithRequeue
+// re-enqueue). internal/faultconn injects deterministic seeded faults to
+// exercise all of these paths (`make fault`).
 //
 // # Layout
 //

@@ -25,6 +25,26 @@
 // and by the in-memory Pipe for tests. Close stops intake and drains the
 // staged backlog through the pacer before returning. cmd/hpfqgw wraps the
 // engine into a UDP forwarding gateway.
+//
+// # Failure handling
+//
+// The pump assumes the Writer can fail and the engine must not. Writer
+// errors are classified (errclass.go): transient conditions — EAGAIN-style
+// buffer exhaustion, timeouts, a momentarily absent UDP peer — are retried
+// in place with capped exponential backoff on the engine's clock
+// (WithWriteRetry), every attempt recorded as a retry in the metrics;
+// fatal errors drop the packet with reason "write-error". When the retry
+// budget runs out the packet is dropped with reason "retry-exhausted", or,
+// with WithRequeue, fed back into the scheduler a bounded number of times.
+// The pump itself runs under a supervisor: a panic out of the Writer (or a
+// tracer) is recovered, the in-flight batch is accounted as dropped with
+// reason "pump-panic", and the pump restarts, so one bad packet cannot
+// wedge the link. Overload degrades gracefully too: WithAQM replaces
+// nothing but adds a per-class CoDel policy (codel.go) that sheds packets
+// whose staging sojourn stays above target, keeping latency bounded where
+// tail-drop would let it grow with the queue. Every outcome lands in the
+// obs layer: drops by reason, retries by reason, and the restart count via
+// Restarts.
 package dataplane
 
 import (
@@ -58,22 +78,50 @@ var (
 // when the token deficit is tiny.
 const minWait = 50 * time.Microsecond
 
+// Default retry policy for transient Writer errors: up to 3 re-attempts per
+// packet, backing off 500 µs → 1 ms → 2 ms (doubling, capped at 16 ms).
+const (
+	DefaultRetryLimit   = 3
+	DefaultRetryBackoff = 500 * time.Microsecond
+	DefaultRetryCap     = 16 * time.Millisecond
+)
+
 // queue is the scheduler contract the pump drives: the flat schedulers and
-// hier.Tree all satisfy it (Observable and the drop recorder come from the
-// embedded obs.Collector).
+// hier.Tree all satisfy it (Observable and the drop/retry recorders come
+// from the embedded obs.Collector).
 type queue interface {
 	Enqueue(now float64, p *packet.Packet)
 	Dequeue(now float64) *packet.Packet
 	Backlog() int
 	RecordDropReason(now float64, session int, bits float64, reason string)
+	RecordRetry(now float64, session int, bits float64, reason string)
 	obs.Observable
 }
 
-// classState tracks one class's staged datagrams against its caps.
+// classState tracks one class's staged datagrams against its caps and, when
+// AQM is enabled, its CoDel state.
 type classState struct {
 	rate    float64
 	packets int
 	bytes   int
+	codel   *codel // nil unless WithAQM
+}
+
+// datagram is the engine's per-packet envelope, carried in packet.Payload:
+// the raw bytes, the opaque routing context from IngestCtx, and the
+// packet's remaining requeue budget.
+type datagram struct {
+	b        []byte
+	ctx      any
+	requeues int
+}
+
+// retryPolicy is the pump's reaction to transient Writer errors.
+type retryPolicy struct {
+	limit    int           // re-attempts per packet beyond the first write
+	backoff  time.Duration // first backoff; doubles per attempt
+	cap      time.Duration // backoff ceiling
+	requeues int           // per-packet requeue budget after retry exhaustion
 }
 
 // config collects construction options.
@@ -85,6 +133,10 @@ type config struct {
 	burst    float64
 	metrics  bool
 	tracer   obs.Tracer
+	retry    retryPolicy
+	aqm      bool
+	target   time.Duration
+	interval time.Duration
 }
 
 // Option configures a Dataplane at construction.
@@ -122,6 +174,47 @@ func WithMetrics() Option { return func(c *config) { c.metrics = true } }
 // callers and the pump; it must not call back into the Dataplane.
 func WithTracer(t obs.Tracer) Option { return func(c *config) { c.tracer = t } }
 
+// WithWriteRetry tunes the pump's reaction to transient Writer errors:
+// up to limit re-attempts per packet, sleeping backoff before the first and
+// doubling up to cap between the rest. limit 0 disables retries (transient
+// errors drop immediately with reason "retry-exhausted"). The defaults are
+// DefaultRetryLimit/DefaultRetryBackoff/DefaultRetryCap.
+func WithWriteRetry(limit int, backoff, cap time.Duration) Option {
+	return func(c *config) {
+		c.retry.limit = limit
+		c.retry.backoff = backoff
+		c.retry.cap = cap
+	}
+}
+
+// WithRequeue lets a packet whose retry budget ran out rejoin the scheduler
+// instead of being dropped, at most n times per packet. A requeued packet
+// re-enters its class's staging queue (it must fit the class caps, or it is
+// dropped with reason "retry-exhausted") and counts as a fresh enqueue in
+// the metrics; the requeue itself is recorded as a retry with reason
+// "requeue".
+func WithRequeue(n int) Option { return func(c *config) { c.retry.requeues = n } }
+
+// WithAQM enables a per-class CoDel drop policy as graceful degradation
+// under overload: packets whose staging sojourn stays above target for a
+// full interval are shed at dequeue (reason "codel"), with drop pressure
+// growing as interval/sqrt(drops) until the standing queue clears
+// (RFC 8289). Non-positive target or interval selects the CoDel defaults
+// (5 ms / 100 ms). AQM composes with the packet and byte caps: the caps
+// bound memory at ingest, CoDel bounds latency at egress.
+func WithAQM(target, interval time.Duration) Option {
+	return func(c *config) {
+		c.aqm = true
+		if target <= 0 {
+			target = DefaultCoDelTarget
+		}
+		if interval <= 0 {
+			interval = DefaultCoDelInterval
+		}
+		c.target, c.interval = target, interval
+	}
+}
+
 // Dataplane is the engine. Construct with New, register classes (flat mode)
 // with AddClass, start the pump with Start, feed datagrams with Ingest or
 // RunReader, and stop with Close.
@@ -130,6 +223,11 @@ type Dataplane struct {
 	burst float64
 	clock wallclock.Clock
 	epoch time.Time
+	retry retryPolicy
+
+	aqm      bool
+	target   time.Duration
+	interval time.Duration
 
 	mu       sync.Mutex
 	q        queue
@@ -140,16 +238,23 @@ type Dataplane struct {
 	capBytes int
 	closed   bool
 	started  bool
+	restarts int // pump panic-recoveries
 
 	w    Writer
+	wctx CtxWriter     // non-nil when w also routes per-datagram contexts
 	wake chan struct{} // buffered(1) pump wakeup
 	done chan struct{} // closed when the pump exits
+
+	// inflight is the batch between dequeue and write, owned by the pump
+	// goroutine; the supervisor reads it only after the pump panicked, on
+	// the same goroutine, to account the lost packets.
+	inflight []released
 }
 
 // released is one scheduled datagram in flight from the lock to the Writer.
 type released struct {
-	class   int
-	payload []byte
+	class int
+	dg    *datagram
 }
 
 // New returns an engine pacing egress at rate bits/sec using the named
@@ -160,14 +265,31 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
 		return nil, fmt.Errorf("dataplane: invalid rate %g", rate)
 	}
-	cfg := config{clock: wallclock.Real{}}
+	cfg := config{
+		clock: wallclock.Real{},
+		retry: retryPolicy{
+			limit:   DefaultRetryLimit,
+			backoff: DefaultRetryBackoff,
+			cap:     DefaultRetryCap,
+		},
+	}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.retry.backoff <= 0 {
+		cfg.retry.backoff = DefaultRetryBackoff
+	}
+	if cfg.retry.cap < cfg.retry.backoff {
+		cfg.retry.cap = cfg.retry.backoff
 	}
 	d := &Dataplane{
 		rate:     rate,
 		burst:    cfg.burst,
 		clock:    cfg.clock,
+		retry:    cfg.retry,
+		aqm:      cfg.aqm,
+		target:   cfg.target,
+		interval: cfg.interval,
 		classes:  make(map[int]*classState),
 		capPkts:  cfg.capPkts,
 		capBytes: cfg.capBytes,
@@ -185,7 +307,7 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 		d.tree = tree
 		d.q = tree
 		for _, id := range tree.Sessions() {
-			d.classes[id] = &classState{rate: tree.SessionRate(id)}
+			d.classes[id] = d.newClassState(tree.SessionRate(id))
 		}
 	} else {
 		s, err := sched.New(algorithm, rate)
@@ -207,6 +329,16 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 	}
 	d.epoch = d.clock.Now()
 	return d, nil
+}
+
+// newClassState returns per-class staging state, with CoDel attached when
+// AQM is on.
+func (d *Dataplane) newClassState(rate float64) *classState {
+	cs := &classState{rate: rate}
+	if d.aqm {
+		cs.codel = newCodel(d.target, d.interval)
+	}
+	return cs
 }
 
 // now returns seconds since the engine's creation on its clock — the
@@ -234,7 +366,7 @@ func (d *Dataplane) AddClass(id int, rate float64) error {
 		return fmt.Errorf("dataplane: duplicate class %d", id)
 	}
 	d.flat.AddSession(id, rate)
-	d.classes[id] = &classState{rate: rate}
+	d.classes[id] = d.newClassState(rate)
 	return nil
 }
 
@@ -252,8 +384,19 @@ func (d *Dataplane) Classes() []int {
 // Ingest stages one datagram for a class, taking ownership of b. It never
 // blocks: when the class is at its packet or byte cap the datagram is
 // tail-dropped, the drop is recorded in the metrics tagged with its reason,
-// and ErrQueueFull is returned. Safe for any number of concurrent callers.
+// and ErrQueueFull is returned. After Close every Ingest deterministically
+// returns ErrClosed (and records the drop with reason "closed") — intake
+// never panics, whatever it races with. Safe for any number of concurrent
+// callers.
 func (d *Dataplane) Ingest(class int, b []byte) error {
+	return d.IngestCtx(class, b, nil)
+}
+
+// IngestCtx is Ingest carrying an opaque per-datagram context. The context
+// travels with the datagram through the scheduler and is handed back to the
+// Writer if it implements CtxWriter — cmd/hpfqgw uses it to route each
+// datagram to its client's upstream flow.
+func (d *Dataplane) IngestCtx(class int, b []byte, ctx any) error {
 	if len(b) == 0 {
 		return fmt.Errorf("dataplane: empty datagram")
 	}
@@ -282,7 +425,8 @@ func (d *Dataplane) Ingest(class int, b []byte) error {
 		return fmt.Errorf("%w: class %d at %d bytes", ErrQueueFull, class, staged)
 	}
 	p := packet.New(class, bits)
-	p.Payload = b
+	p.Arrival = d.now() // sojourn basis for the AQM
+	p.Payload = &datagram{b: b, ctx: ctx, requeues: d.retry.requeues}
 	d.q.Enqueue(d.now(), p)
 	cs.packets++
 	cs.bytes += len(b)
@@ -299,7 +443,9 @@ func (d *Dataplane) signal() {
 	}
 }
 
-// Start launches the pump goroutine writing scheduled datagrams to w.
+// Start launches the supervised pump goroutine writing scheduled datagrams
+// to w. If w also implements CtxWriter, datagrams staged with IngestCtx are
+// delivered through WritePacketCtx with their context.
 func (d *Dataplane) Start(w Writer) error {
 	if w == nil {
 		return fmt.Errorf("dataplane: nil writer")
@@ -313,56 +459,76 @@ func (d *Dataplane) Start(w Writer) error {
 		return fmt.Errorf("dataplane: already started")
 	}
 	d.w = w
+	d.wctx, _ = w.(CtxWriter)
 	d.started = true
-	go d.pump()
+	go d.supervise()
 	return nil
 }
 
-// pump is the single scheduler-drain goroutine: one lock acquisition per
-// batch, token-bucket pacing between batches.
-func (d *Dataplane) pump() {
+// supervise is the pump's crash-only restart loop: it reruns the pump until
+// it exits cleanly (closed and drained), recovering panics that escape the
+// Writer or a tracer. Each recovery accounts the in-flight batch as dropped
+// (reason "pump-panic") and increments the restart counter, so a poisonous
+// packet costs its batch, never the link.
+func (d *Dataplane) supervise() {
 	defer close(d.done)
+	for !d.pumpOnce() {
+	}
+}
+
+// pumpOnce runs the pump until clean exit (true) or a recovered panic
+// (false).
+func (d *Dataplane) pumpOnce() (clean bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			clean = false
+			d.recoverPanic()
+		}
+	}()
+	d.pump()
+	return true
+}
+
+// recoverPanic accounts the batch that was in flight when the pump died.
+// It runs on the pump goroutine with the engine unlocked (the locked
+// sections release their lock during unwinding).
+func (d *Dataplane) recoverPanic() {
+	defer func() { recover() }() // a re-panicking tracer must not kill the supervisor
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.restarts++
+	for _, r := range d.inflight {
+		d.q.RecordDropReason(d.now(), r.class, float64(len(r.dg.b))*8, obs.DropPanic)
+	}
+	d.inflight = d.inflight[:0]
+}
+
+// Restarts returns how many times the pump supervisor recovered a panic and
+// restarted the pump.
+func (d *Dataplane) Restarts() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.restarts
+}
+
+// pump is the single scheduler-drain loop: one lock acquisition per batch,
+// token-bucket pacing between batches, per-packet retry/backoff on the
+// write side. It returns when the engine is closed and drained; panics
+// unwind to the supervisor.
+func (d *Dataplane) pump() {
 	var tokens float64
 	last := d.clock.Now()
-	var batch []released
 	for {
-		d.mu.Lock()
-		now := d.clock.Now()
-		tokens += now.Sub(last).Seconds() * d.rate
-		last = now
-		if tokens > d.burst {
-			tokens = d.burst
-		}
-		batch = batch[:0]
-		for tokens >= 0 {
-			p := d.q.Dequeue(d.now())
-			if p == nil {
-				break
-			}
-			tokens -= p.Length
-			cs := d.classes[p.Session]
-			cs.packets--
-			cs.bytes -= int(p.Length) / 8
-			batch = append(batch, released{class: p.Session, payload: p.Payload.([]byte)})
-		}
-		backlog := d.q.Backlog()
-		closed := d.closed
-		d.mu.Unlock()
+		var backlog int
+		var closed bool
+		tokens, backlog, closed = d.collectBatch(tokens, &last)
 
-		var failed []released
-		for _, r := range batch {
-			if _, err := d.w.WritePacket(r.payload); err != nil {
-				failed = append(failed, r)
-			}
+		wrote := len(d.inflight) > 0
+		for len(d.inflight) > 0 {
+			d.writeOne(d.inflight[0])
+			d.inflight = d.inflight[1:]
 		}
-		if len(failed) > 0 {
-			d.mu.Lock()
-			for _, r := range failed {
-				d.q.RecordDropReason(d.now(), r.class, float64(len(r.payload))*8, obs.DropWrite)
-			}
-			d.mu.Unlock()
-		}
-		if len(batch) > 0 {
+		if wrote {
 			continue // the scheduler may have more immediately releasable work
 		}
 		switch {
@@ -379,6 +545,112 @@ func (d *Dataplane) pump() {
 			<-d.wake // idle: wait for an Ingest or Close nudge
 		}
 	}
+}
+
+// collectBatch refills the token bucket and dequeues every packet the
+// tokens cover in scheduler order into d.inflight, applying the AQM policy
+// (CoDel-shed packets are dropped here and consume no tokens). It holds the
+// engine lock once for the whole batch and releases it during a panic
+// unwind.
+func (d *Dataplane) collectBatch(tokens float64, last *time.Time) (float64, int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.clock.Now()
+	tokens += now.Sub(*last).Seconds() * d.rate
+	*last = now
+	if tokens > d.burst {
+		tokens = d.burst
+	}
+	for tokens >= 0 {
+		p := d.q.Dequeue(d.now())
+		if p == nil {
+			break
+		}
+		dg := p.Payload.(*datagram)
+		cs := d.classes[p.Session]
+		cs.packets--
+		cs.bytes -= len(dg.b)
+		if cs.codel != nil && cs.codel.onDequeue(d.now(), d.now()-p.Arrival) {
+			// Shed by the AQM: record and pick the next packet without
+			// spending link tokens on the carcass.
+			d.q.RecordDropReason(d.now(), p.Session, p.Length, obs.DropCoDel)
+			continue
+		}
+		tokens -= p.Length
+		d.inflight = append(d.inflight, released{class: p.Session, dg: dg})
+	}
+	return tokens, d.q.Backlog(), d.closed
+}
+
+// writeOne delivers one scheduled datagram, absorbing transient Writer
+// errors with capped exponential backoff. Fatal errors drop immediately
+// (reason "write-error"); an exhausted retry budget requeues the packet if
+// it still has requeue budget, else drops it (reason "retry-exhausted").
+// Every retry and every outcome is recorded in the obs layer.
+func (d *Dataplane) writeOne(r released) {
+	bits := float64(len(r.dg.b)) * 8
+	backoff := d.retry.backoff
+	for attempt := 0; ; attempt++ {
+		var err error
+		if d.wctx != nil {
+			_, err = d.wctx.WritePacketCtx(r.dg.b, r.dg.ctx)
+		} else {
+			_, err = d.w.WritePacket(r.dg.b)
+		}
+		if err == nil {
+			return
+		}
+		if !isTransient(err) {
+			d.mu.Lock()
+			d.q.RecordDropReason(d.now(), r.class, bits, obs.DropWrite)
+			d.mu.Unlock()
+			return
+		}
+		if attempt >= d.retry.limit {
+			d.exhausted(r, bits)
+			return
+		}
+		d.mu.Lock()
+		d.q.RecordRetry(d.now(), r.class, bits, obs.RetryTransient)
+		d.mu.Unlock()
+		d.sleep(backoff)
+		backoff *= 2
+		if backoff > d.retry.cap {
+			backoff = d.retry.cap
+		}
+	}
+}
+
+// exhausted handles a packet whose transient-retry budget ran out: requeue
+// it into the scheduler when the policy and the class caps allow, else drop
+// it with reason "retry-exhausted".
+func (d *Dataplane) exhausted(r released, bits float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cs := d.classes[r.class]
+	fits := (d.capPkts <= 0 || cs.packets < d.capPkts) &&
+		(d.capBytes <= 0 || cs.bytes+len(r.dg.b) <= d.capBytes)
+	if r.dg.requeues <= 0 || !fits {
+		d.q.RecordDropReason(d.now(), r.class, bits, obs.DropRetries)
+		return
+	}
+	r.dg.requeues--
+	d.q.RecordRetry(d.now(), r.class, bits, obs.RetryRequeue)
+	p := packet.New(r.class, bits)
+	p.Arrival = d.now() // a fresh sojourn: the wait so far was the writer's fault
+	p.Payload = r.dg
+	d.q.Enqueue(d.now(), p)
+	cs.packets++
+	cs.bytes += len(r.dg.b)
+}
+
+// sleep blocks for dur on the engine's clock (fake-clock testable,
+// uninterruptible: retry backoff keeps running during Close so the drain
+// still delivers).
+func (d *Dataplane) sleep(dur time.Duration) {
+	t := make(chan struct{})
+	d.clock.AfterFunc(dur, func() { close(t) })
+	<-t
 }
 
 // await blocks until dur elapses on the engine's clock or a wake nudge

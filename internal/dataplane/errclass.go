@@ -1,0 +1,49 @@
+package dataplane
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+)
+
+// transienter lets an error self-classify as retryable. Injected faults
+// (internal/faultconn) and custom Writers use it to steer the pump's
+// retry-or-drop decision.
+type transienter interface {
+	Transient() bool
+}
+
+// isTransient classifies a Writer error as transient (worth retrying with
+// backoff) or fatal (drop the packet and record it).
+//
+// Transient means the condition is expected to clear on its own shortly:
+// full socket buffers (EAGAIN/EWOULDBLOCK/ENOBUFS), interrupted syscalls
+// (EINTR), timeouts (net.Error.Timeout), a momentarily absent UDP peer
+// (ECONNREFUSED from a connected socket — the receiver may be restarting),
+// and short writes (the datagram can be resent whole). Everything else —
+// closed sockets, unreachable networks, programming errors — is fatal: the
+// packet is dropped with its reason recorded and the pump moves on.
+func isTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var tr transienter
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	switch {
+	case errors.Is(err, syscall.EAGAIN),
+		errors.Is(err, syscall.EWOULDBLOCK),
+		errors.Is(err, syscall.EINTR),
+		errors.Is(err, syscall.ENOBUFS),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, io.ErrShortWrite):
+		return true
+	}
+	return false
+}

@@ -21,6 +21,15 @@ type Writer interface {
 	WritePacket(b []byte) (int, error)
 }
 
+// CtxWriter is an optional Writer extension for per-datagram routing: when
+// the Writer passed to Start also implements it, every datagram staged with
+// IngestCtx is delivered through WritePacketCtx along with its opaque
+// context (nil for plain Ingest). cmd/hpfqgw implements it to route each
+// scheduled datagram to the originating client's upstream flow.
+type CtxWriter interface {
+	WritePacketCtx(b []byte, ctx any) (int, error)
+}
+
 // ReaderFrom adapts an io.Reader with datagram semantics (each Read returns
 // one message), e.g. a connected *net.UDPConn, to the Reader interface.
 func ReaderFrom(r io.Reader) Reader { return ioReader{r} }

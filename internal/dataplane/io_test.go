@@ -1,0 +1,81 @@
+package dataplane
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestPipeCloseUnblocksReader is the issue's Pipe-lifecycle regression: a
+// ReadPacket blocked on an empty pipe must return io.EOF promptly when the
+// pipe closes, not hang.
+func TestPipeCloseUnblocksReader(t *testing.T) {
+	p := NewPipe(4)
+	got := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 16)
+		_, err := p.ReadPacket(buf)
+		got <- err
+	}()
+	time.Sleep(time.Millisecond) // let the reader block
+	p.Close()
+	select {
+	case err := <-got:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("blocked read after Close = %v, want io.EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ReadPacket still blocked after Close")
+	}
+}
+
+// TestPipeCloseDrainsBuffered: Close does not discard datagrams already in
+// the pipe — readers drain them first, then get io.EOF.
+func TestPipeCloseDrainsBuffered(t *testing.T) {
+	p := NewPipe(4)
+	for i := 0; i < 2; i++ {
+		if _, err := p.WritePacket([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	buf := make([]byte, 16)
+	for i := 0; i < 2; i++ {
+		n, err := p.ReadPacket(buf)
+		if err != nil || n != 1 || buf[0] != byte(i) {
+			t.Fatalf("drain read %d = (%d, %v, %v), want datagram %d", i, n, err, buf[0], i)
+		}
+	}
+	if _, err := p.ReadPacket(buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("read past the buffered datagrams = %v, want io.EOF", err)
+	}
+}
+
+// TestPipeCloseUnblocksWriter: a WritePacket blocked on a full pipe must
+// return io.ErrClosedPipe when the pipe closes, and later writes fail the
+// same way.
+func TestPipeCloseUnblocksWriter(t *testing.T) {
+	p := NewPipe(1)
+	if _, err := p.WritePacket([]byte{0}); err != nil { // fill the buffer
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := p.WritePacket([]byte{1})
+		got <- err
+	}()
+	time.Sleep(time.Millisecond) // let the writer block
+	p.Close()
+	select {
+	case err := <-got:
+		if !errors.Is(err, io.ErrClosedPipe) {
+			t.Fatalf("blocked write after Close = %v, want io.ErrClosedPipe", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WritePacket still blocked after Close")
+	}
+	if _, err := p.WritePacket([]byte{2}); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("post-close write = %v, want io.ErrClosedPipe", err)
+	}
+}

@@ -106,3 +106,79 @@ func TestConcurrentProducersStress(t *testing.T) {
 		t.Errorf("accounted %d submissions, want %d", total, producers*perProd)
 	}
 }
+
+// TestIngestCloseRace is the issue's lifecycle regression: producers
+// hammering Ingest while Close runs concurrently must see only clean
+// outcomes — nil, ErrQueueFull, or the ErrClosed sentinel — never a panic or
+// a send on a closed channel, and once Close returns every further Ingest
+// deterministically returns ErrClosed. Run under -race.
+func TestIngestCloseRace(t *testing.T) {
+	const (
+		producers = 8
+		classes   = 2
+	)
+	d, err := New("WF2Q+", 5e8, WithQueueCap(128), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < classes; c++ {
+		d.AddClass(c, 5e8/classes)
+	}
+	w := &countWriter{}
+	if err := d.Start(w); err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			<-start
+			for i := 0; ; i++ {
+				b := make([]byte, 64)
+				b[0] = byte((p + i) % classes)
+				switch err := d.Ingest(int(b[0]), b); {
+				case err == nil:
+					accepted.Add(1)
+				case errors.Is(err, ErrQueueFull):
+				case errors.Is(err, ErrClosed):
+					return // clean shutdown signal: stop producing
+				default:
+					t.Errorf("ingest during close: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	close(start)
+	// Let the producers get going, then yank the engine out from under them.
+	for accepted.Load() < 500 {
+	}
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- d.Close() }() // second concurrent Close must also be safe
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-closeErr; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// After Close has returned, Ingest is deterministic.
+	for i := 0; i < 10; i++ {
+		if err := d.Ingest(i%classes, []byte{byte(i % classes)}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("post-close Ingest = %v, want ErrClosed", err)
+		}
+	}
+	m := d.Snapshot()
+	if !m.Conserved() {
+		t.Error("metrics not conserved across the close race")
+	}
+	if w.packets.Load() != accepted.Load() {
+		t.Errorf("writer got %d datagrams, producers had %d accepted (drain must deliver all)",
+			w.packets.Load(), accepted.Load())
+	}
+}

@@ -1,0 +1,268 @@
+// Package faultconn wraps the data-plane's datagram Reader/Writer contracts
+// with deterministic, seeded fault injection: transient (EAGAIN-style)
+// errors, permanent failures after a threshold, short writes, silent drops,
+// and added latency. It exists so the retry/backoff and drop-accounting
+// paths of internal/dataplane — and the full cmd/hpfqgw pipeline via its
+// hidden -fault.* flags — can be exercised reproducibly from tests instead
+// of waiting for a flaky network.
+//
+// All randomness comes from one seeded math/rand source per wrapper, so a
+// given (seed, operation sequence) pair always injects the same faults.
+// Probabilities compose in a fixed order per operation: fatal threshold,
+// latency, transient error, short write (writers only), silent drop. The
+// wrappers are safe for concurrent use; under concurrency the per-operation
+// fault sequence follows the serialization order of the calls.
+package faultconn
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// PacketWriter is the egress contract being wrapped (structurally identical
+// to dataplane.Writer, redeclared to keep this package dependency-free).
+type PacketWriter interface {
+	WritePacket(b []byte) (int, error)
+}
+
+// PacketReader is the ingress contract being wrapped (structurally
+// identical to dataplane.Reader).
+type PacketReader interface {
+	ReadPacket(buf []byte) (int, error)
+}
+
+// ErrFatal is the permanent failure injected once WithFailAfter's threshold
+// is crossed. It does not mark itself transient, so the data-plane
+// classifies it as fatal and drops instead of retrying.
+var ErrFatal = errors.New("faultconn: injected fatal error")
+
+// InjectedError is the transient fault returned for probability- or
+// cadence-triggered errors. It reports itself transient (and satisfies the
+// net.Error Timeout shape), so the data-plane's classifier retries it.
+type InjectedError struct {
+	Op string // "read" or "write"
+	N  uint64 // 1-based operation count at injection time
+}
+
+// Error describes the injected fault.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultconn: injected transient %s error (op %d)", e.Op, e.N)
+}
+
+// Transient marks the error retryable for the data-plane's classifier.
+func (e *InjectedError) Transient() bool { return true }
+
+// Timeout makes the error satisfy the net.Error timeout convention.
+func (e *InjectedError) Timeout() bool { return true }
+
+// Temporary is kept for callers still using the deprecated net.Error
+// method.
+func (e *InjectedError) Temporary() bool { return true }
+
+// ErrShortWrite is returned by injected short writes; the datagram was not
+// forwarded, so a retry resends it whole. It wraps io.ErrShortWrite so the
+// data-plane's classifier treats it as transient.
+var ErrShortWrite = fmt.Errorf("faultconn: injected short write: %w", io.ErrShortWrite)
+
+// Stats counts the wrapper's operations and injected faults.
+type Stats struct {
+	Ops         uint64 // operations attempted through the wrapper
+	Transient   uint64 // injected transient errors
+	ShortWrites uint64 // injected short writes (writers only)
+	Dropped     uint64 // silently discarded datagrams
+	Fatal       uint64 // operations refused after the fail-after threshold
+}
+
+// config collects the fault plan.
+type config struct {
+	seed      int64
+	errRate   float64       // transient error probability per op
+	errEvery  int           // additionally fail every nth op (0 = off)
+	shortRate float64       // short-write probability per write
+	dropRate  float64       // silent-drop probability per op
+	latency   time.Duration // added delay per op
+	failAfter uint64        // ops beyond this count fail with ErrFatal (0 = off)
+}
+
+// Option configures a fault-injecting wrapper.
+type Option func(*config)
+
+// WithSeed fixes the random source; the same seed replays the same fault
+// sequence. The default seed is 1.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithErrorRate injects a transient error on each operation with
+// probability p (0 ≤ p ≤ 1).
+func WithErrorRate(p float64) Option { return func(c *config) { c.errRate = p } }
+
+// WithErrorEvery injects a transient error deterministically on every nth
+// operation (counting from the first), independent of the probability knob.
+func WithErrorEvery(n int) Option { return func(c *config) { c.errEvery = n } }
+
+// WithShortWrites makes each write return half the datagram's length and
+// ErrShortWrite with probability p, without forwarding anything.
+func WithShortWrites(p float64) Option { return func(c *config) { c.shortRate = p } }
+
+// WithDropRate silently discards the datagram with probability p while
+// reporting success — the loss mode retries cannot see.
+func WithDropRate(p float64) Option { return func(c *config) { c.dropRate = p } }
+
+// WithLatency sleeps d before every operation, simulating a slow device.
+func WithLatency(d time.Duration) Option { return func(c *config) { c.latency = d } }
+
+// WithFailAfter makes every operation past the nth fail permanently with
+// ErrFatal — a crashed peer that never comes back.
+func WithFailAfter(n uint64) Option { return func(c *config) { c.failAfter = n } }
+
+// injector is the shared seeded fault engine behind Reader and Writer.
+type injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	cfg   config
+	stats Stats
+}
+
+func newInjector(opts []Option) *injector {
+	cfg := config{seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &injector{rng: rand.New(rand.NewSource(cfg.seed)), cfg: cfg}
+}
+
+// verdict is one operation's fate, decided under the injector lock.
+type verdict struct {
+	n     uint64
+	fatal bool
+	err   bool // transient error
+	short bool
+	drop  bool
+}
+
+// decide rolls the operation's fate. All randomness happens here, under the
+// lock, so the sequence of verdicts is a pure function of the seed and the
+// serialization order.
+func (j *injector) decide(isWrite bool) verdict {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stats.Ops++
+	v := verdict{n: j.stats.Ops}
+	if j.cfg.failAfter > 0 && j.stats.Ops > j.cfg.failAfter {
+		j.stats.Fatal++
+		v.fatal = true
+		return v
+	}
+	if j.cfg.errEvery > 0 && j.stats.Ops%uint64(j.cfg.errEvery) == 0 {
+		v.err = true
+	}
+	if !v.err && j.cfg.errRate > 0 && j.rng.Float64() < j.cfg.errRate {
+		v.err = true
+	}
+	if v.err {
+		j.stats.Transient++
+		return v
+	}
+	if isWrite && j.cfg.shortRate > 0 && j.rng.Float64() < j.cfg.shortRate {
+		j.stats.ShortWrites++
+		v.short = true
+		return v
+	}
+	if j.cfg.dropRate > 0 && j.rng.Float64() < j.cfg.dropRate {
+		j.stats.Dropped++
+		v.drop = true
+	}
+	return v
+}
+
+// uncountDrop retracts a drop verdict whose datagram never existed (the
+// wrapped reader failed instead of supplying one).
+func (j *injector) uncountDrop() {
+	j.mu.Lock()
+	j.stats.Dropped--
+	j.mu.Unlock()
+}
+
+// Stats returns a copy of the fault counters.
+func (j *injector) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Writer wraps a PacketWriter with the configured fault plan.
+type Writer struct {
+	inner PacketWriter
+	inj   *injector
+}
+
+// NewWriter returns w wrapped with fault injection.
+func NewWriter(w PacketWriter, opts ...Option) *Writer {
+	return &Writer{inner: w, inj: newInjector(opts)}
+}
+
+// Stats returns the wrapper's operation and fault counters.
+func (w *Writer) Stats() Stats { return w.inj.Stats() }
+
+// WritePacket applies the fault plan, then forwards to the wrapped writer
+// unless the operation was injected away.
+func (w *Writer) WritePacket(b []byte) (int, error) {
+	v := w.inj.decide(true)
+	if w.inj.cfg.latency > 0 {
+		time.Sleep(w.inj.cfg.latency)
+	}
+	switch {
+	case v.fatal:
+		return 0, ErrFatal
+	case v.err:
+		return 0, &InjectedError{Op: "write", N: v.n}
+	case v.short:
+		return len(b) / 2, ErrShortWrite
+	case v.drop:
+		return len(b), nil // discarded, reported as sent
+	}
+	return w.inner.WritePacket(b)
+}
+
+// Reader wraps a PacketReader with the configured fault plan.
+type Reader struct {
+	inner PacketReader
+	inj   *injector
+}
+
+// NewReader returns r wrapped with fault injection.
+func NewReader(r PacketReader, opts ...Option) *Reader {
+	return &Reader{inner: r, inj: newInjector(opts)}
+}
+
+// Stats returns the wrapper's operation and fault counters.
+func (r *Reader) Stats() Stats { return r.inj.Stats() }
+
+// ReadPacket applies the fault plan: injected errors return before touching
+// the wrapped reader; injected drops consume one datagram from it and try
+// again, so the loss is invisible to the caller except as a missing
+// message.
+func (r *Reader) ReadPacket(buf []byte) (int, error) {
+	for {
+		v := r.inj.decide(false)
+		if r.inj.cfg.latency > 0 {
+			time.Sleep(r.inj.cfg.latency)
+		}
+		switch {
+		case v.fatal:
+			return 0, ErrFatal
+		case v.err:
+			return 0, &InjectedError{Op: "read", N: v.n}
+		case v.drop:
+			if _, err := r.inner.ReadPacket(buf); err != nil {
+				r.inj.uncountDrop() // nothing was there to discard
+				return 0, err
+			}
+			continue // datagram lost in transit; read the next one
+		}
+		return r.inner.ReadPacket(buf)
+	}
+}

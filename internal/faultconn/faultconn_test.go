@@ -1,0 +1,199 @@
+package faultconn
+
+import (
+	"errors"
+	"testing"
+)
+
+// memWriter records every datagram forwarded to it.
+type memWriter struct {
+	got [][]byte
+}
+
+func (w *memWriter) WritePacket(b []byte) (int, error) {
+	w.got = append(w.got, append([]byte(nil), b...))
+	return len(b), nil
+}
+
+// memReader replays a fixed sequence of datagrams, then errors.
+type memReader struct {
+	msgs [][]byte
+	i    int
+}
+
+var errDrained = errors.New("drained")
+
+func (r *memReader) ReadPacket(buf []byte) (int, error) {
+	if r.i >= len(r.msgs) {
+		return 0, errDrained
+	}
+	n := copy(buf, r.msgs[r.i])
+	r.i++
+	return n, nil
+}
+
+func runWrites(w *Writer, n int) (ok, transient, short int) {
+	b := make([]byte, 100)
+	for i := 0; i < n; i++ {
+		_, err := w.WritePacket(b)
+		var inj *InjectedError
+		switch {
+		case err == nil:
+			ok++
+		case errors.As(err, &inj):
+			transient++
+		case errors.Is(err, ErrShortWrite):
+			short++
+		}
+	}
+	return
+}
+
+// TestDeterministic: two writers with the same seed inject the identical
+// fault sequence; a different seed diverges.
+func TestDeterministic(t *testing.T) {
+	mk := func(seed int64) Stats {
+		w := NewWriter(&memWriter{}, WithSeed(seed), WithErrorRate(0.3), WithShortWrites(0.2), WithDropRate(0.1))
+		runWrites(w, 500)
+		return w.Stats()
+	}
+	a, b := mk(7), mk(7)
+	if a != b {
+		t.Errorf("same seed, different fault sequence: %+v vs %+v", a, b)
+	}
+	if c := mk(8); c == a {
+		t.Errorf("different seeds produced identical stats %+v", c)
+	}
+}
+
+// TestErrorRate: the injected transient error count lands near the
+// configured probability and the errors mark themselves transient.
+func TestErrorRate(t *testing.T) {
+	inner := &memWriter{}
+	w := NewWriter(inner, WithSeed(1), WithErrorRate(0.2))
+	ok, transient, _ := runWrites(w, 1000)
+	if transient < 120 || transient > 280 {
+		t.Errorf("injected %d transient errors in 1000 ops at p=0.2", transient)
+	}
+	if ok+transient != 1000 {
+		t.Errorf("ok=%d transient=%d, want them to partition 1000 ops", ok, transient)
+	}
+	if len(inner.got) != ok {
+		t.Errorf("inner saw %d datagrams, %d writes succeeded", len(inner.got), ok)
+	}
+	st := w.Stats()
+	if st.Ops != 1000 || int(st.Transient) != transient {
+		t.Errorf("stats %+v disagree with observed transient=%d", st, transient)
+	}
+}
+
+// TestErrorEvery: the cadence knob fails exactly every nth operation.
+func TestErrorEvery(t *testing.T) {
+	w := NewWriter(&memWriter{}, WithErrorEvery(3))
+	b := make([]byte, 10)
+	for i := 1; i <= 9; i++ {
+		_, err := w.WritePacket(b)
+		if wantErr := i%3 == 0; (err != nil) != wantErr {
+			t.Errorf("op %d: err=%v, want error=%v", i, err, wantErr)
+		}
+	}
+	if st := w.Stats(); st.Transient != 3 {
+		t.Errorf("transient = %d, want 3", st.Transient)
+	}
+}
+
+// TestFailAfter: operations beyond the threshold fail permanently with
+// ErrFatal, which is not transient.
+func TestFailAfter(t *testing.T) {
+	w := NewWriter(&memWriter{}, WithFailAfter(2))
+	b := make([]byte, 10)
+	for i := 0; i < 2; i++ {
+		if _, err := w.WritePacket(b); err != nil {
+			t.Fatalf("op %d before threshold failed: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		_, err := w.WritePacket(b)
+		if !errors.Is(err, ErrFatal) {
+			t.Fatalf("op past threshold: %v, want ErrFatal", err)
+		}
+		var tr interface{ Transient() bool }
+		if errors.As(err, &tr) && tr.Transient() {
+			t.Error("ErrFatal must not be transient")
+		}
+	}
+}
+
+// TestShortWrite: a short write reports a partial length with ErrShortWrite
+// and forwards nothing, so a retry resends the whole datagram.
+func TestShortWrite(t *testing.T) {
+	inner := &memWriter{}
+	w := NewWriter(inner, WithShortWrites(1))
+	n, err := w.WritePacket(make([]byte, 100))
+	if !errors.Is(err, ErrShortWrite) || n != 50 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if len(inner.got) != 0 {
+		t.Error("short write leaked a truncated datagram to the inner writer")
+	}
+}
+
+// TestDropRate: dropped writes report success without reaching the inner
+// writer.
+func TestDropRate(t *testing.T) {
+	inner := &memWriter{}
+	w := NewWriter(inner, WithSeed(3), WithDropRate(0.5))
+	b := make([]byte, 64)
+	for i := 0; i < 200; i++ {
+		if _, err := w.WritePacket(b); err != nil {
+			t.Fatalf("drop-only plan returned error: %v", err)
+		}
+	}
+	st := w.Stats()
+	if st.Dropped == 0 || st.Dropped > 160 {
+		t.Errorf("dropped %d of 200 at p=0.5", st.Dropped)
+	}
+	if uint64(len(inner.got))+st.Dropped != 200 {
+		t.Errorf("inner got %d + dropped %d != 200", len(inner.got), st.Dropped)
+	}
+}
+
+// TestReaderFaults: transient read errors surface without consuming input;
+// read drops consume a datagram invisibly.
+func TestReaderFaults(t *testing.T) {
+	msgs := [][]byte{{1}, {2}, {3}, {4}}
+	r := NewReader(&memReader{msgs: msgs}, WithErrorEvery(2))
+	buf := make([]byte, 16)
+	var got []byte
+	var transient int
+	for {
+		n, err := r.ReadPacket(buf)
+		if err != nil {
+			var inj *InjectedError
+			if errors.As(err, &inj) {
+				transient++
+				continue
+			}
+			if errors.Is(err, errDrained) {
+				break
+			}
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if string(got) != string([]byte{1, 2, 3, 4}) {
+		t.Errorf("reader delivered %v, want all four datagrams", got)
+	}
+	if transient == 0 {
+		t.Error("no transient read errors injected")
+	}
+
+	// Drop every datagram: the reader re-reads until the source fails.
+	r = NewReader(&memReader{msgs: msgs}, WithDropRate(1))
+	if _, err := r.ReadPacket(buf); !errors.Is(err, errDrained) {
+		t.Errorf("all-drop read: %v, want source exhaustion", err)
+	}
+	if st := r.Stats(); st.Dropped != 4 {
+		t.Errorf("dropped %d, want 4", st.Dropped)
+	}
+}

@@ -13,21 +13,11 @@ import (
 // exactly this.
 func (m Metrics) WriteTable(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "# %s: rate=%s enq=%d deq=%d drop=%d qlen=%d max_qlen=%d conserved=%v\n",
+	fmt.Fprintf(tw, "# %s: rate=%s enq=%d deq=%d drop=%d retry=%d qlen=%d max_qlen=%d conserved=%v\n",
 		m.Name, rateString(m.Rate), m.Enqueued.Packets, m.Dequeued.Packets,
-		m.Dropped.Packets, m.QueueLen, m.MaxQueueLen, m.Conserved())
-	if len(m.DropReasons) > 0 {
-		reasons := make([]string, 0, len(m.DropReasons))
-		for r := range m.DropReasons {
-			reasons = append(reasons, r)
-		}
-		sort.Strings(reasons)
-		fmt.Fprintf(tw, "# drops:")
-		for _, r := range reasons {
-			fmt.Fprintf(tw, " %s=%d", r, m.DropReasons[r].Packets)
-		}
-		fmt.Fprintln(tw)
-	}
+		m.Dropped.Packets, m.Retried.Packets, m.QueueLen, m.MaxQueueLen, m.Conserved())
+	writeReasonLine(tw, "drops", m.DropReasons)
+	writeReasonLine(tw, "retries", m.RetryReasons)
 	fmt.Fprintln(tw, "session\trate\tenq\tdeq\tdrop\tqlen\tmax\tdelay_min\tdelay_mean\tdelay_max\twfi")
 	for _, s := range m.Sessions {
 		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\n",
@@ -38,6 +28,24 @@ func (m Metrics) WriteTable(w io.Writer) error {
 			durString(s.WFI))
 	}
 	return tw.Flush()
+}
+
+// writeReasonLine renders a per-reason counter map as one sorted comment
+// line ("# drops: codel=3 tail-drop=7"), or nothing when the map is empty.
+func writeReasonLine(w io.Writer, label string, reasons map[string]Counter) {
+	if len(reasons) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(reasons))
+	for r := range reasons {
+		keys = append(keys, r)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# %s:", label)
+	for _, r := range keys {
+		fmt.Fprintf(w, " %s=%d", r, reasons[r].Packets)
+	}
+	fmt.Fprintln(w)
 }
 
 // rateString renders a bits/sec rate with a binary-free SI suffix.

@@ -49,10 +49,32 @@ const (
 	DropBytes = "byte-cap"
 	// DropClosed: the datagram arrived after shutdown began.
 	DropClosed = "closed"
-	// DropWrite: the egress write failed after the packet was scheduled.
-	// Write-error drops are recorded post-dequeue, so they inflate Offered
-	// relative to arrival-time drops.
+	// DropWrite: the egress write failed fatally (an error classified as
+	// permanent) after the packet was scheduled. Write-error drops are
+	// recorded post-dequeue, so they inflate Offered relative to
+	// arrival-time drops.
 	DropWrite = "write-error"
+	// DropRetries: the egress write kept failing transiently until the
+	// retry budget was exhausted. Recorded post-dequeue, like DropWrite.
+	DropRetries = "retry-exhausted"
+	// DropCoDel: the AQM policy dropped the packet at dequeue because its
+	// sojourn time stayed above the CoDel target. Recorded post-dequeue.
+	DropCoDel = "codel"
+	// DropPanic: the packet was in flight (dequeued, not yet written) when
+	// the pump crashed and restarted. Recorded post-dequeue.
+	DropPanic = "pump-panic"
+)
+
+// Retry reasons shared across the stack, recorded via
+// Collector.RecordRetry. A retry is not a drop: the packet stays in flight
+// and is re-attempted, so retries appear in their own counters.
+const (
+	// RetryTransient: an egress write failed with a transient error
+	// (EAGAIN-style) and will be re-attempted after backoff.
+	RetryTransient = "write-transient"
+	// RetryRequeue: the retry budget ran out and the packet was requeued
+	// into the scheduler instead of being dropped.
+	RetryRequeue = "requeue"
 )
 
 // Counter counts packets and their cumulative length in bits (or cost
@@ -115,6 +137,10 @@ type SessionMetrics struct {
 	Enqueued Counter
 	Dequeued Counter
 	Dropped  Counter
+	// Retried counts egress re-attempts for this session's packets. A
+	// retried packet is still in flight, so retries are disjoint from both
+	// Dequeued (which counted it once) and Dropped.
+	Retried Counter
 
 	QueueLen    int
 	MaxQueueLen int
@@ -156,6 +182,9 @@ type Metrics struct {
 	Enqueued Counter
 	Dequeued Counter
 	Dropped  Counter
+	// Retried counts egress re-attempts recorded with RecordRetry. Retries
+	// are events on packets still in flight, disjoint from drops.
+	Retried Counter
 
 	QueueLen    int
 	MaxQueueLen int
@@ -164,6 +193,10 @@ type Metrics struct {
 	// RecordDropReason. Untagged drops (RecordDrop) are not listed, so the
 	// per-reason counters sum to at most Dropped.
 	DropReasons map[string]Counter
+
+	// RetryReasons breaks Retried down by the reason tag passed to
+	// RecordRetry (the Retry* constants, or any component-specific string).
+	RetryReasons map[string]Counter
 
 	Sessions []SessionMetrics // sorted by ID
 }
@@ -236,9 +269,9 @@ type sessionState struct {
 	seen bool
 	rate float64
 
-	enq, deq, drop Counter
-	depth          int
-	maxDepth       int
+	enq, deq, drop, retry Counter
+	depth                 int
+	maxDepth              int
 
 	delay    DelayStats
 	arrivals floatFIFO // enqueue times of queued packets, FIFO
@@ -267,10 +300,11 @@ type Collector struct {
 	tracer  Tracer
 	active  bool // metrics || tracer != nil
 
-	enq, deq, drop Counter
-	depth          int
-	maxDepth       int
-	reasons        map[string]Counter // drop counters keyed by reason tag
+	enq, deq, drop, retry Counter
+	depth                 int
+	maxDepth              int
+	reasons               map[string]Counter // drop counters keyed by reason tag
+	retryReasons          map[string]Counter // retry counters keyed by reason tag
 
 	sessions []sessionState
 }
@@ -463,6 +497,38 @@ func (c *Collector) recordDrop(now float64, session int, bits float64, reason st
 	}
 }
 
+// RecordRetry accounts one egress re-attempt of a packet for the session,
+// tagged with a retry reason (one of the Retry* constants, or any
+// component-specific string). A retry is an event on a packet still in
+// flight: it changes no enqueue/dequeue/drop counter and no queue depth, so
+// conservation laws are unaffected. Tracers that implement RetryTracer
+// receive the event.
+func (c *Collector) RecordRetry(now float64, session int, bits float64, reason string) {
+	if !c.active {
+		return
+	}
+	s := c.session(session)
+	if c.metrics {
+		c.retry.add(bits)
+		s.retry.add(bits)
+		if reason != "" {
+			if c.retryReasons == nil {
+				c.retryReasons = make(map[string]Counter)
+			}
+			r := c.retryReasons[reason]
+			r.add(bits)
+			c.retryReasons[reason] = r
+		}
+	}
+	if rt, ok := c.tracer.(RetryTracer); ok {
+		rt.Retry(Event{
+			Type: EventRetry, Time: now, Node: c.name,
+			Session: session, Bits: bits, QueueLen: s.depth,
+			Reason: reason,
+		})
+	}
+}
+
 // Snapshot freezes the counters into a Metrics value. Cheap enough to call
 // periodically while a simulation runs.
 func (c *Collector) Snapshot() Metrics {
@@ -473,6 +539,7 @@ func (c *Collector) Snapshot() Metrics {
 		Enqueued:    c.enq,
 		Dequeued:    c.deq,
 		Dropped:     c.drop,
+		Retried:     c.retry,
 		QueueLen:    c.depth,
 		MaxQueueLen: c.maxDepth,
 	}
@@ -480,6 +547,12 @@ func (c *Collector) Snapshot() Metrics {
 		m.DropReasons = make(map[string]Counter, len(c.reasons))
 		for r, n := range c.reasons {
 			m.DropReasons[r] = n
+		}
+	}
+	if len(c.retryReasons) > 0 {
+		m.RetryReasons = make(map[string]Counter, len(c.retryReasons))
+		for r, n := range c.retryReasons {
+			m.RetryReasons[r] = n
 		}
 	}
 	for id := range c.sessions {
@@ -493,6 +566,7 @@ func (c *Collector) Snapshot() Metrics {
 			Enqueued:    s.enq,
 			Dequeued:    s.deq,
 			Dropped:     s.drop,
+			Retried:     s.retry,
 			QueueLen:    s.depth,
 			MaxQueueLen: s.maxDepth,
 			Delay:       s.delay,

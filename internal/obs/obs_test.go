@@ -298,6 +298,85 @@ func TestDropReasons(t *testing.T) {
 	}
 }
 
+// TestRetryCounters: RecordRetry accumulates global, per-session, and
+// per-reason counters without touching enqueue/dequeue/drop or the
+// conservation law, and delivers EventRetry to RetryTracer implementations.
+func TestRetryCounters(t *testing.T) {
+	var c Collector
+	c.InitObs("dp", 1e6)
+	c.EnableMetrics()
+	ring := NewRingTracer(8)
+	c.SetTracer(ring)
+	c.RegisterSession(0, 5e5)
+
+	c.RecordEnqueue(0.0, 0, 8000)
+	c.RecordDequeue(0.1, 0, 8000)
+	c.RecordRetry(0.2, 0, 8000, RetryTransient)
+	c.RecordRetry(0.3, 0, 8000, RetryTransient)
+	c.RecordRetry(0.4, 0, 8000, RetryRequeue)
+
+	m := c.Snapshot()
+	if m.Retried.Packets != 3 || m.Retried.Bits != 24000 {
+		t.Errorf("retried = %+v, want 3 pkts / 24000 bits", m.Retried)
+	}
+	if got := m.RetryReasons[RetryTransient]; got.Packets != 2 {
+		t.Errorf("transient retries = %+v, want 2", got)
+	}
+	if got := m.RetryReasons[RetryRequeue]; got.Packets != 1 {
+		t.Errorf("requeue retries = %+v, want 1", got)
+	}
+	if m.Dropped.Packets != 0 || m.Enqueued.Packets != 1 || m.Dequeued.Packets != 1 {
+		t.Errorf("retries disturbed enq/deq/drop: %+v", m)
+	}
+	if !m.Conserved() {
+		t.Error("retries broke conservation")
+	}
+	s, _ := m.Session(0)
+	if s.Retried.Packets != 3 {
+		t.Errorf("session retried = %+v, want 3", s.Retried)
+	}
+
+	var retries int
+	for _, ev := range ring.Events() {
+		if ev.Type == EventRetry {
+			retries++
+			if ev.Reason == "" {
+				t.Error("retry event missing reason")
+			}
+		}
+	}
+	if retries != 3 {
+		t.Errorf("tracer saw %d retry events, want 3", retries)
+	}
+
+	var buf strings.Builder
+	if err := m.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "write-transient=2") || !strings.Contains(buf.String(), "retry=3") {
+		t.Errorf("table missing retry counters:\n%s", buf.String())
+	}
+}
+
+// TestRetryTracerOptional: a tracer without the Retry method still receives
+// enqueue/dequeue/drop events, and RecordRetry does not panic.
+func TestRetryTracerOptional(t *testing.T) {
+	var c Collector
+	c.InitObs("dp", 1e6)
+	c.SetTracer(plainTracer{})
+	c.RecordRetry(0, 0, 100, RetryTransient) // must not panic
+	// Named wrapping a plain tracer must also swallow retries safely.
+	c.SetTracer(Named("n", plainTracer{}))
+	c.RecordRetry(0, 0, 100, RetryTransient)
+}
+
+// plainTracer implements only the base Tracer interface.
+type plainTracer struct{}
+
+func (plainTracer) Enqueue(Event) {}
+func (plainTracer) Dequeue(Event) {}
+func (plainTracer) Drop(Event)    {}
+
 // TestDropReasonsSnapshotIsolated: mutating a snapshot's reason map must not
 // write through to the live collector.
 func TestDropReasonsSnapshotIsolated(t *testing.T) {

@@ -8,11 +8,15 @@ import (
 // EventType discriminates trace events.
 type EventType uint8
 
-// The three event kinds every instrumented server publishes.
+// The event kinds instrumented servers publish. Every server emits
+// enqueue/dequeue/drop; components with an egress retry path (the
+// data-plane pump) additionally emit retry events to tracers that implement
+// RetryTracer.
 const (
 	EventEnqueue EventType = iota
 	EventDequeue
 	EventDrop
+	EventRetry
 )
 
 // String returns the JSONL spelling of the event type.
@@ -24,6 +28,8 @@ func (t EventType) String() string {
 		return "dequeue"
 	case EventDrop:
 		return "drop"
+	case EventRetry:
+		return "retry"
 	}
 	return "unknown"
 }
@@ -58,6 +64,15 @@ type Tracer interface {
 	Drop(ev Event)
 }
 
+// RetryTracer is an optional Tracer extension for egress retry events
+// (EventRetry, carrying the retry reason). Collector.RecordRetry delivers
+// events only to tracers that implement it, so existing Tracer
+// implementations keep working unchanged. The bundled RingTracer and
+// JSONLTracer implement it.
+type RetryTracer interface {
+	Retry(ev Event)
+}
+
 // named stamps a component name onto every event before forwarding, so one
 // shared tracer can tell hierarchy nodes apart.
 type named struct {
@@ -72,6 +87,14 @@ func Named(node string, t Tracer) Tracer { return named{node: node, t: t} }
 func (n named) Enqueue(ev Event) { ev.Node = n.node; n.t.Enqueue(ev) }
 func (n named) Dequeue(ev Event) { ev.Node = n.node; n.t.Dequeue(ev) }
 func (n named) Drop(ev Event)    { ev.Node = n.node; n.t.Drop(ev) }
+
+// Retry forwards retry events when the wrapped tracer accepts them.
+func (n named) Retry(ev Event) {
+	if rt, ok := n.t.(RetryTracer); ok {
+		ev.Node = n.node
+		rt.Retry(ev)
+	}
+}
 
 // RingTracer keeps the most recent events in a fixed-capacity ring buffer:
 // always-on flight recording with bounded memory, inspected after the fact
@@ -108,6 +131,9 @@ func (r *RingTracer) Dequeue(ev Event) { r.record(ev) }
 
 // Drop records a drop event.
 func (r *RingTracer) Drop(ev Event) { r.record(ev) }
+
+// Retry records a retry event.
+func (r *RingTracer) Retry(ev Event) { r.record(ev) }
 
 // Total returns the number of events ever recorded, including those the
 // ring has since overwritten.
@@ -181,3 +207,6 @@ func (t *JSONLTracer) Dequeue(ev Event) { t.write(ev) }
 
 // Drop writes a drop event line.
 func (t *JSONLTracer) Drop(ev Event) { t.write(ev) }
+
+// Retry writes a retry event line.
+func (t *JSONLTracer) Retry(ev Event) { t.write(ev) }
