@@ -2,11 +2,15 @@
 # referenced from ROADMAP.md; `make race` exercises the concurrent
 # components under the race detector; `make fault` runs the fault-injection
 # stress suite with a fixed seed (override: make fault HPFQ_FAULT_SEED=7).
+# `make bench` refreshes BENCH_dataplane.json from the pump benchmarks
+# (override duration: make bench BENCHTIME=1x for a smoke run); `make
+# alloccheck` runs the steady-state zero-allocation regression test alone.
 
 GO ?= go
 HPFQ_FAULT_SEED ?= 20260806
+BENCHTIME ?= 2s
 
-.PHONY: all build test race vet fmt fault verify
+.PHONY: all build test race vet fmt fault bench alloccheck verify
 
 all: verify
 
@@ -29,5 +33,15 @@ fault:
 	HPFQ_FAULT_SEED=$(HPFQ_FAULT_SEED) $(GO) test -race -count=1 \
 		-run 'Fault|Retry|Requeue|Panic|AQM|CoDel|IngestCloseRace|Drain|Flow' \
 		./internal/faultconn/... ./internal/dataplane/... ./cmd/hpfqgw/...
+
+bench:
+	$(GO) test ./internal/dataplane/ -run '^$$' \
+		-bench 'BenchmarkPump(PerPacket|Batched)$$' -benchmem \
+		-benchtime $(BENCHTIME) -count=1 \
+		| $(GO) run ./cmd/benchjson -out BENCH_dataplane.json
+	@cat BENCH_dataplane.json
+
+alloccheck:
+	$(GO) test ./internal/dataplane/ -run TestPumpSteadyStateZeroAlloc -count=1 -v
 
 verify: build test vet fmt race

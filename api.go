@@ -418,8 +418,47 @@ type (
 	// WritePacketCtx with their opaque context.
 	PacketCtxWriter = dataplane.CtxWriter
 	// PacketPipe is an in-memory datagram conduit with message boundaries.
+	// It honors the buffer-ownership rules (pool-backed copies, no retained
+	// slices) and implements both batch contracts.
 	PacketPipe = dataplane.Pipe
 )
+
+// Batch datagram I/O: the recvmmsg/sendmmsg-shaped contracts the data-plane
+// pump speaks natively. Writers passed to Dataplane.Start that implement
+// PacketBatchWriter receive each token-bucket release in WithBatchSize
+// chunks; per-packet implementations are adapted transparently.
+type (
+	// PacketDatagram is one scheduled payload handed to a PacketBatchWriter:
+	// raw bytes plus the opaque IngestCtx routing context. Writers must not
+	// retain it past the WriteBatch call.
+	PacketDatagram = dataplane.Datagram
+	// PacketBatchWriter is the batch egress contract. WriteBatch returns how
+	// many datagrams were delivered; a non-nil error applies to the first
+	// unwritten one and the engine re-offers the suffix.
+	PacketBatchWriter = dataplane.BatchWriter
+	// PacketBatchReader is the batch ingress contract: fill up to len(bufs)
+	// datagrams, reslicing each filled bufs[i] to its length.
+	PacketBatchReader = dataplane.BatchReader
+	// PayloadBatchWriter is the context-free batch egress shape (WriteBatch
+	// over raw payloads), implemented by byte-level wrappers like
+	// internal/faultconn.
+	PayloadBatchWriter = dataplane.PayloadBatchWriter
+	// BufferPool recycles fixed-size datagram payload buffers through the
+	// data-plane (WithBufferPool) so the hot path runs allocation-free.
+	BufferPool = dataplane.BufferPool
+	// BufferPoolStats is a point-in-time snapshot of a BufferPool's traffic.
+	BufferPoolStats = dataplane.PoolStats
+)
+
+// AsPacketBatchWriter adapts any per-packet PacketWriter (or
+// PacketCtxWriter, or PayloadBatchWriter) to the PacketBatchWriter
+// contract. The returned adapter is not safe for concurrent WriteBatch
+// calls.
+func AsPacketBatchWriter(w PacketWriter) PacketBatchWriter { return dataplane.AsBatchWriter(w) }
+
+// AsPacketBatchReader adapts any per-packet PacketReader to the
+// PacketBatchReader contract (one datagram per ReadBatch call).
+func AsPacketBatchReader(r PacketReader) PacketBatchReader { return dataplane.AsBatchReader(r) }
 
 // NewDataplane returns an egress engine pacing at rate bits/sec under the
 // named algorithm:
@@ -487,9 +526,54 @@ func WithAQM(target, interval time.Duration) DataplaneOption {
 	return dataplane.WithAQM(target, interval)
 }
 
+// WithBufferPool hands the data-plane a payload buffer pool (nil selects
+// the process-wide SharedBufferPool): once Ingest succeeds on a buffer
+// obtained from the pool the engine owns it and returns it to the pool when
+// the datagram is written or dropped, making the
+// ingress → staging → egress → release cycle allocation-free at steady
+// state. Without this option the engine never recycles payload buffers.
+func WithBufferPool(p *BufferPool) DataplaneOption { return dataplane.WithBufferPool(p) }
+
+// WithBatchSize caps how many datagrams the data-plane pump hands the
+// writer per WriteBatch call (minimum 1; default DefaultBatchSize).
+func WithBatchSize(n int) DataplaneOption { return dataplane.WithBatchSize(n) }
+
+// Batch and buffer defaults.
+const (
+	// DefaultBatchSize is the default WriteBatch chunk ceiling.
+	DefaultBatchSize = dataplane.DefaultBatchSize
+	// MaxDatagramSize is the default BufferPool buffer length — large enough
+	// for any UDP datagram.
+	MaxDatagramSize = dataplane.MaxDatagramSize
+)
+
+// NewBufferPool returns a pool of fixed-size payload buffers (non-positive
+// size selects MaxDatagramSize).
+func NewBufferPool(size int) *BufferPool { return dataplane.NewBufferPool(size) }
+
+// SharedBufferPool returns the process-wide pool of MaxDatagramSize
+// buffers; components exchanging datagrams through the same pool recycle
+// buffers across stage boundaries.
+func SharedBufferPool() *BufferPool { return dataplane.SharedBufferPool() }
+
+// IsTransientIOError reports whether an I/O error classifies as transient —
+// the exact predicate the data-plane pump uses for its retry-or-drop
+// decision (self-classifying Transient() errors, net.Error timeouts,
+// EAGAIN-style errnos, short writes). Ingress loops use it to survive
+// injected or real transient read errors without tearing down.
+func IsTransientIOError(err error) bool { return dataplane.IsTransient(err) }
+
 // NewPacketPipe returns an in-memory datagram conduit buffering up to
-// capacity in-flight datagrams.
+// capacity in-flight datagrams, borrowing internal buffers from the shared
+// pool.
 func NewPacketPipe(capacity int) *PacketPipe { return dataplane.NewPipe(capacity) }
+
+// NewPacketPipePool is NewPacketPipe with an explicit BufferPool (nil
+// selects the shared pool), so tests can observe recycling on their own
+// pool.
+func NewPacketPipePool(capacity int, pool *BufferPool) *PacketPipe {
+	return dataplane.NewPipePool(capacity, pool)
+}
 
 // PacketReaderFrom adapts an io.Reader with datagram semantics (e.g. a
 // connected *net.UDPConn) to the PacketReader contract.

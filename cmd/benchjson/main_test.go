@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: hpfq/internal/dataplane
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPumpPerPacket 	 1551600	       756.7 ns/op	     156 B/op	       1 allocs/op
+BenchmarkPumpBatched-8   	 1847384	       643.3 ns/op	       0 B/op	       0 allocs/op	  12.50 MB/s
+PASS
+ok  	hpfq/internal/dataplane	3.813s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "hpfq/internal/dataplane" {
+		t.Errorf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.Pkg)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	pp := doc.Benchmarks[0]
+	if pp.Name != "BenchmarkPumpPerPacket" || pp.Iterations != 1551600 {
+		t.Errorf("first = %+v", pp)
+	}
+	if pp.NsPerOp != 756.7 || pp.BytesPerOp != 156 || pp.AllocsPerOp != 1 {
+		t.Errorf("first metrics = %+v", pp)
+	}
+	ba := doc.Benchmarks[1]
+	if ba.Name != "BenchmarkPumpBatched-8" || ba.AllocsPerOp != 0 {
+		t.Errorf("second = %+v", ba)
+	}
+	if ba.Extra["MB/s"] != 12.5 {
+		t.Errorf("extra metric lost: %+v", ba.Extra)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Error("no benchmark lines accepted")
+	}
+	if _, ok := parseResult("BenchmarkBroken zero ns/op"); ok {
+		t.Error("malformed iteration count accepted")
+	}
+	if _, ok := parseResult("not a benchmark"); ok {
+		t.Error("non-benchmark line accepted")
+	}
+}

@@ -27,11 +27,14 @@ var errOut io.Writer = os.Stderr
 // on either (hash keys on the sender, byte0 on the first payload byte).
 type classifier func(src *net.UDPAddr, payload []byte) int
 
-// gwConfig tunes the gateway's flow table and optional egress fault plan.
+// gwConfig tunes the gateway's flow table, buffer pool, and optional fault
+// plans.
 type gwConfig struct {
-	flowTTL  time.Duration
-	maxFlows int
-	fault    []faultconn.Option // non-empty: wrap egress writes with injected faults
+	flowTTL      time.Duration
+	maxFlows     int
+	fault        []faultconn.Option // non-empty: wrap egress writes with injected faults
+	ingressFault []faultconn.Option // non-empty: wrap listen-socket reads with injected faults
+	pool         *hpfq.BufferPool   // ingress payload buffers; nil selects the shared pool
 }
 
 // gateway forwards UDP datagrams from a listen socket to an upstream peer,
@@ -48,20 +51,53 @@ type gateway struct {
 	ft       *flowTable
 	classify classifier
 	fault    []faultconn.Option
+	pool     *hpfq.BufferPool
+	src      *listenSource
+	rd       hpfq.PacketReader // g.src, or the faultconn wrapper around it
 	restarts atomic.Int64
+	// readFaults counts transient ingress read errors the supervised loop
+	// absorbed (injected by -fault.ingress, or real EAGAIN-class errors).
+	readFaults atomic.Int64
 
 	closeOnce sync.Once
 	closeErr  error
 }
 
 func newGateway(dp *hpfq.Dataplane, listen *net.UDPConn, upstream *net.UDPAddr, classify classifier, cfg gwConfig) *gateway {
-	return &gateway{
+	g := &gateway{
 		dp:       dp,
 		listen:   listen,
 		ft:       newFlowTable(listen, upstream, cfg.flowTTL, cfg.maxFlows),
 		classify: classify,
 		fault:    cfg.fault,
+		pool:     cfg.pool,
 	}
+	if g.pool == nil {
+		g.pool = hpfq.SharedBufferPool()
+	}
+	g.src = &listenSource{conn: listen}
+	g.rd = g.src
+	if len(cfg.ingressFault) > 0 {
+		g.rd = faultconn.NewReader(g.src, cfg.ingressFault...)
+	}
+	return g
+}
+
+// listenSource adapts the unconnected listen socket to the PacketReader
+// contract, stashing each datagram's source address for the classifier and
+// flow lookup. Only the single supervised ingress goroutine touches it, so
+// the field needs no lock.
+type listenSource struct {
+	conn *net.UDPConn
+	src  *net.UDPAddr
+}
+
+func (s *listenSource) ReadPacket(buf []byte) (int, error) {
+	n, src, err := s.conn.ReadFromUDP(buf)
+	if err == nil {
+		s.src = src
+	}
+	return n, err
 }
 
 // errNoFlow fails a scheduled datagram with no routable flow. It is not
@@ -81,6 +117,20 @@ func (s *connSink) WritePacket(b []byte) (int, error) {
 	return s.conn.Write(b)
 }
 
+// WriteBatch sends each payload to the currently selected flow socket,
+// stopping at the first error (hpfq.PayloadBatchWriter shape).
+func (s *connSink) WriteBatch(pkts [][]byte) (int, error) {
+	if s.conn == nil {
+		return 0, errNoFlow
+	}
+	for i, b := range pkts {
+		if _, err := s.conn.Write(b); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}
+
 // egress is the gateway's data-plane Writer: it routes each scheduled
 // datagram to its flow's upstream socket via the IngestCtx context
 // (hpfq.PacketCtxWriter), optionally through a faultconn wrapper so the
@@ -88,16 +138,25 @@ func (s *connSink) WritePacket(b []byte) (int, error) {
 // datagram whose flow was evicted while queued fails fatally (closed socket)
 // and is recorded as a "write-error" drop — the NAT mapping is gone, so the
 // datagram has nowhere to go.
+//
+// It also implements hpfq.PacketBatchWriter: each token-bucket release
+// arrives as one batch, which WriteBatch splits into runs of consecutive
+// datagrams sharing a flow and sends run by run — scheduler order is
+// preserved exactly, and each run is one batched write against the flow's
+// socket (through the fault plan when configured).
 type egress struct {
 	sink connSink
-	w    hpfq.PacketWriter // &sink, or the faultconn wrapper around it
+	w    hpfq.PacketWriter       // &sink, or the faultconn wrapper around it
+	bw   hpfq.PayloadBatchWriter // batch view of the same chain
+	raw  [][]byte                // pump-goroutine scratch for the current run
 }
 
 func newEgress(fault []faultconn.Option) *egress {
 	e := &egress{}
-	e.w = &e.sink
+	e.w, e.bw = &e.sink, &e.sink
 	if len(fault) > 0 {
-		e.w = faultconn.NewWriter(&e.sink, fault...)
+		fw := faultconn.NewWriter(&e.sink, fault...)
+		e.w, e.bw = fw, fw
 	}
 	return e
 }
@@ -111,6 +170,39 @@ func (e *egress) WritePacketCtx(b []byte, ctx any) (int, error) {
 	}
 	e.sink.conn = f.conn
 	return e.w.WritePacket(b)
+}
+
+func (e *egress) WriteBatch(pkts []hpfq.PacketDatagram) (int, error) {
+	written := 0
+	for written < len(pkts) {
+		f, _ := pkts[written].Ctx.(*flow)
+		if f == nil {
+			return written, errNoFlow
+		}
+		run := written + 1
+		for run < len(pkts) {
+			if g, _ := pkts[run].Ctx.(*flow); g != f {
+				break
+			}
+			run++
+		}
+		e.sink.conn = f.conn
+		e.raw = e.raw[:0]
+		for _, p := range pkts[written:run] {
+			e.raw = append(e.raw, p.B)
+		}
+		n, err := e.bw.WriteBatch(e.raw)
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if written < run {
+			// Short run without an error: report progress and let the pump
+			// re-offer the suffix.
+			return written, nil
+		}
+	}
+	return written, nil
 }
 
 // faultOptions assembles the faultconn plan behind the -fault.* flags.
@@ -136,15 +228,16 @@ func faultOptions(seed int64, errRate, short, drop float64, latency time.Duratio
 
 // run starts the paced egress pump, then reads the listen socket under the
 // crash-only supervisor until the socket is closed. Queue-full and
-// unknown-class drops are deliberate policy (recorded in the metrics), so
-// only hard socket errors end the loop.
+// unknown-class drops are deliberate policy (recorded in the metrics), and
+// transient read errors (injected by -fault.ingress, or real EAGAIN-class
+// conditions) are absorbed and counted, so only hard socket errors end the
+// loop.
 func (g *gateway) run() error {
 	if err := g.dp.Start(newEgress(g.fault)); err != nil {
 		return err
 	}
-	buf := make([]byte, 64<<10)
 	for {
-		err, panicked := g.readOnce(buf)
+		err, panicked := g.readOnce()
 		if !panicked {
 			return err
 		}
@@ -154,24 +247,33 @@ func (g *gateway) run() error {
 
 // readOnce runs the ingress loop until a clean exit (socket closed or hard
 // error) or a recovered panic, which costs only the datagram being handled.
-func (g *gateway) readOnce(buf []byte) (err error, panicked bool) {
+// Datagrams are read straight into pooled buffers and handed to the engine
+// without copying: ownership transfers on successful ingest, and a rejected
+// datagram's buffer is reused for the next read.
+func (g *gateway) readOnce() (err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
 			fmt.Fprintf(errOut, "hpfqgw: ingress panic recovered, restarting reader: %v\n", r)
 		}
 	}()
+	buf := g.pool.Get()
 	for {
-		n, src, err := g.listen.ReadFromUDP(buf)
+		n, err := g.rd.ReadPacket(buf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil, false
+			}
+			if hpfq.IsTransientIOError(err) {
+				g.readFaults.Add(1)
+				continue // the supervised reader outlives transient faults
 			}
 			return err, false
 		}
 		if n == 0 {
 			continue
 		}
+		src := g.src.src
 		f, err := g.ft.lookup(src)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
@@ -179,13 +281,14 @@ func (g *gateway) readOnce(buf []byte) (err error, panicked bool) {
 			}
 			continue // transient flow-setup failure: drop this datagram
 		}
-		b := make([]byte, n)
-		copy(b, buf[:n])
-		if err := g.dp.IngestCtx(g.classify(src, b), b, f); errors.Is(err, hpfq.ErrDataplaneClosed) {
+		b := buf[:n]
+		if err := g.dp.IngestCtx(g.classify(src, b), b, f); err == nil {
+			buf = g.pool.Get() // the engine owns b now
+		} else if errors.Is(err, hpfq.ErrDataplaneClosed) {
 			return nil, false
 		}
 		// Tail/byte-cap drops and unknown classes are accounted by the
-		// data-plane's metrics; keep forwarding.
+		// data-plane's metrics and leave the buffer with us; keep forwarding.
 	}
 }
 

@@ -458,6 +458,130 @@ func TestGatewayFaultInjectionDelivers(t *testing.T) {
 	}
 }
 
+// TestGatewayIngressFaultTolerated wires the -fault.ingress path: with
+// seeded transient faults on ~30% of listen-socket reads, the supervised
+// ingress loop absorbs every injected error — no datagram is consumed by a
+// fault (the error fires before the socket is touched), so everything sent
+// still reaches the upstream, and no restart is charged (transient ≠ panic).
+func TestGatewayIngressFaultTolerated(t *testing.T) {
+	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.DataplaneMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.AddClass(0, 5e7)
+	cfg := gwConfig{ingressFault: faultOptions(7, 0.3, 0, 0, 0, 0)}
+	gw, recv, listen, runDone := testGateway(t, dp, cfg,
+		func(*net.UDPAddr, []byte) int { return 0 })
+	client := dialClient(t, listen)
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := client.Write([]byte{byte(i), 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	buf := make([]byte, 64)
+	recv.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for ; got < n; got++ {
+		if _, _, err := recv.ReadFromUDP(buf); err != nil {
+			break
+		}
+	}
+	if got < n*9/10 { // tolerate rare kernel-level loopback drops
+		t.Fatalf("delivered %d/%d through the ingress fault plan", got, n)
+	}
+	if gw.readFaults.Load() == 0 {
+		t.Error("ingress fault plan injected no read errors; the test is vacuous")
+	}
+	if r := gw.restarts.Load(); r != 0 {
+		t.Errorf("transient read errors charged %d restart(s), want 0", r)
+	}
+
+	if err := gw.close(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gateway run loop did not exit on close")
+	}
+	if m := dp.Snapshot(); m.BatchWrites == 0 {
+		t.Error("gateway egress recorded no batched writes")
+	} else if m.BatchedPackets != m.Dequeued.Packets {
+		t.Errorf("batched packets %d != dequeued %d (faultless egress should write everything)",
+			m.BatchedPackets, m.Dequeued.Packets)
+	}
+}
+
+// TestEgressBatchGrouping drives egress.WriteBatch directly: a mixed-flow
+// batch must be split into consecutive same-flow runs, each run written to
+// its own flow socket in scheduler order, and a datagram with no flow must
+// stop the batch with errNoFlow after reporting the delivered prefix.
+func TestEgressBatchGrouping(t *testing.T) {
+	newSink := func() (*net.UDPConn, *flow) {
+		t.Helper()
+		r, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Close() })
+		c, err := net.DialUDP("udp", nil, r.LocalAddr().(*net.UDPAddr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return r, &flow{conn: c}
+	}
+	recvA, fa := newSink()
+	recvB, fb := newSink()
+
+	e := newEgress(nil)
+	pkts := []hpfq.PacketDatagram{
+		{B: []byte("a1"), Ctx: fa},
+		{B: []byte("a2"), Ctx: fa},
+		{B: []byte("b1"), Ctx: fb},
+		{B: []byte("a3"), Ctx: fa},
+	}
+	n, err := e.WriteBatch(pkts)
+	if n != len(pkts) || err != nil {
+		t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", n, err, len(pkts))
+	}
+	drain := func(conn *net.UDPConn, want ...string) {
+		t.Helper()
+		buf := make([]byte, 64)
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		for _, w := range want {
+			nn, err := conn.Read(buf)
+			if err != nil {
+				t.Fatalf("waiting for %q: %v", w, err)
+			}
+			if string(buf[:nn]) != w {
+				t.Fatalf("got %q, want %q (run order must follow the schedule)", buf[:nn], w)
+			}
+		}
+	}
+	drain(recvA, "a1", "a2", "a3")
+	drain(recvB, "b1")
+
+	// A flowless datagram mid-batch: the prefix is delivered and reported,
+	// the error is fatal (not transient) so the pump drops, never retries.
+	n, err = e.WriteBatch([]hpfq.PacketDatagram{
+		{B: []byte("ok"), Ctx: fa},
+		{B: []byte("lost"), Ctx: nil},
+	})
+	if n != 1 || err != errNoFlow {
+		t.Fatalf("flowless WriteBatch = (%d, %v), want (1, errNoFlow)", n, err)
+	}
+	if hpfq.IsTransientIOError(err) {
+		t.Error("errNoFlow classified transient; retries would spin on it")
+	}
+	drain(recvA, "ok")
+}
+
 func TestRunFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
 		{},                           // missing -upstream

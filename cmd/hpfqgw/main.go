@@ -28,8 +28,15 @@
 // panic. SIGINT/SIGTERM drains the staged backlog through the pacer for at
 // most -drain before exiting (a second signal exits immediately).
 //
+// The data path is batch-oriented and allocation-free at steady state:
+// datagrams are read into buffers recycled through the shared hpfq
+// BufferPool, and egress releases are written in batches of up to -batch
+// datagrams, grouped by destination flow.
+//
 // The hidden -fault.* flags (seed, errors, short, drop, latency, failafter)
-// inject deterministic faults into the egress path via internal/faultconn —
+// inject deterministic faults into the egress path via internal/faultconn;
+// -fault.ingress applies the same plan to listen-socket reads, which the
+// supervised reader absorbs (transient errors are retried, not fatal) —
 // testing only.
 package main
 
@@ -65,6 +72,7 @@ func run(args []string) error {
 		classifyName = fs.String("classify", "hash", "classifier: hash (by client address) or byte0 (first payload byte)")
 		queueCap     = fs.Int("queuecap", 512, "per-class staging cap in datagrams (0 = unlimited)")
 		byteCap      = fs.Int("bytecap", 0, "per-class staging cap in bytes (0 = unlimited)")
+		batchSize    = fs.Int("batch", hpfq.DefaultBatchSize, "max datagrams per batched egress write")
 		metrics      = fs.Bool("metrics", false, "print per-class metric tables on shutdown")
 
 		drain    = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline (0 = wait forever)")
@@ -86,6 +94,7 @@ func run(args []string) error {
 		faultDrop      = fs.Float64("fault.drop", 0, "probability of silently dropping an egress datagram")
 		faultLatency   = fs.Duration("fault.latency", 0, "added latency per egress write")
 		faultFailAfter = fs.Uint64("fault.failafter", 0, "fail every egress write permanently after this many (0 = never)")
+		faultIngress   = fs.Bool("fault.ingress", false, "apply the -fault.* plan to listen-socket reads as well")
 	)
 	fs.Parse(args)
 	if *upstreamAddr == "" {
@@ -95,9 +104,12 @@ func run(args []string) error {
 		return fmt.Errorf("exactly one of -classes or -topo is required")
 	}
 
+	pool := hpfq.SharedBufferPool()
 	opts := []hpfq.DataplaneOption{
 		hpfq.WithQueueCap(*queueCap),
 		hpfq.WithByteCap(*byteCap),
+		hpfq.WithBatchSize(*batchSize),
+		hpfq.WithBufferPool(pool),
 		hpfq.WithWriteRetry(*retries, *retryBackoff, *retryCap),
 		hpfq.WithRequeue(*requeue),
 	}
@@ -148,10 +160,16 @@ func run(args []string) error {
 		return fmt.Errorf("-upstream %q: %v", *upstreamAddr, err)
 	}
 
-	cfg := gwConfig{flowTTL: *flowTTL, maxFlows: *maxFlows}
+	cfg := gwConfig{flowTTL: *flowTTL, maxFlows: *maxFlows, pool: pool}
 	if *faultErrors > 0 || *faultShort > 0 || *faultDrop > 0 || *faultLatency > 0 || *faultFailAfter > 0 {
 		cfg.fault = faultOptions(*faultSeed, *faultErrors, *faultShort, *faultDrop, *faultLatency, *faultFailAfter)
 		fmt.Fprintln(os.Stderr, "hpfqgw: egress fault injection ENABLED (testing only)")
+		if *faultIngress {
+			// A separate wrapper instance (same plan, own seeded stream)
+			// around the listen socket.
+			cfg.ingressFault = faultOptions(*faultSeed, *faultErrors, *faultShort, *faultDrop, *faultLatency, *faultFailAfter)
+			fmt.Fprintln(os.Stderr, "hpfqgw: ingress fault injection ENABLED (testing only)")
+		}
 	}
 	gw := newGateway(dp, listen, uaddr, classify, cfg)
 	sigs := make(chan os.Signal, 1)
@@ -178,6 +196,9 @@ func run(args []string) error {
 	}
 	if n := gw.restarts.Load(); n > 0 {
 		fmt.Fprintf(os.Stderr, "hpfqgw: ingress reader recovered %d panic(s)\n", n)
+	}
+	if n := gw.readFaults.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "hpfqgw: ingress reader absorbed %d transient read error(s)\n", n)
 	}
 	if *metrics {
 		fmt.Println("# egress scheduler")

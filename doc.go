@@ -73,6 +73,26 @@
 // per-client flow table for the return path and a supervised, graceful-drain
 // lifecycle.
 //
+// # Batching and buffer ownership
+//
+// The I/O contracts are batch-oriented. A Writer implementing
+// PacketBatchWriter (or the context-free PayloadBatchWriter) receives each
+// token-bucket release in WithBatchSize chunks; WriteBatch reports how many
+// datagrams it delivered, the error applies to the first unwritten one, and
+// the pump retries, requeues, or drops the suffix per the failure policy.
+// Plain per-packet writers (and PacketCtxWriter) keep working unchanged —
+// AsPacketBatchWriter adapts them. On the read side PacketBatchReader /
+// AsPacketBatchReader mirror the same shape.
+//
+// WithBufferPool closes a zero-allocation buffer cycle: ingest a buffer
+// obtained from the pool (NewBufferPool or SharedBufferPool), and the
+// engine owns it from the moment Ingest returns nil until the datagram is
+// written or dropped, then returns it to the pool on every path — written,
+// tail-dropped, CoDel-shed, write-error, retry-exhausted, or lost to a
+// recovered pump panic. Writers must not retain a datagram's bytes past the
+// WriteBatch call. Without the option the engine never recycles payloads
+// and callers keep ownership of rejected buffers only.
+//
 // # Failure handling
 //
 // The data-plane assumes its Writer can fail and the engine must not. Writer

@@ -1,0 +1,84 @@
+package dataplane
+
+import "testing"
+
+// perPacketOnly hides the Pipe's batch methods so AsBatchWriter falls back
+// to the per-datagram step adapter — reproducing the pre-batching pump
+// contract over the same transport.
+type perPacketOnly struct{ p *Pipe }
+
+func (w perPacketOnly) WritePacket(b []byte) (int, error) { return w.p.WritePacket(b) }
+
+// benchmarkPump measures one datagram's trip through
+// ingress → schedule → collect → write over the in-memory pipe, driving the
+// pump synchronously so the figure is the data path, not goroutine
+// scheduling. A background drainer keeps the pipe from filling.
+func benchmarkPump(b *testing.B, batchSize int, pooled bool, wrap func(*Pipe) Writer) {
+	pool := NewBufferPool(256)
+	opts := []Option{WithBurst(1e18), WithBatchSize(batchSize)}
+	if pooled {
+		opts = append(opts, WithBufferPool(pool))
+	}
+	d, err := New("WF2Q+", 1e9, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.AddClass(0, 1e9); err != nil {
+		b.Fatal(err)
+	}
+	pipe := NewPipePool(4096, pool)
+	d.bw = AsBatchWriter(wrap(pipe)) // driven inline; Start is never called
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		buf := make([]byte, 256)
+		for {
+			if _, err := pipe.ReadPacket(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	last := d.clock.Now()
+	const chunk = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for rem := b.N; rem > 0; {
+		n := chunk
+		if rem < n {
+			n = rem
+		}
+		rem -= n
+		for j := 0; j < n; j++ {
+			var buf []byte
+			if pooled {
+				buf = pool.Get()[:100]
+			} else {
+				buf = make([]byte, 100) // the old path: one fresh buffer per datagram
+			}
+			buf[0] = byte(j)
+			if err := d.Ingest(0, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		d.collectBatch(1e18, &last)
+		d.writeInflight()
+	}
+	b.StopTimer()
+	pipe.Close()
+	<-drained
+}
+
+// BenchmarkPumpPerPacket is the pre-refactor contract: batch size 1, a
+// per-packet-only writer behind the step adapter, and a fresh allocation
+// per ingested datagram.
+func BenchmarkPumpPerPacket(b *testing.B) {
+	benchmarkPump(b, 1, false, func(p *Pipe) Writer { return perPacketOnly{p} })
+}
+
+// BenchmarkPumpBatched is the batched pooled path: WithBatchSize chunks to
+// a native BatchWriter with every payload buffer recycled through the pool.
+func BenchmarkPumpBatched(b *testing.B) {
+	benchmarkPump(b, 32, true, func(p *Pipe) Writer { return p })
+}

@@ -26,6 +26,33 @@
 // staged backlog through the pacer before returning. cmd/hpfqgw wraps the
 // engine into a UDP forwarding gateway.
 //
+// # Batching and buffer ownership
+//
+// The pump releases packets in token-bucket batches, and the egress side
+// keeps them batched: every release is handed to the writer through the
+// BatchWriter contract (WriteBatch over a []Datagram slab, the
+// sendmmsg-shaped analogue of WritePacket), in chunks of WithBatchSize
+// datagrams. Per-packet Writers keep working unmodified — Start adapts them
+// with AsBatchWriter — but writers that implement BatchWriter (the Pipe,
+// the gateway's flow-grouping egress) amortize their per-call overhead
+// across the batch. Retry/backoff and requeue operate on the unwritten
+// suffix: WriteBatch reports how many datagrams were delivered, the error
+// applies to the first unwritten one, and the pump re-offers the rest,
+// resetting the backoff whenever the head advances.
+//
+// Payload buffers travel ingress → staging → egress → release without
+// steady-state allocations when the engine owns a BufferPool
+// (WithBufferPool). Ownership is a strict hand-off: the producer owns a
+// buffer until Ingest/IngestCtx returns nil, from then on the engine owns
+// it, and the engine returns it to the pool as soon as the datagram leaves —
+// written by the Writer, or dropped by any policy (tail/byte cap happens
+// before ownership transfers; CoDel, write-error, retry-exhausted, and
+// pump-panic drops release the buffer). Writers must therefore not retain a
+// payload slice or a Datagram past the WriteBatch/WritePacket call. When
+// Ingest returns an error the producer still owns the buffer and may reuse
+// it. Without a pool the engine never recycles and the old
+// allocate-per-datagram behavior applies.
+//
 // # Failure handling
 //
 // The pump assumes the Writer can fail and the engine must not. Writer
@@ -86,6 +113,21 @@ const (
 	DefaultRetryCap     = 16 * time.Millisecond
 )
 
+// DefaultBatchSize is the default ceiling on datagrams per WriteBatch call
+// (WithBatchSize) — sized like a sendmmsg vector: big enough to amortize
+// per-call overhead, small enough to keep the retry suffix short.
+const DefaultBatchSize = 32
+
+// errShortBatch marks a BatchWriter that reported a short batch without an
+// error; the pump treats it as a transient stall so the suffix is retried
+// with backoff instead of spinning. It classifies as transient.
+var errShortBatch = shortBatchError{}
+
+type shortBatchError struct{}
+
+func (shortBatchError) Error() string   { return "dataplane: short batch write" }
+func (shortBatchError) Transient() bool { return true }
+
 // queue is the scheduler contract the pump drives: the flat schedulers and
 // hier.Tree all satisfy it (Observable and the drop/retry recorders come
 // from the embedded obs.Collector).
@@ -95,6 +137,7 @@ type queue interface {
 	Backlog() int
 	RecordDropReason(now float64, session int, bits float64, reason string)
 	RecordRetry(now float64, session int, bits float64, reason string)
+	RecordBatchWrite(now float64, pkts int, bits float64)
 	obs.Observable
 }
 
@@ -107,13 +150,24 @@ type classState struct {
 	codel   *codel // nil unless WithAQM
 }
 
-// datagram is the engine's per-packet envelope, carried in packet.Payload:
-// the raw bytes, the opaque routing context from IngestCtx, and the
-// packet's remaining requeue budget.
+// datagram is the engine's per-packet payload record: the raw bytes, the
+// opaque routing context from IngestCtx, and the packet's remaining requeue
+// budget.
 type datagram struct {
 	b        []byte
 	ctx      any
 	requeues int
+}
+
+// envelope fuses the scheduler's packet and the engine's datagram into one
+// allocation per ingest; packet.Payload points back at the envelope. In
+// flat mode envelopes are recycled through Dataplane.envPool once the
+// datagram leaves the engine (the flat schedulers fully detach a dequeued
+// packet); in topology mode they are left to the GC, because hier.Tree
+// keeps a reference to the dequeued head until the next Dequeue pops it.
+type envelope struct {
+	pkt packet.Packet
+	dg  datagram
 }
 
 // retryPolicy is the pump's reaction to transient Writer errors.
@@ -137,6 +191,8 @@ type config struct {
 	aqm      bool
 	target   time.Duration
 	interval time.Duration
+	pool     *BufferPool
+	batch    int
 }
 
 // Option configures a Dataplane at construction.
@@ -195,6 +251,27 @@ func WithWriteRetry(limit int, backoff, cap time.Duration) Option {
 // "requeue".
 func WithRequeue(n int) Option { return func(c *config) { c.retry.requeues = n } }
 
+// WithBufferPool hands the engine a payload buffer pool (nil selects the
+// process-wide SharedBufferPool): once a producer's Ingest succeeds on a
+// buffer obtained from the pool, the engine owns it and returns it to the
+// pool when the datagram is written or dropped, closing the
+// ingress → staging → egress → release cycle without steady-state
+// allocations. Without this option the engine never recycles payloads.
+func WithBufferPool(p *BufferPool) Option {
+	return func(c *config) {
+		if p == nil {
+			p = sharedPool
+		}
+		c.pool = p
+	}
+}
+
+// WithBatchSize caps how many datagrams the pump hands the writer per
+// WriteBatch call (minimum 1; default DefaultBatchSize). Larger batches
+// amortize per-call overhead; smaller ones bound the suffix re-offered
+// after a mid-batch error.
+func WithBatchSize(n int) Option { return func(c *config) { c.batch = n } }
+
 // WithAQM enables a per-class CoDel drop policy as graceful degradation
 // under overload: packets whose staging sojourn stays above target for a
 // full interval are shed at dequeue (reason "codel"), with drop pressure
@@ -240,21 +317,34 @@ type Dataplane struct {
 	started  bool
 	restarts int // pump panic-recoveries
 
-	w    Writer
-	wctx CtxWriter     // non-nil when w also routes per-datagram contexts
+	pool  *BufferPool // nil: the engine never recycles payload buffers
+	batch int         // max datagrams per WriteBatch call
+
+	bw      BatchWriter // egress, resolved by Start via AsBatchWriter
+	scratch []Datagram  // pump-goroutine scratch for the current chunk
+
+	// recycle gates envelope reuse: true in flat mode, where a dequeued
+	// packet is fully detached from the scheduler; false in topology mode,
+	// where hier.Tree holds the dequeued head until the next Dequeue.
+	recycle bool
+	envPool sync.Pool // *envelope, flat mode only
+
 	wake chan struct{} // buffered(1) pump wakeup
 	done chan struct{} // closed when the pump exits
 
-	// inflight is the batch between dequeue and write, owned by the pump
-	// goroutine; the supervisor reads it only after the pump panicked, on
-	// the same goroutine, to account the lost packets.
+	// inflight is the current token-bucket release between dequeue and
+	// write, owned by the pump goroutine; elements before infHead have
+	// reached their final disposition (written, dropped, or requeued). The
+	// supervisor reads the suffix only after the pump panicked, on the same
+	// goroutine, to account the lost packets.
 	inflight []released
+	infHead  int
 }
 
 // released is one scheduled datagram in flight from the lock to the Writer.
 type released struct {
 	class int
-	dg    *datagram
+	env   *envelope
 }
 
 // New returns an engine pacing egress at rate bits/sec using the named
@@ -293,12 +383,18 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 		classes:  make(map[int]*classState),
 		capPkts:  cfg.capPkts,
 		capBytes: cfg.capBytes,
+		pool:     cfg.pool,
+		batch:    cfg.batch,
 		wake:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
 	}
 	if d.burst <= 0 {
 		d.burst = rate * 0.005 // 5 ms of egress per batch
 	}
+	if d.batch <= 0 {
+		d.batch = DefaultBatchSize
+	}
+	d.recycle = cfg.top == nil
 	if cfg.top != nil {
 		tree, err := hier.New(cfg.top, rate, algorithm)
 		if err != nil {
@@ -341,6 +437,32 @@ func (d *Dataplane) newClassState(rate float64) *classState {
 	return cs
 }
 
+// newEnvelope returns a packet+datagram envelope, recycled in flat mode.
+func (d *Dataplane) newEnvelope() *envelope {
+	if d.recycle {
+		if e, _ := d.envPool.Get().(*envelope); e != nil {
+			return e
+		}
+	}
+	return &envelope{}
+}
+
+// freeEnvelope releases a datagram that has left the engine: the payload
+// buffer goes back to the pool (when the engine owns one) and, in flat
+// mode, the envelope itself is recycled. In topology mode the packet half
+// may still be referenced by hier.Tree until the next Dequeue, so only the
+// payload is released and the envelope is left intact for the GC.
+func (d *Dataplane) freeEnvelope(e *envelope) {
+	if d.pool != nil && e.dg.b != nil {
+		d.pool.Put(e.dg.b)
+	}
+	e.dg = datagram{}
+	if d.recycle {
+		e.pkt = packet.Packet{}
+		d.envPool.Put(e)
+	}
+}
+
 // now returns seconds since the engine's creation on its clock — the
 // timestamp domain of its metrics and trace events.
 func (d *Dataplane) now() float64 {
@@ -381,13 +503,17 @@ func (d *Dataplane) Classes() []int {
 	return out
 }
 
-// Ingest stages one datagram for a class, taking ownership of b. It never
-// blocks: when the class is at its packet or byte cap the datagram is
-// tail-dropped, the drop is recorded in the metrics tagged with its reason,
-// and ErrQueueFull is returned. After Close every Ingest deterministically
-// returns ErrClosed (and records the drop with reason "closed") — intake
-// never panics, whatever it races with. Safe for any number of concurrent
-// callers.
+// Ingest stages one datagram for a class. It never blocks: when the class
+// is at its packet or byte cap the datagram is tail-dropped, the drop is
+// recorded in the metrics tagged with its reason, and ErrQueueFull is
+// returned. After Close every Ingest deterministically returns ErrClosed
+// (and records the drop with reason "closed") — intake never panics,
+// whatever it races with. Safe for any number of concurrent callers.
+//
+// Buffer ownership transfers on success only: a nil return means the
+// engine owns b (and will Put it back into its WithBufferPool pool once the
+// datagram is written or dropped); any error leaves b with the caller, who
+// may reuse or recycle it.
 func (d *Dataplane) Ingest(class int, b []byte) error {
 	return d.IngestCtx(class, b, nil)
 }
@@ -424,10 +550,13 @@ func (d *Dataplane) IngestCtx(class int, b []byte, ctx any) error {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: class %d at %d bytes", ErrQueueFull, class, staged)
 	}
-	p := packet.New(class, bits)
-	p.Arrival = d.now() // sojourn basis for the AQM
-	p.Payload = &datagram{b: b, ctx: ctx, requeues: d.retry.requeues}
-	d.q.Enqueue(d.now(), p)
+	env := d.newEnvelope()
+	env.pkt.Session = class
+	env.pkt.Length = bits
+	env.pkt.Arrival = d.now() // sojourn basis for the AQM
+	env.pkt.Payload = env
+	env.dg = datagram{b: b, ctx: ctx, requeues: d.retry.requeues}
+	d.q.Enqueue(d.now(), &env.pkt)
 	cs.packets++
 	cs.bytes += len(b)
 	d.mu.Unlock()
@@ -444,8 +573,10 @@ func (d *Dataplane) signal() {
 }
 
 // Start launches the supervised pump goroutine writing scheduled datagrams
-// to w. If w also implements CtxWriter, datagrams staged with IngestCtx are
-// delivered through WritePacketCtx with their context.
+// to w. Writers implementing BatchWriter receive each token-bucket release
+// in WithBatchSize chunks; per-packet Writers (and CtxWriters, which get
+// each datagram's IngestCtx context) are adapted transparently via
+// AsBatchWriter.
 func (d *Dataplane) Start(w Writer) error {
 	if w == nil {
 		return fmt.Errorf("dataplane: nil writer")
@@ -458,8 +589,7 @@ func (d *Dataplane) Start(w Writer) error {
 	if d.started {
 		return fmt.Errorf("dataplane: already started")
 	}
-	d.w = w
-	d.wctx, _ = w.(CtxWriter)
+	d.bw = AsBatchWriter(w)
 	d.started = true
 	go d.supervise()
 	return nil
@@ -489,18 +619,23 @@ func (d *Dataplane) pumpOnce() (clean bool) {
 	return true
 }
 
-// recoverPanic accounts the batch that was in flight when the pump died.
-// It runs on the pump goroutine with the engine unlocked (the locked
-// sections release their lock during unwinding).
+// recoverPanic accounts the release that was in flight when the pump died:
+// every datagram past infHead had no acknowledged disposition, so it is
+// recorded as dropped (a panicking WriteBatch may have delivered a prefix
+// it never got to report; that prefix is charged to the panic too) and its
+// buffer is released. It runs on the pump goroutine with the engine
+// unlocked (the locked sections release their lock during unwinding).
 func (d *Dataplane) recoverPanic() {
 	defer func() { recover() }() // a re-panicking tracer must not kill the supervisor
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.restarts++
-	for _, r := range d.inflight {
-		d.q.RecordDropReason(d.now(), r.class, float64(len(r.dg.b))*8, obs.DropPanic)
+	for _, r := range d.inflight[d.infHead:] {
+		d.q.RecordDropReason(d.now(), r.class, float64(len(r.env.dg.b))*8, obs.DropPanic)
+		d.freeEnvelope(r.env)
 	}
 	d.inflight = d.inflight[:0]
+	d.infHead = 0
 }
 
 // Restarts returns how many times the pump supervisor recovered a panic and
@@ -512,9 +647,9 @@ func (d *Dataplane) Restarts() int {
 }
 
 // pump is the single scheduler-drain loop: one lock acquisition per batch,
-// token-bucket pacing between batches, per-packet retry/backoff on the
-// write side. It returns when the engine is closed and drained; panics
-// unwind to the supervisor.
+// token-bucket pacing between batches, suffix retry/backoff on the write
+// side. It returns when the engine is closed and drained; panics unwind to
+// the supervisor.
 func (d *Dataplane) pump() {
 	var tokens float64
 	last := d.clock.Now()
@@ -524,10 +659,7 @@ func (d *Dataplane) pump() {
 		tokens, backlog, closed = d.collectBatch(tokens, &last)
 
 		wrote := len(d.inflight) > 0
-		for len(d.inflight) > 0 {
-			d.writeOne(d.inflight[0])
-			d.inflight = d.inflight[1:]
-		}
+		d.writeInflight()
 		if wrote {
 			continue // the scheduler may have more immediately releasable work
 		}
@@ -555,6 +687,8 @@ func (d *Dataplane) pump() {
 func (d *Dataplane) collectBatch(tokens float64, last *time.Time) (float64, int, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.inflight = d.inflight[:0] // the previous release was fully disposed of
+	d.infHead = 0
 	now := d.clock.Now()
 	tokens += now.Sub(*last).Seconds() * d.rate
 	*last = now
@@ -566,82 +700,144 @@ func (d *Dataplane) collectBatch(tokens float64, last *time.Time) (float64, int,
 		if p == nil {
 			break
 		}
-		dg := p.Payload.(*datagram)
+		env := p.Payload.(*envelope)
 		cs := d.classes[p.Session]
 		cs.packets--
-		cs.bytes -= len(dg.b)
+		cs.bytes -= len(env.dg.b)
 		if cs.codel != nil && cs.codel.onDequeue(d.now(), d.now()-p.Arrival) {
 			// Shed by the AQM: record and pick the next packet without
 			// spending link tokens on the carcass.
 			d.q.RecordDropReason(d.now(), p.Session, p.Length, obs.DropCoDel)
+			d.freeEnvelope(env)
 			continue
 		}
 		tokens -= p.Length
-		d.inflight = append(d.inflight, released{class: p.Session, dg: dg})
+		d.inflight = append(d.inflight, released{class: p.Session, env: env})
 	}
 	return tokens, d.q.Backlog(), d.closed
 }
 
-// writeOne delivers one scheduled datagram, absorbing transient Writer
-// errors with capped exponential backoff. Fatal errors drop immediately
-// (reason "write-error"); an exhausted retry budget requeues the packet if
-// it still has requeue budget, else drops it (reason "retry-exhausted").
-// Every retry and every outcome is recorded in the obs layer.
-func (d *Dataplane) writeOne(r released) {
-	bits := float64(len(r.dg.b)) * 8
+// writeInflight delivers the collected release to the writer in
+// WithBatchSize chunks, advancing infHead as datagrams reach their final
+// disposition (written, dropped, or requeued).
+func (d *Dataplane) writeInflight() {
+	for d.infHead < len(d.inflight) {
+		chunk := d.inflight[d.infHead:]
+		if len(chunk) > d.batch {
+			chunk = chunk[:d.batch]
+		}
+		d.writeChunk(chunk)
+	}
+	d.inflight = d.inflight[:0]
+	d.infHead = 0
+}
+
+// writeChunk drives one WriteBatch chunk to completion. Retry/backoff and
+// requeue operate on the unwritten suffix: the writer reports how many
+// datagrams it delivered, the error applies to the first unwritten one, and
+// the whole suffix is re-offered. Transient errors back off with capped
+// doubling, the attempt counter and backoff resetting whenever the head
+// advances; fatal errors drop the head (reason "write-error"); an exhausted
+// retry budget requeues the head if it still has requeue budget, else drops
+// it (reason "retry-exhausted"). Every retry and outcome is recorded.
+func (d *Dataplane) writeChunk(chunk []released) {
+	pkts := d.scratch[:0]
+	for i := range chunk {
+		pkts = append(pkts, Datagram{B: chunk[i].env.dg.b, Ctx: chunk[i].env.dg.ctx})
+	}
+	d.scratch = pkts[:0]
 	backoff := d.retry.backoff
-	for attempt := 0; ; attempt++ {
-		var err error
-		if d.wctx != nil {
-			_, err = d.wctx.WritePacketCtx(r.dg.b, r.dg.ctx)
-		} else {
-			_, err = d.w.WritePacket(r.dg.b)
+	attempts := 0
+	for len(pkts) > 0 {
+		n, err := d.bw.WriteBatch(pkts)
+		if n < 0 {
+			n = 0
+		} else if n > len(pkts) {
+			n = len(pkts)
+		}
+		if n > 0 {
+			d.finishWritten(chunk[:n])
+			chunk = chunk[n:]
+			pkts = pkts[n:]
+			attempts, backoff = 0, d.retry.backoff
 		}
 		if err == nil {
-			return
+			if len(pkts) == 0 {
+				return
+			}
+			err = errShortBatch // short batch without an error: transient stall
 		}
-		if !isTransient(err) {
+		head := chunk[0]
+		bits := float64(len(head.env.dg.b)) * 8
+		switch {
+		case !isTransient(err):
 			d.mu.Lock()
-			d.q.RecordDropReason(d.now(), r.class, bits, obs.DropWrite)
+			d.q.RecordDropReason(d.now(), head.class, bits, obs.DropWrite)
 			d.mu.Unlock()
-			return
-		}
-		if attempt >= d.retry.limit {
-			d.exhausted(r, bits)
-			return
-		}
-		d.mu.Lock()
-		d.q.RecordRetry(d.now(), r.class, bits, obs.RetryTransient)
-		d.mu.Unlock()
-		d.sleep(backoff)
-		backoff *= 2
-		if backoff > d.retry.cap {
-			backoff = d.retry.cap
+			d.freeEnvelope(head.env)
+			chunk = chunk[1:]
+			pkts = pkts[1:]
+			d.infHead++
+			attempts, backoff = 0, d.retry.backoff
+		case attempts >= d.retry.limit:
+			d.exhausted(head, bits)
+			chunk = chunk[1:]
+			pkts = pkts[1:]
+			d.infHead++
+			attempts, backoff = 0, d.retry.backoff
+		default:
+			attempts++
+			d.mu.Lock()
+			d.q.RecordRetry(d.now(), head.class, bits, obs.RetryTransient)
+			d.mu.Unlock()
+			d.sleep(backoff)
+			backoff *= 2
+			if backoff > d.retry.cap {
+				backoff = d.retry.cap
+			}
 		}
 	}
 }
 
+// finishWritten accounts one delivered prefix — a single batch-write record
+// plus the pooled-buffer release for every datagram in it — and advances
+// infHead past it.
+func (d *Dataplane) finishWritten(written []released) {
+	var bits float64
+	for i := range written {
+		bits += float64(len(written[i].env.dg.b)) * 8
+	}
+	d.mu.Lock()
+	d.q.RecordBatchWrite(d.now(), len(written), bits)
+	d.mu.Unlock()
+	for i := range written {
+		d.freeEnvelope(written[i].env)
+	}
+	d.infHead += len(written)
+}
+
 // exhausted handles a packet whose transient-retry budget ran out: requeue
-// it into the scheduler when the policy and the class caps allow, else drop
-// it with reason "retry-exhausted".
+// it into the scheduler when the policy and the class caps allow (reusing
+// its envelope, with a fresh arrival — the wait so far was the writer's
+// fault), else drop it with reason "retry-exhausted".
 func (d *Dataplane) exhausted(r released, bits float64) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	cs := d.classes[r.class]
 	fits := (d.capPkts <= 0 || cs.packets < d.capPkts) &&
-		(d.capBytes <= 0 || cs.bytes+len(r.dg.b) <= d.capBytes)
-	if r.dg.requeues <= 0 || !fits {
+		(d.capBytes <= 0 || cs.bytes+len(r.env.dg.b) <= d.capBytes)
+	if r.env.dg.requeues <= 0 || !fits {
 		d.q.RecordDropReason(d.now(), r.class, bits, obs.DropRetries)
+		d.mu.Unlock()
+		d.freeEnvelope(r.env)
 		return
 	}
-	r.dg.requeues--
+	r.env.dg.requeues--
 	d.q.RecordRetry(d.now(), r.class, bits, obs.RetryRequeue)
-	p := packet.New(r.class, bits)
-	p.Arrival = d.now() // a fresh sojourn: the wait so far was the writer's fault
-	p.Payload = r.dg
-	d.q.Enqueue(d.now(), p)
+	r.env.pkt.Arrival = d.now()
+	d.q.Enqueue(d.now(), &r.env.pkt)
 	cs.packets++
-	cs.bytes += len(r.dg.b)
+	cs.bytes += len(r.env.dg.b)
+	d.mu.Unlock()
 }
 
 // sleep blocks for dur on the engine's clock (fake-clock testable,
@@ -707,18 +903,53 @@ func (d *Dataplane) NodeSnapshots() map[string]obs.Metrics {
 // loop) or the engine closes. Drop-policy rejections are recorded and
 // skipped. It runs in the caller's goroutine; run several with different
 // readers for multi-socket ingress.
+//
+// With a WithBufferPool pool the loop reads straight into pooled buffers
+// and hands them to the engine without copying — zero steady-state
+// allocations end to end — and readers implementing BatchReader are drained
+// a batch per call. Without a pool it falls back to one exact-size copy per
+// datagram.
 func (d *Dataplane) RunReader(r Reader, classify func(b []byte) int) error {
-	buf := make([]byte, 64*1024)
+	if d.pool == nil {
+		buf := make([]byte, MaxDatagramSize)
+		for {
+			n, err := r.ReadPacket(buf)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				continue
+			}
+			b := append([]byte(nil), buf[:n]...)
+			if err := d.Ingest(classify(b), b); errors.Is(err, ErrClosed) {
+				return err
+			}
+		}
+	}
+	br := AsBatchReader(r)
+	full := make([][]byte, d.batch) // owned buffers at full length
+	bufs := make([][]byte, d.batch) // per-read view, resliced by the reader
+	for i := range full {
+		full[i] = d.pool.Get()
+	}
 	for {
-		n, err := r.ReadPacket(buf)
+		copy(bufs, full)
+		n, err := br.ReadBatch(bufs)
+		for i := 0; i < n; i++ {
+			b := bufs[i]
+			if len(b) == 0 {
+				continue
+			}
+			switch ierr := d.Ingest(classify(b), b); {
+			case ierr == nil:
+				full[i] = d.pool.Get() // the engine owns b now
+			case errors.Is(ierr, ErrClosed):
+				return ierr
+			}
+			// Rejected datagrams leave the buffer with us: full[i] is
+			// reused for the next read.
+		}
 		if err != nil {
-			return err
-		}
-		if n == 0 {
-			continue
-		}
-		b := append([]byte(nil), buf[:n]...)
-		if err := d.Ingest(classify(b), b); errors.Is(err, ErrClosed) {
 			return err
 		}
 	}

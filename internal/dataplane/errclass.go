@@ -14,6 +14,11 @@ type transienter interface {
 	Transient() bool
 }
 
+// IsTransient reports whether an I/O error is classified as transient —
+// the same predicate the pump uses for its retry-or-drop decision, exported
+// so ingress loops (cmd/hpfqgw) can apply one policy to read errors.
+func IsTransient(err error) bool { return isTransient(err) }
+
 // isTransient classifies a Writer error as transient (worth retrying with
 // backoff) or fatal (drop the packet and record it).
 //

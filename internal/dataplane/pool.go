@@ -1,0 +1,103 @@
+package dataplane
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MaxDatagramSize is the default payload buffer capacity: large enough for
+// the biggest UDP datagram, so one pooled buffer fits any read.
+const MaxDatagramSize = 64 * 1024
+
+// BufferPool recycles datagram payload buffers so the hot path — ingress
+// read, staging, egress write, release — runs without steady-state heap
+// allocations. Get hands out a buffer of the pool's fixed size; Put returns
+// it once no reference escapes. Safe for any number of concurrent
+// goroutines.
+//
+// The ownership contract through the engine: a buffer obtained from Get is
+// the caller's until Ingest/IngestCtx returns nil — from then on the engine
+// owns it and returns it to the pool after the Writer delivers (or the
+// engine drops) the datagram. When Ingest returns an error the caller still
+// owns the buffer and may reuse or Put it. Writers must not retain payload
+// slices past the WritePacket/WriteBatch call for the same reason.
+type BufferPool struct {
+	size int
+
+	// Two-level pooling keeps Put allocation-free: bufs holds recycled
+	// payload buffers behind *[]byte boxes, and boxes recycles the empty
+	// boxes themselves, so neither direction boxes a slice header into an
+	// interface on the hot path.
+	bufs  sync.Pool
+	boxes sync.Pool
+
+	gets, puts, allocs atomic.Int64
+}
+
+// PoolStats is a point-in-time snapshot of a BufferPool's traffic. Allocs
+// counts Gets that missed the pool; at steady state it stops growing.
+type PoolStats struct {
+	Gets, Puts, Allocs int64
+}
+
+// NewBufferPool returns a pool of fixed-size payload buffers. Non-positive
+// size selects MaxDatagramSize.
+func NewBufferPool(size int) *BufferPool {
+	if size <= 0 {
+		size = MaxDatagramSize
+	}
+	return &BufferPool{size: size}
+}
+
+// sharedPool backs components that want pooling without plumbing their own
+// pool (the pool-aware Pipe, the gateway's ingress loop by default).
+var sharedPool = NewBufferPool(MaxDatagramSize)
+
+// SharedBufferPool returns the process-wide pool of MaxDatagramSize
+// buffers. Components that exchange datagrams through the same pool can
+// recycle buffers across stage boundaries.
+func SharedBufferPool() *BufferPool { return sharedPool }
+
+// Size returns the length of the buffers Get hands out.
+func (p *BufferPool) Size() int { return p.size }
+
+// Get returns a buffer of length Size, recycled when one is available and
+// freshly allocated otherwise. Contents are arbitrary.
+func (p *BufferPool) Get() []byte {
+	p.gets.Add(1)
+	if box, _ := p.bufs.Get().(*[]byte); box != nil {
+		b := *box
+		*box = nil
+		p.boxes.Put(box)
+		return b
+	}
+	p.allocs.Add(1)
+	return make([]byte, p.size)
+}
+
+// Put returns a buffer to the pool. The caller must not touch b afterwards.
+// Buffers may be Put resliced (b[:n] from a Get is fine — capacity is what
+// matters); foreign buffers with less capacity than Size are dropped for
+// the GC rather than poisoning the pool.
+func (p *BufferPool) Put(b []byte) {
+	if cap(b) < p.size {
+		return
+	}
+	b = b[:p.size]
+	box, _ := p.boxes.Get().(*[]byte)
+	if box == nil {
+		box = new([]byte)
+	}
+	*box = b
+	p.bufs.Put(box)
+	p.puts.Add(1)
+}
+
+// Stats snapshots the pool's counters.
+func (p *BufferPool) Stats() PoolStats {
+	return PoolStats{
+		Gets:   p.gets.Load(),
+		Puts:   p.puts.Load(),
+		Allocs: p.allocs.Load(),
+	}
+}

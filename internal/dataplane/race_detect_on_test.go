@@ -1,0 +1,7 @@
+//go:build race
+
+package dataplane
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// tests skip under it because the detector's instrumentation allocates.
+const raceEnabled = true

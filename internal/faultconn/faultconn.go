@@ -227,6 +227,22 @@ func (w *Writer) WritePacket(b []byte) (int, error) {
 	return w.inner.WritePacket(b)
 }
 
+// WriteBatch applies the fault plan to each datagram in order and stops at
+// the first error, returning how many datagrams were delivered (injected
+// silent drops report success, exactly as in WritePacket) and the error
+// that stopped pkts[written]. Each element is one operation against the
+// seeded plan, so a batch of n takes the same fault sequence as n
+// WritePacket calls — batching changes grouping, never the faults. It
+// satisfies the data-plane's PayloadBatchWriter shape.
+func (w *Writer) WriteBatch(pkts [][]byte) (int, error) {
+	for i, b := range pkts {
+		if _, err := w.WritePacket(b); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}
+
 // Reader wraps a PacketReader with the configured fault plan.
 type Reader struct {
 	inner PacketReader
@@ -265,4 +281,22 @@ func (r *Reader) ReadPacket(buf []byte) (int, error) {
 		}
 		return r.inner.ReadPacket(buf)
 	}
+}
+
+// ReadBatch applies the fault plan one operation at a time: it delivers at
+// most one datagram per call, reslicing bufs[0] to its length. A
+// fault-wrapped reader therefore batches at width 1 — fault injection
+// serializes the read path by design, keeping the per-operation fault
+// sequence identical to ReadPacket and never losing a datagram the plan
+// didn't drop. It satisfies the data-plane's BatchReader shape.
+func (r *Reader) ReadBatch(bufs [][]byte) (int, error) {
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	n, err := r.ReadPacket(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	bufs[0] = bufs[0][:n]
+	return 1, nil
 }

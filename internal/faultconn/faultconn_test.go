@@ -197,3 +197,100 @@ func TestReaderFaults(t *testing.T) {
 		t.Errorf("dropped %d, want 4", st.Dropped)
 	}
 }
+
+// TestWriteBatchMatchesPerPacket: batching is grouping, not a different
+// fault plan. Driving the same payload sequence through WriteBatch (in
+// chunks, resuming past each failed element exactly as a per-packet loop
+// would) must produce identical fault stats and forward the identical
+// datagrams as one WritePacket per payload under the same seed.
+func TestWriteBatchMatchesPerPacket(t *testing.T) {
+	const n = 300
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i), byte(i >> 8)}
+	}
+	opts := func() []Option {
+		return []Option{WithSeed(11), WithErrorRate(0.25), WithShortWrites(0.1), WithDropRate(0.1)}
+	}
+
+	pp := &memWriter{}
+	wp := NewWriter(pp, opts()...)
+	for _, b := range payloads {
+		wp.WritePacket(b)
+	}
+
+	bb := &memWriter{}
+	wb := NewWriter(bb, opts()...)
+	for start := 0; start < n; {
+		end := start + 8
+		if end > n {
+			end = n
+		}
+		m, err := wb.WriteBatch(payloads[start:end])
+		start += m
+		if err != nil {
+			start++ // the failed element consumed its operation; move on like the loop above
+		}
+	}
+
+	if ws, bs := wp.Stats(), wb.Stats(); ws != bs {
+		t.Errorf("fault stats diverge: per-packet %+v, batched %+v", ws, bs)
+	}
+	if len(pp.got) != len(bb.got) {
+		t.Fatalf("forwarded %d per-packet vs %d batched", len(pp.got), len(bb.got))
+	}
+	for i := range pp.got {
+		if string(pp.got[i]) != string(bb.got[i]) {
+			t.Fatalf("datagram %d diverges: %v vs %v", i, pp.got[i], bb.got[i])
+		}
+	}
+	if st := wb.Stats(); st.Transient == 0 || st.ShortWrites == 0 || st.Dropped == 0 {
+		t.Errorf("plan injected nothing (%+v); the comparison is vacuous", st)
+	}
+}
+
+// TestReaderReadBatch: the fault-wrapped reader batches at width 1 — one
+// datagram per call with bufs[0] resliced to its length — and surfaces
+// injected errors without consuming input, keeping the fault sequence
+// identical to ReadPacket.
+func TestReaderReadBatch(t *testing.T) {
+	msgs := [][]byte{{1, 10}, {2, 20, 200}, {3}}
+	r := NewReader(&memReader{msgs: msgs}, WithErrorEvery(2))
+
+	if n, err := r.ReadBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty batch = (%d, %v), want (0, nil)", n, err)
+	}
+
+	var got [][]byte
+	var transient int
+	for {
+		bufs := [][]byte{make([]byte, 16), make([]byte, 16)}
+		n, err := r.ReadBatch(bufs)
+		if err != nil {
+			var inj *InjectedError
+			if errors.As(err, &inj) {
+				transient++
+				continue
+			}
+			if errors.Is(err, errDrained) {
+				break
+			}
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("ReadBatch delivered %d datagrams, want exactly 1", n)
+		}
+		got = append(got, bufs[0])
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("delivered %d datagrams, want %d (injected errors must not consume input)", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if string(got[i]) != string(msgs[i]) {
+			t.Errorf("datagram %d = %v, want %v (reslicing must preserve length)", i, got[i], msgs[i])
+		}
+	}
+	if transient == 0 {
+		t.Error("no transient errors injected through ReadBatch")
+	}
+}

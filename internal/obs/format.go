@@ -18,6 +18,10 @@ func (m Metrics) WriteTable(w io.Writer) error {
 		m.Dropped.Packets, m.Retried.Packets, m.QueueLen, m.MaxQueueLen, m.Conserved())
 	writeReasonLine(tw, "drops", m.DropReasons)
 	writeReasonLine(tw, "retries", m.RetryReasons)
+	if m.BatchWrites > 0 {
+		fmt.Fprintf(tw, "# batches: writes=%d packets=%d avg=%.2f\n",
+			m.BatchWrites, m.BatchedPackets, m.AvgBatch())
+	}
 	fmt.Fprintln(tw, "session\trate\tenq\tdeq\tdrop\tqlen\tmax\tdelay_min\tdelay_mean\tdelay_max\twfi")
 	for _, s := range m.Sessions {
 		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\n",

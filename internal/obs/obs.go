@@ -189,6 +189,13 @@ type Metrics struct {
 	QueueLen    int
 	MaxQueueLen int
 
+	// BatchWrites counts egress WriteBatch deliveries recorded with
+	// RecordBatchWrite, and BatchedPackets the datagrams they carried —
+	// batch-level visibility on top of the per-packet counters (a batched
+	// packet is still a normal dequeue; these add no conservation terms).
+	BatchWrites    int64
+	BatchedPackets int64
+
 	// DropReasons breaks Dropped down by the reason tag passed to
 	// RecordDropReason. Untagged drops (RecordDrop) are not listed, so the
 	// per-reason counters sum to at most Dropped.
@@ -213,6 +220,15 @@ func (m Metrics) Session(id int) (SessionMetrics, bool) {
 // Offered returns the number of packets presented to the server: accepted
 // (enqueued) plus dropped.
 func (m Metrics) Offered() int64 { return m.Enqueued.Packets + m.Dropped.Packets }
+
+// AvgBatch returns the mean datagrams per egress batch write, or 0 when no
+// batch writes were recorded.
+func (m Metrics) AvgBatch() float64 {
+	if m.BatchWrites == 0 {
+		return 0
+	}
+	return float64(m.BatchedPackets) / float64(m.BatchWrites)
+}
 
 // Conserved reports the conservation law at the server and at every
 // session: offered == dequeued + queued + dropped, i.e.
@@ -303,6 +319,8 @@ type Collector struct {
 	enq, deq, drop, retry Counter
 	depth                 int
 	maxDepth              int
+	batchWrites           int64
+	batchPkts             int64
 	reasons               map[string]Counter // drop counters keyed by reason tag
 	retryReasons          map[string]Counter // retry counters keyed by reason tag
 
@@ -529,19 +547,36 @@ func (c *Collector) RecordRetry(now float64, session int, bits float64, reason s
 	}
 }
 
+// RecordBatchWrite accounts one egress batch delivery of pkts datagrams
+// totalling bits. Batches are an egress-side grouping of already-dequeued
+// packets: no enqueue/dequeue/drop counter or queue depth changes, so
+// conservation laws are unaffected. Alloc-free by design — it sits on the
+// data-plane's zero-allocation pump path.
+func (c *Collector) RecordBatchWrite(now float64, pkts int, bits float64) {
+	if !c.active || pkts <= 0 {
+		return
+	}
+	if c.metrics {
+		c.batchWrites++
+		c.batchPkts += int64(pkts)
+	}
+}
+
 // Snapshot freezes the counters into a Metrics value. Cheap enough to call
 // periodically while a simulation runs.
 func (c *Collector) Snapshot() Metrics {
 	m := Metrics{
-		Name:        c.name,
-		Rate:        c.rate,
-		Enabled:     c.metrics,
-		Enqueued:    c.enq,
-		Dequeued:    c.deq,
-		Dropped:     c.drop,
-		Retried:     c.retry,
-		QueueLen:    c.depth,
-		MaxQueueLen: c.maxDepth,
+		Name:           c.name,
+		Rate:           c.rate,
+		Enabled:        c.metrics,
+		Enqueued:       c.enq,
+		Dequeued:       c.deq,
+		Dropped:        c.drop,
+		Retried:        c.retry,
+		QueueLen:       c.depth,
+		MaxQueueLen:    c.maxDepth,
+		BatchWrites:    c.batchWrites,
+		BatchedPackets: c.batchPkts,
 	}
 	if len(c.reasons) > 0 {
 		m.DropReasons = make(map[string]Counter, len(c.reasons))

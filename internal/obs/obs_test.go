@@ -389,3 +389,56 @@ func TestDropReasonsSnapshotIsolated(t *testing.T) {
 		t.Error("snapshot shares reason map with collector")
 	}
 }
+
+// TestBatchWriteAccounting: RecordBatchWrite tallies batch count and
+// batched packets (no conservation terms — the dequeues it groups are
+// already counted), AvgBatch divides them, the disabled collector stays
+// inert, and WriteTable surfaces the batch line only when batches happened.
+func TestBatchWriteAccounting(t *testing.T) {
+	var off Collector
+	off.InitObs("X", 100)
+	off.RecordBatchWrite(0, 8, 64)
+	if m := off.Snapshot(); m.BatchWrites != 0 || m.BatchedPackets != 0 {
+		t.Errorf("disabled collector accumulated batches: %+v", m)
+	}
+
+	var c Collector
+	c.InitObs("X", 100)
+	c.EnableMetrics()
+	c.RegisterSession(0, 100)
+	for i := 0; i < 3; i++ {
+		c.RecordEnqueue(float64(i), 0, 8)
+		c.RecordDequeue(float64(i)+0.5, 0, 8)
+	}
+	c.RecordBatchWrite(2.5, 2, 16)
+	c.RecordBatchWrite(2.6, 1, 8)
+	c.RecordBatchWrite(2.7, 0, 0) // empty batches are not batches
+
+	m := c.Snapshot()
+	if m.BatchWrites != 2 || m.BatchedPackets != 3 {
+		t.Errorf("batches=%d packets=%d, want 2/3", m.BatchWrites, m.BatchedPackets)
+	}
+	if got := m.AvgBatch(); got != 1.5 {
+		t.Errorf("AvgBatch = %g, want 1.5", got)
+	}
+	if !m.Conserved() {
+		t.Errorf("batch accounting broke conservation: %+v", m)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "batches: writes=2 packets=3 avg=1.50") {
+		t.Errorf("table missing batch line:\n%s", buf.String())
+	}
+
+	var none Metrics
+	if none.AvgBatch() != 0 {
+		t.Error("AvgBatch without batches should be 0, not NaN")
+	}
+	buf.Reset()
+	if err := c.Snapshot().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
