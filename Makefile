@@ -2,7 +2,8 @@
 # referenced from ROADMAP.md; `make race` exercises the concurrent
 # components under the race detector; `make fault` runs the fault-injection
 # stress suite with a fixed seed (override: make fault HPFQ_FAULT_SEED=7).
-# `make bench` refreshes BENCH_dataplane.json from the pump benchmarks
+# `make bench` refreshes BENCH_dataplane.json from the pump benchmarks and
+# BENCH_sched.json from the PIFO-vs-seed scheduler microbenchmarks
 # (override duration: make bench BENCHTIME=1x for a smoke run); `make
 # alloccheck` runs the steady-state zero-allocation regression test alone.
 
@@ -40,6 +41,11 @@ bench:
 		-benchtime $(BENCHTIME) -count=1 \
 		| $(GO) run ./cmd/benchjson -out BENCH_dataplane.json
 	@cat BENCH_dataplane.json
+	$(GO) test ./internal/sched/ -run '^$$' \
+		-bench 'Benchmark(PIFO|Seed)' -benchmem \
+		-benchtime $(BENCHTIME) -count=1 \
+		| $(GO) run ./cmd/benchjson -out BENCH_sched.json
+	@cat BENCH_sched.json
 
 alloccheck:
 	$(GO) test ./internal/dataplane/ -run TestPumpSteadyStateZeroAlloc -count=1 -v

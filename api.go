@@ -13,6 +13,7 @@ import (
 	"hpfq/internal/netsim"
 	"hpfq/internal/obs"
 	"hpfq/internal/packet"
+	"hpfq/internal/pifo"
 	"hpfq/internal/sched"
 	"hpfq/internal/shaper"
 	"hpfq/internal/tcp"
@@ -34,6 +35,10 @@ const (
 	SFQ      Algorithm = "SFQ"   // start-time fair queueing
 	DRR      Algorithm = "DRR"   // deficit round robin
 	FIFO     Algorithm = "FIFO"  // no isolation (flat only)
+	SP       Algorithm = "SP"    // strict priority by flow id (PIFO substrate)
+	EDF      Algorithm = "EDF"   // earliest deadline first (PIFO substrate)
+	SRPT     Algorithm = "SRPT"  // shortest remaining processing time (PIFO substrate)
+	LSTF     Algorithm = "LSTF"  // least slack time first (PIFO substrate)
 )
 
 // Sentinel errors, matchable with errors.Is on anything returned by New,
@@ -47,6 +52,8 @@ var (
 	// ErrNoNodeForm reports an algorithm (FIFO) with no hierarchical node
 	// form.
 	ErrNoNodeForm = errs.ErrNoNodeForm
+	// ErrNoFlatForm reports a policy with no standalone scheduler form.
+	ErrNoFlatForm = errs.ErrNoFlatForm
 )
 
 // Data-plane sentinel errors, matchable with errors.Is on anything returned
@@ -148,38 +155,146 @@ func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONLTracer(w) }
 // useful to multiplex several servers into one stream.
 func NamedTracer(node string, t Tracer) Tracer { return obs.Named(node, t) }
 
-// Option configures a scheduler, node or hierarchy at construction.
+// Policy is a first-class scheduling policy on the PIFO substrate
+// (internal/pifo): a named pair of flat/node constructors for the rank
+// function, eligibility predicate, and per-flow virtual-time state that
+// express a discipline. Every registered Algorithm except FIFO and
+// WF2Q+fixed is a Policy underneath; PolicyByName retrieves those, and the
+// *Policy helpers below parameterize the deadline/priority families.
+// Select a policy with WithPolicy (everywhere) or WithNodePolicy (per
+// hierarchy node).
+type Policy = pifo.Factory
+
+// PolicyHooks is the per-flow state interface a custom Policy implements:
+// AddFlow, Arrive (stamp a packet with rank/eligibility/virtual times),
+// Commit (account a packet entering service), and V (the policy's virtual
+// clock). See internal/pifo for the optional Ticker/Floorer/Deferrer
+// extensions.
+type PolicyHooks = pifo.Policy
+
+// Stamp is one PIFO scheduling decision: the rank ordering service, the
+// eligibility key gating it, and the virtual start/finish pair for traces.
+type Stamp = pifo.Stamp
+
+// PolicyByName returns the registered policy factory for an algorithm name
+// ("WF2Q+", "WFQ", "WF2Q", "SCFQ", "SFQ", "DRR", "SP", "EDF", "SRPT",
+// "LSTF"). ok is false for names with no PIFO form (FIFO, WF2Q+fixed).
+func PolicyByName(algorithm Algorithm) (Policy, bool) {
+	return pifo.Lookup(string(algorithm))
+}
+
+// Policies lists the registered PIFO policy names, sorted.
+func Policies() []string { return pifo.Names() }
+
+// StrictPriorityPolicy returns strict priority with a custom priority
+// function (smaller = served first); the registry's "SP" prioritizes by
+// flow id.
+func StrictPriorityPolicy(prio func(id int, rate float64) float64) Policy {
+	return pifo.StrictPriorityWith(prio)
+}
+
+// EDFPolicy returns earliest-deadline-first with a custom relative-deadline
+// function; the registry's "EDF" uses one transmission time at the flow's
+// guaranteed rate (L/r_i).
+func EDFPolicy(rel func(id int, rate, length float64) float64) Policy {
+	return pifo.EDFWith(rel)
+}
+
+// LSTFPolicy returns least-slack-time-first with a custom slack function;
+// the registry's "LSTF" uses L/r_i.
+func LSTFPolicy(slack func(id int, rate, length float64) float64) Policy {
+	return pifo.LSTFWith(slack)
+}
+
+// Option configures a scheduler, node, hierarchy — or, because Option also
+// satisfies DataplaneOption, a data-plane — at construction.
 type Option struct {
-	observe func(obs.Observable)
-	nodes   func(rate float64) NodeScheduler
+	metrics  bool
+	tracer   Tracer
+	hasTrace bool
+	nodes    func(rate float64) NodeScheduler
+	policy   *Policy
+	nodePols []nodePolicy
+}
+
+type nodePolicy struct {
+	name string
+	pol  Policy
 }
 
 // WithMetrics enables metric collection (counts, queue depths, delays, WFI)
 // from the first packet.
-func WithMetrics() Option {
-	return Option{observe: func(o obs.Observable) { o.EnableMetrics() }}
-}
+func WithMetrics() Option { return Option{metrics: true} }
 
 // WithTracer streams per-packet events to t. On a hierarchy the tracer also
 // receives every interior node's events, stamped with the node's topology
 // name.
-func WithTracer(t Tracer) Option {
-	return Option{observe: func(o obs.Observable) { o.SetTracer(t) }}
-}
+func WithTracer(t Tracer) Option { return Option{tracer: t, hasTrace: true} }
 
 // WithNodes supplies a custom per-node scheduler constructor to
-// NewHierarchy, e.g. to mix disciplines per level. New and NewNode ignore
-// it.
+// NewHierarchy, e.g. to mix hand-built nodes per level. It takes precedence
+// over every policy option; New, NewNode and NewDataplane ignore it.
 func WithNodes(fn func(rate float64) NodeScheduler) Option {
 	return Option{nodes: fn}
 }
 
+// WithPolicy selects an explicit scheduling policy, overriding the
+// algorithm argument of New, NewNode, NewHierarchy or NewDataplane. On a
+// hierarchy or topology-mode data-plane it becomes the default discipline
+// of every interior node, overridden per node by WithNodePolicy and by
+// ':policy' clauses in parsed topo specs.
+func WithPolicy(p Policy) Option { return Option{policy: &p} }
+
+// WithNodePolicy pins the policy of the named interior node of a hierarchy
+// (NewHierarchy, or NewDataplane with WithTopology). Repeat for different
+// nodes; the most specific selection wins (WithNodePolicy, then the
+// topology's ':policy' annotations, then WithPolicy, then the algorithm).
+// New and NewNode ignore it.
+func WithNodePolicy(nodeName string, p Policy) Option {
+	return Option{nodePols: []nodePolicy{{name: nodeName, pol: p}}}
+}
+
 func applyOptions(o obs.Observable, opts []Option) {
 	for _, opt := range opts {
-		if opt.observe != nil {
-			opt.observe(o)
+		if opt.metrics {
+			o.EnableMetrics()
+		}
+		if opt.hasTrace {
+			o.SetTracer(opt.tracer)
 		}
 	}
+}
+
+// lastPolicy returns the last WithPolicy selection, or nil.
+func lastPolicy(opts []Option) *Policy {
+	var p *Policy
+	for _, opt := range opts {
+		if opt.policy != nil {
+			p = opt.policy
+		}
+	}
+	return p
+}
+
+// dataplaneOptions translates the Option into the engine's option set; this
+// is how one WithPolicy/WithMetrics/WithTracer value works for both the
+// simulation constructors and NewDataplane. WithNodes has no data-plane
+// form and is ignored.
+func (o Option) dataplaneOptions() []dataplane.Option {
+	var out []dataplane.Option
+	if o.metrics {
+		out = append(out, dataplane.WithMetrics())
+	}
+	if o.hasTrace {
+		out = append(out, dataplane.WithTracer(o.tracer))
+	}
+	if o.policy != nil {
+		out = append(out, dataplane.WithPolicy(*o.policy))
+	}
+	for _, np := range o.nodePols {
+		out = append(out, dataplane.WithNodePolicy(np.name, np.pol))
+	}
+	return out
 }
 
 // Algorithms lists the registered algorithms, sorted by name.
@@ -197,9 +312,18 @@ func Algorithms() []Algorithm {
 //
 //	s, err := hpfq.New(hpfq.WF2QPlus, 10e6, hpfq.WithMetrics())
 //
-// Unknown algorithms return an error matching ErrUnknownAlgorithm.
+// WithPolicy substitutes an explicit policy for the algorithm name. Unknown
+// algorithms return an error matching ErrUnknownAlgorithm.
 func New(algorithm Algorithm, rate float64, opts ...Option) (Scheduler, error) {
-	s, err := sched.New(string(algorithm), rate)
+	var (
+		s   Scheduler
+		err error
+	)
+	if p := lastPolicy(opts); p != nil {
+		s, err = sched.NewPolicy(*p, rate)
+	} else {
+		s, err = sched.New(string(algorithm), rate)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -208,10 +332,19 @@ func New(algorithm Algorithm, rate float64, opts ...Option) (Scheduler, error) {
 }
 
 // NewNode returns a hierarchical server node with guaranteed rate in
-// bits/sec (all registered algorithms except FIFO, which has no node form
-// and returns an error matching ErrNoNodeForm).
+// bits/sec (all registered algorithms except FIFO and WF2Q+fixed, which
+// have no node form and return an error matching ErrNoNodeForm).
+// WithPolicy substitutes an explicit policy for the algorithm name.
 func NewNode(algorithm Algorithm, rate float64, opts ...Option) (NodeScheduler, error) {
-	n, err := sched.NewNode(string(algorithm), rate)
+	var (
+		n   NodeScheduler
+		err error
+	)
+	if p := lastPolicy(opts); p != nil {
+		n, err = sched.NewPolicyNode(*p, rate)
+	} else {
+		n, err = sched.NewNode(string(algorithm), rate)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -227,13 +360,6 @@ func NewWF2QPlus(rate float64) *core.Scheduler { return core.NewScheduler(rate) 
 // rate in bits/sec.
 func NewWF2QPlusNode(rate float64) *core.Node { return core.NewNode(rate) }
 
-// NewNodeByName returns a hierarchical server node by algorithm name.
-//
-// Deprecated: use NewNode.
-func NewNodeByName(algorithm string, rate float64) (NodeScheduler, error) {
-	return sched.NewNode(algorithm, rate)
-}
-
 // Topology building: a link-sharing tree of service shares.
 type Topology = topo.Node
 
@@ -247,6 +373,17 @@ func Interior(name string, share float64, children ...*Topology) *Topology {
 	return topo.Interior(name, share, children...)
 }
 
+// ParseTopology parses a link-sharing tree spec:
+//
+//	node := name '=' share (':' session [':' policy] | [':' policy] '(' node {',' node} ')')
+//
+// e.g. "root=1(video=3(hd=2:0,sd=1:1),bulk=1:2)", or with per-node
+// policies "root=1:WF2Q+(video=3:SP(hd=2:0,sd=1:1),bulk=1:2)". Shares are
+// relative to siblings; the optional policy clause names the scheduling
+// discipline of that node's server. The cmd/hpfqgw and cmd/hpfqsim -topo
+// flags speak exactly this grammar.
+func ParseTopology(spec string) (*Topology, error) { return topo.Parse(spec) }
+
 // Hierarchy is an H-PFQ server (the paper's §4 construction).
 type Hierarchy = hier.Tree
 
@@ -257,14 +394,20 @@ type Hierarchy = hier.Tree
 //
 // WithMetrics and WithTracer cover the whole tree (per-session delays and
 // WFI at the root collector, reference-time counters at every interior
-// node; see Hierarchy.NodeSnapshots). WithNodes substitutes a custom
-// per-node constructor, e.g. to mix disciplines per level. Malformed
-// topologies return an error matching ErrBadTopology.
+// node; see Hierarchy.NodeSnapshots). Per-node disciplines resolve most
+// specific first: WithNodes (a custom constructor) wins outright, then
+// WithNodePolicy by node name, then ':policy' annotations in the topology,
+// then WithPolicy, then the algorithm argument. Malformed topologies return
+// an error matching ErrBadTopology.
 func NewHierarchy(top *Topology, linkRate float64, algorithm Algorithm, opts ...Option) (*Hierarchy, error) {
 	var nodes func(rate float64) NodeScheduler
+	perNode := make(map[string]Policy)
 	for _, opt := range opts {
 		if opt.nodes != nil {
 			nodes = opt.nodes
+		}
+		for _, np := range opt.nodePols {
+			perNode[np.name] = np.pol
 		}
 	}
 	var (
@@ -274,21 +417,14 @@ func NewHierarchy(top *Topology, linkRate float64, algorithm Algorithm, opts ...
 	if nodes != nil {
 		tree, err = hier.Build(top, linkRate, string(algorithm), nodes)
 	} else {
-		tree, err = hier.New(top, linkRate, string(algorithm))
+		tree, err = hier.BuildSpec(top, linkRate, string(algorithm),
+			hier.Resolver(string(algorithm), lastPolicy(opts), perNode))
 	}
 	if err != nil {
 		return nil, err
 	}
 	applyOptions(tree, opts)
 	return tree, nil
-}
-
-// NewHierarchyWith builds an H-PFQ server with a caller-supplied node
-// constructor.
-//
-// Deprecated: use NewHierarchy with WithNodes.
-func NewHierarchyWith(top *Topology, linkRate float64, algorithm string, newNode func(rate float64) NodeScheduler) (*Hierarchy, error) {
-	return hier.Build(top, linkRate, algorithm, newNode)
 }
 
 // Simulation substrate.
@@ -401,8 +537,17 @@ func NewTCPSource(sim *Sim, link *Link, session int, segBits, delay, start float
 // batching pump. See internal/dataplane and cmd/hpfqgw.
 type Dataplane = dataplane.Dataplane
 
-// DataplaneOption configures a Dataplane at construction.
-type DataplaneOption = dataplane.Option
+// DataplaneOption configures a Dataplane at construction. The simulation
+// Option type satisfies it too, so WithMetrics, WithTracer, WithPolicy and
+// WithNodePolicy work unchanged in NewDataplane.
+type DataplaneOption interface {
+	dataplaneOptions() []dataplane.Option
+}
+
+// dpOptions is the concrete DataplaneOption behind the With* wrappers.
+type dpOptions []dataplane.Option
+
+func (d dpOptions) dataplaneOptions() []dataplane.Option { return d }
 
 // Datagram I/O contracts: one datagram per call, Conn-agnostic. Connected
 // *net.UDPConn values adapt via PacketReaderFrom / PacketWriterTo; the
@@ -470,45 +615,64 @@ func AsPacketBatchReader(r PacketReader) PacketBatchReader { return dataplane.As
 // WithTopology builds an H-PFQ tree whose leaves become the classes. Start
 // the pump with Start, feed it with Ingest or RunReader, stop with Close.
 func NewDataplane(algorithm Algorithm, rate float64, opts ...DataplaneOption) (*Dataplane, error) {
-	return dataplane.New(string(algorithm), rate, opts...)
+	var all []dataplane.Option
+	for _, o := range opts {
+		all = append(all, o.dataplaneOptions()...)
+	}
+	return dataplane.New(string(algorithm), rate, all...)
 }
 
 // WithTopology schedules the data-plane's classes hierarchically over a
-// link-sharing tree (the leaves become the classes).
-func WithTopology(top *Topology) DataplaneOption { return dataplane.WithTopology(top) }
+// link-sharing tree (the leaves become the classes). Per-node disciplines
+// resolve as in NewHierarchy: WithNodePolicy, then the topology's ':policy'
+// annotations, then WithPolicy, then the algorithm argument.
+func WithTopology(top *Topology) DataplaneOption {
+	return dpOptions{dataplane.WithTopology(top)}
+}
 
 // WithQueueCap bounds every class's staging queue to n datagrams; arrivals
 // beyond it are tail-dropped and recorded in the metrics. 0 = unlimited.
-func WithQueueCap(n int) DataplaneOption { return dataplane.WithQueueCap(n) }
+func WithQueueCap(n int) DataplaneOption { return dpOptions{dataplane.WithQueueCap(n)} }
 
 // WithByteCap bounds every class's staged bytes to n; arrivals that would
 // exceed it are dropped and recorded. 0 = unlimited.
-func WithByteCap(n int) DataplaneOption { return dataplane.WithByteCap(n) }
+func WithByteCap(n int) DataplaneOption { return dpOptions{dataplane.WithByteCap(n)} }
 
 // WithBurst sets the data-plane's token-bucket depth in bits (default: 5 ms
 // of the configured rate), trading batching efficiency against short-term
 // burstiness.
-func WithBurst(bits float64) DataplaneOption { return dataplane.WithBurst(bits) }
+func WithBurst(bits float64) DataplaneOption { return dpOptions{dataplane.WithBurst(bits)} }
 
-// DataplaneMetrics enables per-class metric collection on the data-plane's
-// scheduler; read the counters (including the per-reason drop breakdown)
-// with Dataplane.Snapshot.
-func DataplaneMetrics() DataplaneOption { return dataplane.WithMetrics() }
+// WithDataplaneMetrics enables per-class metric collection on the
+// data-plane's scheduler; read the counters (including the per-reason drop
+// breakdown) with Dataplane.Snapshot. Plain WithMetrics works too.
+func WithDataplaneMetrics() DataplaneOption { return dpOptions{dataplane.WithMetrics()} }
 
-// DataplaneTracer streams the data-plane's per-datagram scheduling events to
-// t. The tracer runs under the engine's lock and must not call back into it.
-func DataplaneTracer(t Tracer) DataplaneOption { return dataplane.WithTracer(t) }
+// WithDataplaneTracer streams the data-plane's per-datagram scheduling
+// events to t. The tracer runs under the engine's lock and must not call
+// back into it. Plain WithTracer works too.
+func WithDataplaneTracer(t Tracer) DataplaneOption { return dpOptions{dataplane.WithTracer(t)} }
+
+// DataplaneMetrics enables per-class metric collection on the data-plane.
+//
+// Deprecated: use WithDataplaneMetrics (or WithMetrics).
+func DataplaneMetrics() DataplaneOption { return WithDataplaneMetrics() }
+
+// DataplaneTracer streams the data-plane's scheduling events to t.
+//
+// Deprecated: use WithDataplaneTracer (or WithTracer).
+func DataplaneTracer(t Tracer) DataplaneOption { return WithDataplaneTracer(t) }
 
 // WithWriteRetry tunes the data-plane pump's reaction to transient Writer
 // errors: up to limit re-attempts per packet, sleeping backoff before the
 // first and doubling up to cap between the rest. limit 0 disables retries.
 func WithWriteRetry(limit int, backoff, cap time.Duration) DataplaneOption {
-	return dataplane.WithWriteRetry(limit, backoff, cap)
+	return dpOptions{dataplane.WithWriteRetry(limit, backoff, cap)}
 }
 
 // WithRequeue lets a packet whose retry budget ran out rejoin the data-plane
 // scheduler instead of being dropped, at most n times per packet.
-func WithRequeue(n int) DataplaneOption { return dataplane.WithRequeue(n) }
+func WithRequeue(n int) DataplaneOption { return dpOptions{dataplane.WithRequeue(n)} }
 
 // Data-plane retry defaults for transient Writer errors.
 const (
@@ -523,7 +687,7 @@ const (
 // Non-positive target or interval selects the CoDel defaults (5 ms /
 // 100 ms).
 func WithAQM(target, interval time.Duration) DataplaneOption {
-	return dataplane.WithAQM(target, interval)
+	return dpOptions{dataplane.WithAQM(target, interval)}
 }
 
 // WithBufferPool hands the data-plane a payload buffer pool (nil selects
@@ -532,11 +696,11 @@ func WithAQM(target, interval time.Duration) DataplaneOption {
 // the datagram is written or dropped, making the
 // ingress → staging → egress → release cycle allocation-free at steady
 // state. Without this option the engine never recycles payload buffers.
-func WithBufferPool(p *BufferPool) DataplaneOption { return dataplane.WithBufferPool(p) }
+func WithBufferPool(p *BufferPool) DataplaneOption { return dpOptions{dataplane.WithBufferPool(p)} }
 
 // WithBatchSize caps how many datagrams the data-plane pump hands the
 // writer per WriteBatch call (minimum 1; default DefaultBatchSize).
-func WithBatchSize(n int) DataplaneOption { return dataplane.WithBatchSize(n) }
+func WithBatchSize(n int) DataplaneOption { return dpOptions{dataplane.WithBatchSize(n)} }
 
 // Batch and buffer defaults.
 const (

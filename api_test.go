@@ -174,7 +174,7 @@ func TestPublicAPILeakyBucket(t *testing.T) {
 // TestAlgorithmsList: registry exposure.
 func TestAlgorithmsList(t *testing.T) {
 	got := hpfq.Algorithms()
-	if len(got) != 8 {
+	if len(got) != 12 {
 		t.Errorf("Algorithms() = %v", got)
 	}
 	if _, err := hpfq.New("bogus", 1); err == nil {
@@ -207,8 +207,16 @@ func TestSentinelErrors(t *testing.T) {
 	if _, err := hpfq.NewHGPS(dup, 1); !errors.Is(err, hpfq.ErrBadTopology) {
 		t.Errorf("NewHGPS(dup session): %v, want ErrBadTopology", err)
 	}
-	if _, err := hpfq.NewHierarchy(dup, 1, "bogus"); !errors.Is(err, hpfq.ErrUnknownAlgorithm) {
+	good := hpfq.Interior("r", 1, hpfq.Leaf("a", 1, 0), hpfq.Leaf("b", 1, 1))
+	if _, err := hpfq.NewHierarchy(good, 1, "bogus"); !errors.Is(err, hpfq.ErrUnknownAlgorithm) {
 		t.Errorf("NewHierarchy(bogus algo): %v, want ErrUnknownAlgorithm", err)
+	}
+	if _, err := hpfq.NewHierarchy(good, 1, hpfq.WF2QPlus,
+		hpfq.WithNodePolicy("r", hpfq.Policy{})); !errors.Is(err, hpfq.ErrNoNodeForm) {
+		t.Errorf("NewHierarchy(nil node policy): %v, want ErrNoNodeForm", err)
+	}
+	if _, err := hpfq.New(hpfq.WF2QPlus, 1, hpfq.WithPolicy(hpfq.Policy{})); !errors.Is(err, hpfq.ErrNoFlatForm) {
+		t.Errorf("New(nil flat policy): %v, want ErrNoFlatForm", err)
 	}
 }
 
@@ -336,7 +344,7 @@ func TestJSONLTrace(t *testing.T) {
 	}
 }
 
-// TestMixedHierarchy: NewHierarchyWith lets callers mix disciplines —
+// TestMixedHierarchy: WithNodes lets callers mix disciplines —
 // WF²Q+ near the root, DRR at a cheap leaf level.
 func TestMixedHierarchy(t *testing.T) {
 	top := hpfq.Interior("root", 1,
@@ -358,14 +366,6 @@ func TestMixedHierarchy(t *testing.T) {
 	}
 	tree, err := hpfq.NewHierarchy(top, 1e6, "mixed", hpfq.WithNodes(mixed))
 	if err != nil {
-		t.Fatal(err)
-	}
-	// The deprecated shims still build.
-	depth0 = true
-	if _, err := hpfq.NewHierarchyWith(top, 1e6, "mixed", mixed); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := hpfq.NewNodeByName("WF2Q+", 1e6); err != nil {
 		t.Fatal(err)
 	}
 	sim := hpfq.NewSim()
@@ -463,5 +463,103 @@ func TestPublicAPIDataplaneHierarchy(t *testing.T) {
 	}
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPolicySelection exercises the first-class Policy API: WithPolicy
+// overriding the algorithm, WithNodePolicy and ':policy' topology clauses
+// pinning individual hierarchy nodes, and the Option type doubling as a
+// DataplaneOption.
+func TestPolicySelection(t *testing.T) {
+	sp, ok := hpfq.PolicyByName(hpfq.SP)
+	if !ok {
+		t.Fatal("SP has no registered policy")
+	}
+	if _, ok := hpfq.PolicyByName(hpfq.FIFO); ok {
+		t.Error("FIFO should have no PIFO policy form")
+	}
+	if got := len(hpfq.Policies()); got != 10 {
+		t.Errorf("Policies() = %v", hpfq.Policies())
+	}
+
+	// WithPolicy overrides the algorithm argument of New.
+	s, err := hpfq.New(hpfq.WF2QPlus, 1e6, hpfq.WithPolicy(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "SP" {
+		t.Errorf("WithPolicy scheduler Name = %q, want SP", s.Name())
+	}
+	n, err := hpfq.NewNode(hpfq.WF2QPlus, 1e6, hpfq.WithPolicy(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name() != "SP" {
+		t.Errorf("WithPolicy node Name = %q, want SP", n.Name())
+	}
+
+	// A ':policy' clause pins node A to strict priority: with both of A's
+	// sessions continuously backlogged, every session-0 packet departs before
+	// any session-1 packet.
+	top, err := hpfq.ParseTopology("root=1(A=1:SP(a0=1:0,a1=1:1),B=1(b0=1:2,b1=1:3))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := func(tree *hpfq.Hierarchy) []int {
+		for s := 0; s < 2; s++ {
+			for i := 0; i < 4; i++ {
+				tree.Enqueue(0, hpfq.NewPacket(s, 8000))
+			}
+		}
+		var order []int
+		now := 0.0
+		for tree.Backlog() > 0 {
+			p := tree.Dequeue(now)
+			if p == nil {
+				break
+			}
+			order = append(order, p.Session)
+			now += p.Length / 1e6
+		}
+		return order
+	}
+	tree, err := hpfq.NewHierarchy(top, 1e6, hpfq.WF2QPlus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	got := drive(tree)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("topo ':SP' departures %v, want %v", got, want)
+		}
+	}
+
+	// WithNodePolicy beats the annotation: an inverted strict priority on A
+	// flips the order. (The very first session-0 packet still departs first:
+	// it was committed on arrival, before session 1 was backlogged.)
+	inv := hpfq.StrictPriorityPolicy(func(id int, _ float64) float64 { return -float64(id) })
+	tree, err = hpfq.NewHierarchy(top, 1e6, hpfq.WF2QPlus, hpfq.WithNodePolicy("A", inv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []int{0, 1, 1, 1, 1, 0, 0, 0}
+	got = drive(tree)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WithNodePolicy departures %v, want %v", got, want)
+		}
+	}
+
+	// Option doubles as a DataplaneOption: policy and metrics flow through
+	// NewDataplane unchanged.
+	d, err := hpfq.NewDataplane(hpfq.WF2QPlus, 1e9,
+		hpfq.WithPolicy(sp), hpfq.WithMetrics(), hpfq.WithQueueCap(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AddClass(0, 1e9)
+	if m := d.Snapshot(); m.Name != "SP" {
+		t.Errorf("dataplane scheduler Name = %q, want SP", m.Name)
 	}
 }

@@ -379,86 +379,10 @@ func parseClasses(spec string) (ids []int, rates []float64, err error) {
 	return ids, rates, nil
 }
 
-// parseTopo parses a link-sharing tree spec:
-//
-//	node     := name '=' share body
-//	body     := ':' session            (leaf)
-//	          | '(' node {',' node} ')' (interior)
-//
-// e.g. "root=1(agg=3(a=2:0,b=1:1),c=1:2)". Shares are relative to siblings,
-// exactly as in the simulator's topologies.
+// parseTopo parses a link-sharing tree spec, e.g.
+// "root=1(agg=3(a=2:0,b=1:1),c=1:2)", optionally with per-node policies
+// ("root=1:WF2Q+(video=3:SP(hd=2:0,sd=1:1),bulk=1:2)"). This is exactly the
+// simulator's grammar — see hpfq.ParseTopology.
 func parseTopo(spec string) (*hpfq.Topology, error) {
-	p := &topoParser{s: spec}
-	n, err := p.node()
-	if err != nil {
-		return nil, fmt.Errorf("topo spec %q: %v", spec, err)
-	}
-	if p.i != len(p.s) {
-		return nil, fmt.Errorf("topo spec %q: trailing input at offset %d", spec, p.i)
-	}
-	return n, nil
-}
-
-type topoParser struct {
-	s string
-	i int
-}
-
-func (p *topoParser) node() (*hpfq.Topology, error) {
-	name := p.until("=")
-	if name == "" {
-		return nil, fmt.Errorf("missing node name at offset %d", p.i)
-	}
-	if !p.eat('=') {
-		return nil, fmt.Errorf("node %q: missing '='", name)
-	}
-	shareStr := p.until(":(,)")
-	share, err := strconv.ParseFloat(shareStr, 64)
-	if err != nil || share <= 0 {
-		return nil, fmt.Errorf("node %q: bad share %q", name, shareStr)
-	}
-	switch {
-	case p.eat(':'):
-		sessStr := p.until(",)")
-		session, err := strconv.Atoi(sessStr)
-		if err != nil || session < 0 {
-			return nil, fmt.Errorf("leaf %q: bad session %q", name, sessStr)
-		}
-		return hpfq.Leaf(name, share, session), nil
-	case p.eat('('):
-		var children []*hpfq.Topology
-		for {
-			child, err := p.node()
-			if err != nil {
-				return nil, err
-			}
-			children = append(children, child)
-			if p.eat(',') {
-				continue
-			}
-			if p.eat(')') {
-				return hpfq.Interior(name, share, children...), nil
-			}
-			return nil, fmt.Errorf("node %q: expected ',' or ')' at offset %d", name, p.i)
-		}
-	}
-	return nil, fmt.Errorf("node %q: expected ':' or '(' at offset %d", name, p.i)
-}
-
-// until consumes and returns characters up to (not including) the first byte
-// in stop, or the rest of the input.
-func (p *topoParser) until(stop string) string {
-	start := p.i
-	for p.i < len(p.s) && !strings.ContainsRune(stop, rune(p.s[p.i])) {
-		p.i++
-	}
-	return p.s[start:p.i]
-}
-
-func (p *topoParser) eat(c byte) bool {
-	if p.i < len(p.s) && p.s[p.i] == c {
-		p.i++
-		return true
-	}
-	return false
+	return hpfq.ParseTopology(spec)
 }

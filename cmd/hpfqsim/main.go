@@ -13,7 +13,7 @@
 //	hpfqsim burst [-algo WFQ] [-n 1001]
 //	hpfqsim multihop [-algo WF2Q+] [-dur 20]
 //	hpfqsim tree [-topo fig3] [-sigma bits] [-lmax bits]
-//	hpfqsim run [-algo WF2Q+] [-hier] [-dur 2] [-metrics] [-trace file.jsonl]
+//	hpfqsim run [-algo WF2Q+] [-hier] [-topo spec] [-dur 2] [-metrics] [-trace file.jsonl]
 //
 // The run subcommand (also reachable as plain "hpfqsim -metrics -trace f")
 // demonstrates the observability layer: -metrics prints per-class counter,

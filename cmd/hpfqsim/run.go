@@ -21,6 +21,7 @@ func runRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	algo := fs.String("algo", "WF2Q+", "scheduling algorithm")
 	hierarchical := fs.Bool("hier", false, "schedule through a two-class hierarchy instead of a flat server")
+	topoSpec := fs.String("topo", "", `custom hierarchy over sessions 0-3, e.g. "root=1(A=3:SP(A1=1:0,A2=1:1),B=1(B1=3:2,B2=2:3))"; per-node ':policy' clauses override -algo (implies -hier)`)
 	dur := fs.Float64("dur", 2, "simulated seconds")
 	seed := fs.Int64("seed", 1, "random seed for the Poisson sources")
 	metrics := fs.Bool("metrics", false, "print per-class metrics tables after the run")
@@ -51,7 +52,7 @@ func runRun(args []string) error {
 		q    hpfq.Queue
 		tree *hpfq.Hierarchy
 	)
-	if *hierarchical {
+	if *hierarchical || *topoSpec != "" {
 		top := hpfq.Interior("root", 1,
 			hpfq.Interior("A", 0.75,
 				hpfq.Leaf("A1", 0.5, 0),
@@ -62,6 +63,19 @@ func runRun(args []string) error {
 				hpfq.Leaf("B2", 0.4, 3),
 			),
 		)
+		if *topoSpec != "" {
+			parsed, err := hpfq.ParseTopology(*topoSpec)
+			if err != nil {
+				return err
+			}
+			// The demo workload drives sessions 0-3; the tree must carry them.
+			for s := 0; s < 4; s++ {
+				if parsed.FindSession(s) == nil {
+					return fmt.Errorf("-topo %q: missing session %d (the run workload uses sessions 0-3)", *topoSpec, s)
+				}
+			}
+			top = parsed
+		}
 		t, err := hpfq.NewHierarchy(top, linkRate, hpfq.Algorithm(*algo), opts...)
 		if err != nil {
 			return err

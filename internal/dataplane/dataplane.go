@@ -84,6 +84,7 @@ import (
 	"hpfq/internal/hier"
 	"hpfq/internal/obs"
 	"hpfq/internal/packet"
+	"hpfq/internal/pifo"
 	"hpfq/internal/sched"
 	"hpfq/internal/topo"
 	"hpfq/internal/wallclock"
@@ -193,10 +194,30 @@ type config struct {
 	interval time.Duration
 	pool     *BufferPool
 	batch    int
+	pol      *pifo.Factory
+	nodePols map[string]pifo.Factory
 }
 
 // Option configures a Dataplane at construction.
 type Option func(*config)
+
+// WithPolicy schedules with an explicit pifo policy factory instead of the
+// named algorithm: the flat scheduler hosts it directly, and in topology
+// mode it becomes the default discipline of every interior node (overridden
+// per node by WithNodePolicy and by ':policy' topo annotations).
+func WithPolicy(f pifo.Factory) Option { return func(c *config) { c.pol = &f } }
+
+// WithNodePolicy pins the scheduling policy of one named interior node of
+// the topology. It may be repeated for different nodes and takes precedence
+// over topo ':policy' annotations and WithPolicy. Ignored in flat mode.
+func WithNodePolicy(nodeName string, f pifo.Factory) Option {
+	return func(c *config) {
+		if c.nodePols == nil {
+			c.nodePols = make(map[string]pifo.Factory)
+		}
+		c.nodePols[nodeName] = f
+	}
+}
 
 // WithTopology schedules classes hierarchically: the engine builds an H-PFQ
 // tree (internal/hier) over top with the chosen algorithm at every interior
@@ -396,7 +417,8 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 	}
 	d.recycle = cfg.top == nil
 	if cfg.top != nil {
-		tree, err := hier.New(cfg.top, rate, algorithm)
+		tree, err := hier.BuildSpec(cfg.top, rate, algorithm,
+			hier.Resolver(algorithm, cfg.pol, cfg.nodePols))
 		if err != nil {
 			return nil, err
 		}
@@ -406,7 +428,13 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 			d.classes[id] = d.newClassState(tree.SessionRate(id))
 		}
 	} else {
-		s, err := sched.New(algorithm, rate)
+		var s sched.Scheduler
+		var err error
+		if cfg.pol != nil {
+			s, err = sched.NewPolicy(*cfg.pol, rate)
+		} else {
+			s, err = sched.New(algorithm, rate)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -20,3 +20,7 @@ var ErrBadTopology = errors.New("bad topology")
 // ErrNoNodeForm is returned when an algorithm exists only as a standalone
 // scheduler and has no hierarchical node form (FIFO, WF2Q+fixed).
 var ErrNoNodeForm = errors.New("algorithm has no node form")
+
+// ErrNoFlatForm is returned when a policy has no standalone scheduler form
+// and can only serve as a hierarchy node.
+var ErrNoFlatForm = errors.New("policy has no flat form")

@@ -26,6 +26,7 @@ import (
 	"hpfq/internal/errs"
 	"hpfq/internal/obs"
 	"hpfq/internal/packet"
+	"hpfq/internal/pifo"
 	"hpfq/internal/sched"
 	"hpfq/internal/topo"
 )
@@ -71,10 +72,25 @@ func (n *node) isLeaf() bool { return n.session >= 0 }
 // guaranteed rate r_n.
 type NewNodeFunc func(rate float64) sched.NodeScheduler
 
+// NewNodeSpecFunc builds the per-node scheduler for the interior node
+// described by tn with guaranteed rate r_n. Seeing the topology node lets
+// the builder honor per-node policy annotations (tn.Policy, node names).
+type NewNodeSpecFunc func(tn *topo.Node, rate float64) (sched.NodeScheduler, error)
+
 // Build constructs an H-PFQ server over the given topology for a link of
 // the given rate, creating one scheduler per interior node via newNode.
 // The topology root must be an interior node.
 func Build(t *topo.Node, linkRate float64, algo string, newNode NewNodeFunc) (*Tree, error) {
+	return BuildSpec(t, linkRate, algo, func(_ *topo.Node, rate float64) (sched.NodeScheduler, error) {
+		return newNode(rate), nil
+	})
+}
+
+// BuildSpec is Build with a topology-aware node constructor: newNode is
+// called once per interior node with that node's topo spec and guaranteed
+// rate, and may fail (e.g. an unknown per-node policy name), aborting the
+// build.
+func BuildSpec(t *topo.Node, linkRate float64, algo string, newNode NewNodeSpecFunc) (*Tree, error) {
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("hier: %w: %v", errs.ErrBadTopology, err)
 	}
@@ -91,7 +107,11 @@ func Build(t *topo.Node, linkRate float64, algo string, newNode NewNodeFunc) (*T
 		leaves: make(map[int]*node),
 		byName: make(map[string]*node),
 	}
-	tr.root = tr.build(t, nil, 0, rates, newNode)
+	root, err := tr.build(t, nil, 0, rates, newNode)
+	if err != nil {
+		return nil, err
+	}
+	tr.root = root
 	tr.InitObs("H-"+algo, linkRate)
 	for id, leaf := range tr.leaves {
 		tr.RegisterSession(id, leaf.rate)
@@ -100,23 +120,41 @@ func Build(t *topo.Node, linkRate float64, algo string, newNode NewNodeFunc) (*T
 }
 
 // New builds an H-PFQ server using the named one-level algorithm
-// ("WF2Q+", "WFQ", "WF2Q", "SCFQ", "SFQ", "DRR") at every node.
+// ("WF2Q+", "WFQ", "WF2Q", "SCFQ", "SFQ", "DRR", or any registered policy)
+// at every node. Nodes whose topology spec names its own policy
+// (topo.Node.Policy, e.g. from the ':policy' clause of topo.Parse) use that
+// policy instead of algo.
 func New(t *topo.Node, linkRate float64, algo string) (*Tree, error) {
-	// Probe the registry with a unit rate: the real rates are validated by
-	// Build, which reports bad link rates as errors rather than panics.
-	if _, err := sched.NewNode(algo, 1); err != nil {
-		return nil, err
-	}
-	return Build(t, linkRate, algo, func(rate float64) sched.NodeScheduler {
-		ns, err := sched.NewNode(algo, rate)
-		if err != nil {
-			panic(err) // validated above
+	return BuildSpec(t, linkRate, algo, func(tn *topo.Node, rate float64) (sched.NodeScheduler, error) {
+		name := algo
+		if tn.Policy != "" {
+			name = tn.Policy
 		}
-		return ns
+		return sched.NewNode(name, rate)
 	})
 }
 
-func (tr *Tree) build(t *topo.Node, parent *node, idx int, rates map[*topo.Node]float64, newNode NewNodeFunc) *node {
+// Resolver returns a node constructor implementing the public API's policy
+// resolution order, most specific first: an explicit per-node factory keyed
+// by topology node name (WithNodePolicy), the topology spec's own Policy
+// annotation, the hierarchy-wide default factory (WithPolicy), and finally
+// the named algorithm.
+func Resolver(algo string, def *pifo.Factory, perNode map[string]pifo.Factory) NewNodeSpecFunc {
+	return func(tn *topo.Node, rate float64) (sched.NodeScheduler, error) {
+		if f, ok := perNode[tn.Name]; ok {
+			return sched.NewPolicyNode(f, rate)
+		}
+		if tn.Policy != "" {
+			return sched.NewNode(tn.Policy, rate)
+		}
+		if def != nil {
+			return sched.NewPolicyNode(*def, rate)
+		}
+		return sched.NewNode(algo, rate)
+	}
+}
+
+func (tr *Tree) build(t *topo.Node, parent *node, idx int, rates map[*topo.Node]float64, newNode NewNodeSpecFunc) (*node, error) {
 	n := &node{
 		name:     t.Name,
 		parent:   parent,
@@ -131,9 +169,16 @@ func (tr *Tree) build(t *topo.Node, parent *node, idx int, rates map[*topo.Node]
 			n.name = fmt.Sprintf("node#%d", len(tr.interior))
 		}
 		tr.interior = append(tr.interior, n)
-		n.ns = newNode(n.rate)
+		ns, err := newNode(t, n.rate)
+		if err != nil {
+			return nil, fmt.Errorf("hier: node %q: %w", n.name, err)
+		}
+		n.ns = ns
 		for i, ct := range t.Children {
-			c := tr.build(ct, n, i, rates, newNode)
+			c, err := tr.build(ct, n, i, rates, newNode)
+			if err != nil {
+				return nil, err
+			}
 			n.children = append(n.children, c)
 			n.ns.AddChild(i, c.rate)
 		}
@@ -141,7 +186,7 @@ func (tr *Tree) build(t *topo.Node, parent *node, idx int, rates map[*topo.Node]
 	if t.Name != "" {
 		tr.byName[t.Name] = n
 	}
-	return n
+	return n, nil
 }
 
 // EnableMetrics switches on metric accumulation for the tree and for every

@@ -1,0 +1,201 @@
+package pifo
+
+import (
+	"fmt"
+	"math"
+
+	"hpfq/internal/obs"
+	"hpfq/internal/packet"
+)
+
+// pktQueue is a FIFO of packets with an optional parallel stamp lane, filled
+// only in arrival-stamping mode (head-of-queue mode keeps stamps in the PIFO,
+// so it never pays the 40-byte stamp copies). Same compaction scheme as
+// packet.FIFO.
+type pktQueue struct {
+	pkts []*packet.Packet
+	sts  []Stamp
+	head int
+}
+
+func (q *pktQueue) Len() int              { return len(q.pkts) - q.head }
+func (q *pktQueue) Empty() bool           { return q.Len() == 0 }
+func (q *pktQueue) Push(p *packet.Packet) { q.pkts = append(q.pkts, p) }
+func (q *pktQueue) Head() *packet.Packet  { return q.pkts[q.head] }
+func (q *pktQueue) HeadStamp() Stamp      { return q.sts[q.head] }
+func (q *pktQueue) PushStamped(p *packet.Packet, st Stamp) {
+	q.pkts = append(q.pkts, p)
+	q.sts = append(q.sts, st)
+}
+func (q *pktQueue) Pop() *packet.Packet {
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		q.pkts = q.pkts[:n]
+		if q.sts != nil {
+			q.sts = q.sts[:copy(q.sts, q.sts[q.head:])]
+		}
+		q.head = 0
+	}
+	return p
+}
+
+// Sched is the generic standalone scheduler host: per-session FIFO packet
+// queues in front of one PIFO, with all discipline-specific behavior
+// delegated to the Policy. It satisfies sched.Scheduler.
+type Sched struct {
+	name    string
+	pol     Policy
+	arrival bool // stamp packets at arrival (eq. 6) vs head promotion (eq. 28)
+	tagless bool
+	q       *Queue
+	queues  []pktQueue
+	defined []bool
+	backlog int
+	// Optional policy extensions, resolved once at construction: interface
+	// type assertions cost an itab lookup, too hot for the per-packet path.
+	tick  Ticker
+	floor Floorer
+	defr  Deferrer
+	obs.Collector
+}
+
+// NewSched hosts the factory's flat policy for a link of the given rate in
+// bits/sec. It panics if the factory has no flat form.
+func NewSched(f Factory, rate float64) *Sched {
+	if f.Flat == nil {
+		panic(fmt.Sprintf("pifo: policy %q has no flat form", f.Name))
+	}
+	s := &Sched{
+		name:    f.Name,
+		pol:     f.Flat(rate),
+		arrival: f.Arrival,
+		tagless: f.Tagless,
+	}
+	if f.Monotone {
+		s.q = NewMonotoneQueue(8)
+	} else {
+		s.q = NewQueue(8)
+	}
+	s.tick, _ = s.pol.(Ticker)
+	s.floor, _ = s.pol.(Floorer)
+	s.defr, _ = s.pol.(Deferrer)
+	s.InitObs(f.Name, rate)
+	return s
+}
+
+// Name identifies the hosted policy.
+func (s *Sched) Name() string { return s.name }
+
+// Policy exposes the hosted policy (for tests and instrumentation).
+func (s *Sched) Policy() Policy { return s.pol }
+
+// VirtualTime returns the policy's virtual time.
+func (s *Sched) VirtualTime() float64 { return s.pol.V() }
+
+// AddSession registers session id with guaranteed rate in bits/sec.
+func (s *Sched) AddSession(id int, rate float64) {
+	if id < 0 {
+		panic("pifo: negative session id")
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		panic(fmt.Sprintf("pifo: invalid session rate %g", rate))
+	}
+	for len(s.queues) <= id {
+		s.queues = append(s.queues, pktQueue{})
+		s.defined = append(s.defined, false)
+	}
+	if s.defined[id] {
+		panic(fmt.Sprintf("pifo: duplicate session id %d", id))
+	}
+	s.defined[id] = true
+	s.q.Grow(id)
+	s.pol.AddFlow(id, rate)
+	s.RegisterSession(id, rate)
+}
+
+// Enqueue accepts a packet at time now. In arrival mode every packet is
+// stamped immediately (the per-flow tag chain must see every arrival); in
+// head mode only a packet reaching the head of its flow queue is stamped.
+func (s *Sched) Enqueue(now float64, p *packet.Packet) {
+	if p.Session < 0 || p.Session >= len(s.defined) || !s.defined[p.Session] {
+		panic(fmt.Sprintf("pifo: enqueue for unknown session %d", p.Session))
+	}
+	q := &s.queues[p.Session]
+	if s.arrival {
+		st := s.pol.Arrive(now, p.Session, p.Length, false)
+		q.PushStamped(p, st)
+		if q.Len() == 1 {
+			s.q.Push(p.Session, p.Length, st, s.pol.V())
+		}
+	} else {
+		q.Push(p)
+		if q.Len() == 1 {
+			st := s.pol.Arrive(now, p.Session, p.Length, false)
+			s.q.Push(p.Session, p.Length, st, s.pol.V())
+		}
+	}
+	s.backlog++
+	s.RecordEnqueue(now, p.Session, p.Length)
+}
+
+// Dequeue returns the next packet to transmit, or nil when empty: tick the
+// policy clock, floor and migrate eligibility, pop the smallest rank, run
+// the defer hook, commit, and promote the served flow's next head.
+func (s *Sched) Dequeue(now float64) *packet.Packet {
+	if s.backlog == 0 {
+		return nil
+	}
+	if s.tick != nil {
+		s.tick.Tick(now)
+	}
+	if mp, some := s.q.MinParked(); some {
+		if s.floor != nil {
+			s.q.Migrate(s.floor.FloorV(mp, s.q.HaveReady()))
+		} else {
+			s.q.Migrate(s.pol.V())
+		}
+	}
+	id, length, st := s.q.Pop()
+	if s.defr != nil {
+		for {
+			rank, deferred := s.defr.Defer(id, length)
+			if !deferred {
+				break
+			}
+			rst := *st
+			rst.Rank, rst.Gated = rank, false
+			s.q.Reinsert(id, length, rst)
+			id, length, st = s.q.Pop()
+		}
+	}
+	q := &s.queues[id]
+	served := q.Pop()
+	s.backlog--
+	// Commit returns the advanced clock; one value serves the re-push and
+	// the trace hook (Arrive never moves the clock — Policy contract).
+	v := s.pol.Commit(id, length, *st, s.backlog)
+	// The stamp pointer dies at the re-push (it may overwrite the entry
+	// slot); capture the trace fields first.
+	vs, vf := st.S, st.F
+	if !q.Empty() {
+		hp := q.Head()
+		if s.arrival {
+			s.q.Push(id, hp.Length, q.HeadStamp(), v)
+		} else {
+			nst := s.pol.Arrive(now, id, hp.Length, true)
+			s.q.Push(id, hp.Length, nst, v)
+		}
+	}
+	if s.tagless {
+		s.RecordDequeue(now, id, length)
+	} else {
+		s.RecordDequeueVT(now, id, length, vs, vf, v)
+	}
+	return served
+}
+
+// Backlog returns the number of queued packets.
+func (s *Sched) Backlog() int { return s.backlog }

@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"testing"
+
+	"hpfq/internal/core"
+	"hpfq/internal/packet"
+)
+
+// PIFO substrate cost vs the seed per-scheduler heaps: each pair runs the
+// identical steady-state workload — a standing backlog over 32 sessions,
+// one dequeue + one enqueue per op — through the PIFO-hosted policy (what
+// the registry now returns) and through the seed implementation it
+// replaced. `make bench` refreshes BENCH_sched.json from these.
+
+func benchFlat(b *testing.B, s Scheduler) {
+	const nSessions = 32
+	for id := 0; id < nSessions; id++ {
+		s.AddSession(id, 1e6/nSessions)
+	}
+	now := 0.0
+	for id := 0; id < nSessions; id++ {
+		s.Enqueue(now, packet.New(id, 8000))
+		s.Enqueue(now, packet.New(id, 8000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := s.Dequeue(now)
+		now += p.Length / 1e6
+		s.Enqueue(now, packet.New(p.Session, 8000))
+	}
+}
+
+func mustNew(b *testing.B, name string) Scheduler {
+	s, err := New(name, 1e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkPIFOWF2QPlus(b *testing.B) { benchFlat(b, mustNew(b, "WF2Q+")) }
+func BenchmarkSeedWF2QPlus(b *testing.B) { benchFlat(b, core.NewScheduler(1e6)) }
+func BenchmarkPIFOWFQ(b *testing.B)      { benchFlat(b, mustNew(b, "WFQ")) }
+func BenchmarkSeedWFQ(b *testing.B)      { benchFlat(b, NewWFQ(1e6)) }
+func BenchmarkPIFOSCFQ(b *testing.B)     { benchFlat(b, mustNew(b, "SCFQ")) }
+func BenchmarkSeedSCFQ(b *testing.B)     { benchFlat(b, NewSCFQ(1e6)) }
+func BenchmarkPIFOSFQ(b *testing.B)      { benchFlat(b, mustNew(b, "SFQ")) }
+func BenchmarkSeedSFQ(b *testing.B)      { benchFlat(b, NewSFQ(1e6)) }
+func BenchmarkPIFODRR(b *testing.B)      { benchFlat(b, mustNew(b, "DRR")) }
+func BenchmarkSeedDRR(b *testing.B)      { benchFlat(b, NewDRR(1e6)) }
+
+// Node form: the hierarchy's one-packet logical queues, continuation
+// re-push per op.
+func benchNode(b *testing.B, n NodeScheduler) {
+	const nChildren = 32
+	for id := 0; id < nChildren; id++ {
+		n.AddChild(id, 1e6/nChildren)
+	}
+	for id := 0; id < nChildren; id++ {
+		n.Push(id, 8000, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, _ := n.Pop()
+		n.Push(id, 8000, true)
+	}
+}
+
+func BenchmarkPIFOWF2QPlusNode(b *testing.B) {
+	n, err := NewNode("WF2Q+", 1e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNode(b, n)
+}
+
+func BenchmarkSeedWF2QPlusNode(b *testing.B) { benchNode(b, core.NewNode(1e6)) }

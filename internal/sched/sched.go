@@ -17,6 +17,7 @@ import (
 	"hpfq/internal/errs"
 	"hpfq/internal/obs"
 	"hpfq/internal/packet"
+	"hpfq/internal/pifo"
 )
 
 // eligEps absorbs float64 summation noise when comparing virtual start
@@ -85,41 +86,47 @@ type factory struct {
 	node func(rate float64) NodeScheduler
 }
 
+// pifoHosted builds a registry entry that hosts the named pifo policy on
+// the generic PIFO substrate (internal/pifo). The classic disciplines and
+// the new rank-function policies (SP, EDF, SRPT, LSTF) all route through
+// here; their seed implementations in this package remain as the golden
+// references the equivalence tests compare against.
+func pifoHosted(name string) factory {
+	f, ok := pifo.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("sched: no pifo policy %q", name))
+	}
+	fac := factory{}
+	if f.Flat != nil {
+		fac.flat = func(r float64) Scheduler { return pifo.NewSched(f, r) }
+	}
+	if f.Node != nil {
+		fac.node = func(r float64) NodeScheduler { return pifo.NewNode(f, r) }
+	}
+	return fac
+}
+
 var registry = map[string]factory{
-	"WF2Q+": {
-		flat: func(r float64) Scheduler { return core.NewScheduler(r) },
-		node: func(r float64) NodeScheduler { return core.NewNode(r) },
-	},
+	"WF2Q+": pifoHosted("WF2Q+"),
 	"WF2Q+fixed": {
 		flat: func(r float64) Scheduler { return core.NewFixedScheduler(r) },
 	},
-	"WFQ": {
-		flat: func(r float64) Scheduler { return NewWFQ(r) },
-		node: func(r float64) NodeScheduler { return NewWFQNode(r) },
-	},
-	"WF2Q": {
-		flat: func(r float64) Scheduler { return NewWF2Q(r) },
-		node: func(r float64) NodeScheduler { return NewWF2QNode(r) },
-	},
-	"SCFQ": {
-		flat: func(r float64) Scheduler { return NewSCFQ(r) },
-		node: func(r float64) NodeScheduler { return NewSCFQNode(r) },
-	},
-	"SFQ": {
-		flat: func(r float64) Scheduler { return NewSFQ(r) },
-		node: func(r float64) NodeScheduler { return NewSFQNode(r) },
-	},
-	"DRR": {
-		flat: func(r float64) Scheduler { return NewDRR(r) },
-		node: func(r float64) NodeScheduler { return NewDRRNode(r) },
-	},
+	"WFQ":  pifoHosted("WFQ"),
+	"WF2Q": pifoHosted("WF2Q"),
+	"SCFQ": pifoHosted("SCFQ"),
+	"SFQ":  pifoHosted("SFQ"),
+	"DRR":  pifoHosted("DRR"),
 	"FIFO": {
 		flat: func(r float64) Scheduler { return NewFIFO(r) },
 	},
+	"SP":   pifoHosted("SP"),
+	"EDF":  pifoHosted("EDF"),
+	"SRPT": pifoHosted("SRPT"),
+	"LSTF": pifoHosted("LSTF"),
 }
 
-// New returns a standalone scheduler by algorithm name
-// ("WF2Q+", "WFQ", "WF2Q", "SCFQ", "SFQ", "DRR", "FIFO").
+// New returns a standalone scheduler by algorithm name ("WF2Q+", "WFQ",
+// "WF2Q", "SCFQ", "SFQ", "DRR", "FIFO", "SP", "EDF", "SRPT", "LSTF").
 func New(name string, rate float64) (Scheduler, error) {
 	f, ok := registry[name]
 	if !ok || f.flat == nil {
@@ -139,6 +146,24 @@ func NewNode(name string, rate float64) (NodeScheduler, error) {
 		return nil, fmt.Errorf("sched: %w: %q", errs.ErrNoNodeForm, name)
 	}
 	return f.node(rate), nil
+}
+
+// NewPolicy returns a standalone scheduler hosting an explicit pifo policy
+// — the WithPolicy path of the public API, bypassing the name registry.
+func NewPolicy(f pifo.Factory, rate float64) (Scheduler, error) {
+	if f.Flat == nil {
+		return nil, fmt.Errorf("sched: %w: policy %q", errs.ErrNoFlatForm, f.Name)
+	}
+	return pifo.NewSched(f, rate), nil
+}
+
+// NewPolicyNode returns a hierarchical server node hosting an explicit pifo
+// policy — the WithPolicy/WithNodePolicy path of the public API.
+func NewPolicyNode(f pifo.Factory, rate float64) (NodeScheduler, error) {
+	if f.Node == nil {
+		return nil, fmt.Errorf("sched: %w: policy %q", errs.ErrNoNodeForm, f.Name)
+	}
+	return pifo.NewNode(f, rate), nil
 }
 
 // stamped couples a queued packet with its virtual times.

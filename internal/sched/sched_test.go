@@ -11,12 +11,12 @@ import (
 	"hpfq/internal/packet"
 )
 
-var allAlgos = []string{"WF2Q+", "WF2Q+fixed", "WFQ", "WF2Q", "SCFQ", "SFQ", "DRR", "FIFO"}
+var allAlgos = []string{"WF2Q+", "WF2Q+fixed", "WFQ", "WF2Q", "SCFQ", "SFQ", "DRR", "FIFO", "SP", "EDF", "SRPT", "LSTF"}
 var fairAlgos = []string{"WF2Q+", "WF2Q+fixed", "WFQ", "WF2Q", "SCFQ", "SFQ", "DRR"}
 
 func TestRegistry(t *testing.T) {
 	names := Algorithms()
-	if len(names) != 8 {
+	if len(names) != 12 {
 		t.Fatalf("registry has %d algorithms: %v", len(names), names)
 	}
 	for _, name := range allAlgos {

@@ -1,0 +1,72 @@
+package topo
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	n, err := Parse("root=1(agg=3(a=2:0,b=1:1),c=1:2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "root" || len(n.Children) != 2 {
+		t.Fatalf("root = %+v", n)
+	}
+	agg := n.Children[0]
+	if agg.Name != "agg" || agg.Share != 3 || len(agg.Children) != 2 {
+		t.Fatalf("agg = %+v", agg)
+	}
+	if leaf := n.FindSession(1); leaf == nil || leaf.Name != "b" || leaf.Share != 1 {
+		t.Fatalf("session 1 = %+v", n.FindSession(1))
+	}
+	if c := n.Children[1]; !c.IsLeaf() || c.Session != 2 {
+		t.Fatalf("c = %+v", c)
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	n, err := Parse("root=1:WF2Q+(video=3:SP(hd=2:0,sd=1:1),bulk=1:2:EDF)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Policy != "WF2Q+" {
+		t.Errorf("root policy %q, want WF2Q+", n.Policy)
+	}
+	if v := n.Find("video"); v == nil || v.Policy != "SP" {
+		t.Errorf("video policy = %+v", v)
+	}
+	if hd := n.Find("hd"); hd == nil || hd.Policy != "" || hd.Session != 0 {
+		t.Errorf("hd = %+v", hd)
+	}
+	// A leaf's policy clause is recorded even though only interior nodes
+	// carry servers.
+	if b := n.Find("bulk"); b == nil || b.Policy != "EDF" || b.Session != 2 {
+		t.Errorf("bulk = %+v", b)
+	}
+	// Policy names are not validated at parse time.
+	if _, err := Parse("root=1:definitely-not-a-policy(a=1:0)"); err != nil {
+		t.Errorf("unknown policy name rejected at parse time: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                      // empty
+		"root",                  // no '='
+		"=1(a=1:0)",             // missing name
+		"root=0(a=1:0)",         // bad share
+		"root=x(a=1:0)",         // non-numeric share
+		"root=1",                // no body
+		"root=1(a=1:0",          // unclosed children
+		"root=1(a=1:0)x",        // trailing input
+		"root=1(a=1:-2)",        // negative session
+		"root=1(a=1:zz)",        // non-numeric session
+		"root=1:(a=1:0)",        // empty interior policy
+		"root=1(a=1:0:)",        // empty leaf policy
+		"root=1(a=1:0,b=1:0)",   // duplicate session (Validate)
+		"root=1(a=1:0;b=1:1)",   // bad separator
+		"root=1(agg=1(a=1:0),)", // empty sibling
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}

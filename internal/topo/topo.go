@@ -20,6 +20,19 @@ type Node struct {
 	Share    float64
 	Session  int // leaf session id; -1 for interior nodes
 	Children []*Node
+	// Policy optionally names the scheduling policy for this node's server
+	// (see internal/pifo). Only interior nodes carry a server in H-PFQ, so
+	// a leaf's Policy is recorded but unused by the hierarchy; empty means
+	// "inherit the hierarchy default". Set directly, via WithPolicy, or via
+	// the ':policy' clause of the Parse grammar.
+	Policy string
+}
+
+// WithPolicy sets the node's per-node policy name and returns the node, for
+// chaining in literal topologies.
+func (n *Node) WithPolicy(policy string) *Node {
+	n.Policy = policy
+	return n
 }
 
 // Leaf returns a leaf (session) node.
