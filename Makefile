@@ -22,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shaper/... ./internal/wallclock/... ./internal/dataplane/... ./cmd/hpfqgw/...
+	$(GO) test -race ./internal/shaper/... ./internal/wallclock/... ./internal/dataplane/... ./internal/ctl/... ./cmd/hpfqgw/...
 
 vet:
 	$(GO) vet ./...
@@ -37,7 +37,7 @@ fault:
 
 bench:
 	$(GO) test ./internal/dataplane/ -run '^$$' \
-		-bench 'BenchmarkPump(PerPacket|Batched)$$' -benchmem \
+		-bench 'BenchmarkPump(PerPacket|Batched)$$|BenchmarkReconfigUnderLoad$$' -benchmem \
 		-benchtime $(BENCHTIME) -count=1 \
 		| $(GO) run ./cmd/benchjson -out BENCH_dataplane.json
 	@cat BENCH_dataplane.json

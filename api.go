@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hpfq/internal/core"
+	"hpfq/internal/ctl"
 	"hpfq/internal/dataplane"
 	"hpfq/internal/des"
 	"hpfq/internal/errs"
@@ -66,6 +67,10 @@ var (
 	// ErrClassQueueFull reports an arrival beyond a class's queue or byte
 	// cap; the datagram was dropped and the drop recorded.
 	ErrClassQueueFull = dataplane.ErrQueueFull
+	// ErrClassDraining reports an Ingest for a class RemoveClass is
+	// retiring: the staged remainder still leaves in scheduled order, new
+	// arrivals are refused.
+	ErrClassDraining = dataplane.ErrClassDraining
 )
 
 // Bits8KB is the paper's 8 KB packet size in bits.
@@ -375,13 +380,15 @@ func Interior(name string, share float64, children ...*Topology) *Topology {
 
 // ParseTopology parses a link-sharing tree spec:
 //
-//	node := name '=' share (':' session [':' policy] | [':' policy] '(' node {',' node} ')')
+//	node := name '=' share ['^' ceil] (':' session [':' policy] | [':' policy] '(' node {',' node} ')')
 //
 // e.g. "root=1(video=3(hd=2:0,sd=1:1),bulk=1:2)", or with per-node
 // policies "root=1:WF2Q+(video=3:SP(hd=2:0,sd=1:1),bulk=1:2)". Shares are
 // relative to siblings; the optional policy clause names the scheduling
-// discipline of that node's server. The cmd/hpfqgw and cmd/hpfqsim -topo
-// flags speak exactly this grammar.
+// discipline of that node's server. The optional '^ceil' clause caps the
+// node at an absolute rate in bits/sec ("bulk=1^5e6:2") and enables
+// HTB-style borrowing on a data-plane built from the spec. The cmd/hpfqgw
+// and cmd/hpfqsim -topo flags speak exactly this grammar.
 func ParseTopology(spec string) (*Topology, error) { return topo.Parse(spec) }
 
 // Hierarchy is an H-PFQ server (the paper's §4 construction).
@@ -653,16 +660,6 @@ func WithDataplaneMetrics() DataplaneOption { return dpOptions{dataplane.WithMet
 // back into it. Plain WithTracer works too.
 func WithDataplaneTracer(t Tracer) DataplaneOption { return dpOptions{dataplane.WithTracer(t)} }
 
-// DataplaneMetrics enables per-class metric collection on the data-plane.
-//
-// Deprecated: use WithDataplaneMetrics (or WithMetrics).
-func DataplaneMetrics() DataplaneOption { return WithDataplaneMetrics() }
-
-// DataplaneTracer streams the data-plane's scheduling events to t.
-//
-// Deprecated: use WithDataplaneTracer (or WithTracer).
-func DataplaneTracer(t Tracer) DataplaneOption { return WithDataplaneTracer(t) }
-
 // WithWriteRetry tunes the data-plane pump's reaction to transient Writer
 // errors: up to limit re-attempts per packet, sleeping backoff before the
 // first and doubling up to cap between the rest. limit 0 disables retries.
@@ -746,3 +743,67 @@ func PacketReaderFrom(r io.Reader) PacketReader { return dataplane.ReaderFrom(r)
 // PacketWriterTo adapts an io.Writer with datagram semantics (e.g. a
 // connected *net.UDPConn) to the PacketWriter contract.
 func PacketWriterTo(w io.Writer) PacketWriter { return dataplane.WriterTo(w) }
+
+// --------------------------------------------------------------------------
+// Control plane: live introspection and hitless reconfiguration.
+
+// WithBorrowing enables HTB-style rate/ceil borrowing on the data-plane:
+// every class (and, over a topology, every named node) gets a token bucket
+// at its guaranteed rate, and a class whose bucket is empty may borrow idle
+// tokens from its ancestors, bounded by any ceilings on its path. Ceilings
+// (WithClassCeil, WithNodeCeil, '^ceil' topology clauses, or the live
+// Dataplane.SetCeil/SetNodeCeil) enable borrowing implicitly.
+func WithBorrowing() DataplaneOption { return dpOptions{dataplane.WithBorrowing()} }
+
+// WithClassCeil caps a data-plane class at an absolute ceiling in bits/sec
+// (HTB ceil) and enables borrowing.
+func WithClassCeil(class int, ceil float64) DataplaneOption {
+	return dpOptions{dataplane.WithClassCeil(class, ceil)}
+}
+
+// WithNodeCeil caps a named interior topology node at an absolute ceiling
+// in bits/sec (HTB ceil), bounding its whole subtree, and enables
+// borrowing. Ignored in flat mode.
+func WithNodeCeil(name string, ceil float64) DataplaneOption {
+	return dpOptions{dataplane.WithNodeCeil(name, ceil)}
+}
+
+// DataplaneStatus is the control plane's one-call view of a running engine:
+// configuration, lifecycle, the scheduler snapshot, the live topology, and
+// per-class staging state. Read it with Dataplane.Status; the admin server
+// serves it on /api/status.
+type DataplaneStatus = dataplane.Status
+
+// ClassStatus is one class's row in DataplaneStatus.
+type ClassStatus = dataplane.ClassStatus
+
+// TreeNodeInfo describes one live node of a data-plane topology
+// (DataplaneStatus.Nodes, Hierarchy.Nodes).
+type TreeNodeInfo = hier.NodeInfo
+
+// AdminServer is the gateway's HTTP control plane (internal/ctl): live
+// introspection (/healthz, /status, /api/status, /api/nodes, /api/flows,
+// /api/policies) and hitless mutations (/api/class/*, /api/node/*) over a
+// running Dataplane. Construct with NewAdminServer, then Start/Close, or
+// mount Handler under an existing server.
+type AdminServer = ctl.Server
+
+// AdminOption configures an AdminServer.
+type AdminOption = ctl.Option
+
+// FlowInfo is one row of a gateway's client flow table, published on the
+// admin server's /api/flows endpoint via WithAdminFlows.
+type FlowInfo = ctl.FlowInfo
+
+// FlowSource supplies the current flow table to the admin server; it must
+// be safe for concurrent use.
+type FlowSource = ctl.FlowSource
+
+// NewAdminServer returns an admin HTTP server over the data-plane.
+func NewAdminServer(dp *Dataplane, opts ...AdminOption) *AdminServer {
+	return ctl.New(dp, opts...)
+}
+
+// WithAdminFlows publishes the flow table fs on the admin server's
+// /api/flows endpoint.
+func WithAdminFlows(fs FlowSource) AdminOption { return ctl.WithFlows(fs) }

@@ -4,6 +4,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"hpfq"
 )
 
 // Flow-table defaults: how long an idle client keeps its upstream flow, and
@@ -151,6 +153,22 @@ func (t *flowTable) evictIdlestLocked() {
 		delete(t.flows, oldestKey)
 		oldest.conn.Close()
 	}
+}
+
+// snapshot freezes the flow table for the admin server's /api/flows
+// endpoint.
+func (t *flowTable) snapshot() []hpfq.FlowInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]hpfq.FlowInfo, 0, len(t.flows))
+	for _, f := range t.flows {
+		info := hpfq.FlowInfo{Client: f.client.String(), LastActive: f.last}
+		if addr := f.conn.LocalAddr(); addr != nil {
+			info.LocalAddr = addr.String()
+		}
+		out = append(out, info)
+	}
+	return out
 }
 
 // count returns the live flow count.

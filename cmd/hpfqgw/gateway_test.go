@@ -128,7 +128,7 @@ func dialClient(t *testing.T, listen *net.UDPConn) *net.UDPConn {
 // upstream socket → upstream receiver, plus the reply relay back through the
 // flow table to the client.
 func TestGatewayForwards(t *testing.T) {
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.DataplaneMetrics())
+	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.WithDataplaneMetrics())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +424,7 @@ func TestGatewayDrainDeadline(t *testing.T) {
 // end: with seeded transient faults on ~30% of egress writes, retry/backoff
 // still delivers every datagram to the upstream.
 func TestGatewayFaultInjectionDelivers(t *testing.T) {
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.DataplaneMetrics(),
+	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.WithDataplaneMetrics(),
 		hpfq.WithWriteRetry(10, 100*time.Microsecond, time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
@@ -464,7 +464,7 @@ func TestGatewayFaultInjectionDelivers(t *testing.T) {
 // fault (the error fires before the socket is touched), so everything sent
 // still reaches the upstream, and no restart is charged (transient ≠ panic).
 func TestGatewayIngressFaultTolerated(t *testing.T) {
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.DataplaneMetrics())
+	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.WithDataplaneMetrics())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,17 @@
 // address a sticky class, "byte0" reads the class from the first payload
 // byte. -metrics prints the per-class counter tables on shutdown.
 //
+// -admin starts the HTTP control plane (internal/ctl) on the given address:
+// GET /status (human table), /api/status, /api/nodes, /api/flows and
+// /api/policies for live introspection, POST /api/class/* and /api/node/*
+// for hitless reconfiguration — retune rates and shares, add or drain-remove
+// classes, cap classes or subtrees with HTB ceilings, swap scheduling
+// policies — all without stopping the pump or losing surviving traffic:
+//
+//	hpfqgw ... -admin 127.0.0.1:9090 &
+//	curl http://127.0.0.1:9090/status
+//	curl -X POST 'http://127.0.0.1:9090/api/class/rate?id=0&rate=8e6'
+//
 // Failure handling: transient upstream write errors are retried with capped
 // exponential backoff (-retries, -retry.backoff, -retry.cap); -aqm switches
 // the per-class drop policy to CoDel (-aqm.target, -aqm.interval) for
@@ -74,6 +85,7 @@ func run(args []string) error {
 		byteCap      = fs.Int("bytecap", 0, "per-class staging cap in bytes (0 = unlimited)")
 		batchSize    = fs.Int("batch", hpfq.DefaultBatchSize, "max datagrams per batched egress write")
 		metrics      = fs.Bool("metrics", false, "print per-class metric tables on shutdown")
+		adminAddr    = fs.String("admin", "", "HTTP admin address for live introspection and reconfiguration (e.g. 127.0.0.1:9090; empty = disabled)")
 
 		drain    = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline (0 = wait forever)")
 		flowTTL  = fs.Duration("flowttl", defaultFlowTTL, "evict client flows idle longer than this")
@@ -114,7 +126,7 @@ func run(args []string) error {
 		hpfq.WithRequeue(*requeue),
 	}
 	if *metrics {
-		opts = append(opts, hpfq.DataplaneMetrics())
+		opts = append(opts, hpfq.WithDataplaneMetrics())
 	}
 	if *aqm {
 		opts = append(opts, hpfq.WithAQM(*aqmTarget, *aqmInterval))
@@ -172,6 +184,15 @@ func run(args []string) error {
 		}
 	}
 	gw := newGateway(dp, listen, uaddr, classify, cfg)
+	if *adminAddr != "" {
+		admin := hpfq.NewAdminServer(dp, hpfq.WithAdminFlows(gw.ft.snapshot))
+		bound, err := admin.Start(*adminAddr)
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+		fmt.Fprintf(os.Stderr, "hpfqgw: admin server on http://%s\n", bound)
+	}
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {

@@ -1,0 +1,232 @@
+package ctl
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"hpfq/internal/dataplane"
+	"hpfq/internal/topo"
+)
+
+func flatEngine(t *testing.T) *dataplane.Dataplane {
+	t.Helper()
+	d, err := dataplane.New("WF2Q+", 1e7, dataplane.WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AddClass(0, 6e6)
+	d.AddClass(1, 4e6)
+	return d
+}
+
+func topoEngine(t *testing.T) *dataplane.Dataplane {
+	t.Helper()
+	top, err := topo.Parse("root=1(agg=3(a=2:0,b=1:1),c=1:2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataplane.New("WF2Q+", 8e6, dataplane.WithTopology(top), dataplane.WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func post(t *testing.T, s *Server, path string, params url.Values) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", path+"?"+params.Encode(), nil))
+	return rec
+}
+
+func TestReadEndpoints(t *testing.T) {
+	s := New(flatEngine(t))
+
+	if rec := get(t, s, "/healthz"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("/healthz: %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec := get(t, s, "/api/status")
+	if rec.Code != 200 {
+		t.Fatalf("/api/status: %d", rec.Code)
+	}
+	var st dataplane.Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "flat" || st.Rate != 1e7 || len(st.Classes) != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	body := get(t, s, "/status").Body.String()
+	for _, want := range []string{"WF2Q+", "flat", "10Mbit/s", "CLASS", "6Mbit/s", "not started"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/status missing %q:\n%s", want, body)
+		}
+	}
+
+	if rec := get(t, s, "/api/nodes"); rec.Code != 404 {
+		t.Fatalf("/api/nodes on flat engine: %d, want 404", rec.Code)
+	}
+	if rec := get(t, s, "/api/flows"); rec.Code != 404 {
+		t.Fatalf("/api/flows without a source: %d, want 404", rec.Code)
+	}
+
+	rec = get(t, s, "/api/policies")
+	var names []string
+	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range names {
+		if n == "WF2Q+" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/api/policies %v missing WF2Q+", names)
+	}
+}
+
+func TestTopologyEndpoints(t *testing.T) {
+	s := New(topoEngine(t))
+
+	rec := get(t, s, "/api/nodes")
+	if rec.Code != 200 {
+		t.Fatalf("/api/nodes: %d", rec.Code)
+	}
+	var nodes map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &nodes); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nodes["agg"]; !ok {
+		t.Fatalf("/api/nodes keys missing agg: %v", nodes)
+	}
+
+	body := get(t, s, "/status").Body.String()
+	for _, want := range []string{"NODE", "agg", "root", "topology"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/status missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestFlowsEndpoint(t *testing.T) {
+	now := time.Now()
+	src := func() []FlowInfo {
+		return []FlowInfo{
+			{Client: "10.0.0.9:1234", LocalAddr: "10.0.0.1:50000", LastActive: now},
+			{Client: "10.0.0.2:999", LocalAddr: "10.0.0.1:50001", LastActive: now},
+		}
+	}
+	s := New(flatEngine(t), WithFlows(src))
+	rec := get(t, s, "/api/flows")
+	if rec.Code != 200 {
+		t.Fatalf("/api/flows: %d", rec.Code)
+	}
+	var fl []FlowInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &fl); err != nil {
+		t.Fatal(err)
+	}
+	if len(fl) != 2 || fl[0].Client != "10.0.0.2:999" {
+		t.Fatalf("flows not sorted by client: %+v", fl)
+	}
+	if !strings.Contains(get(t, s, "/status").Body.String(), "flows: 2") {
+		t.Fatal("/status missing flow count")
+	}
+}
+
+func TestMutationEndpoints(t *testing.T) {
+	d := flatEngine(t)
+	s := New(d)
+
+	// Method check: mutations are POST-only.
+	if rec := get(t, s, "/api/class/rate"); rec.Code != 405 || rec.Header().Get("Allow") != "POST" {
+		t.Fatalf("GET mutation: %d Allow=%q", rec.Code, rec.Header().Get("Allow"))
+	}
+
+	ok := func(rec *httptest.ResponseRecorder) {
+		t.Helper()
+		if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"ok": true`) {
+			t.Fatalf("mutation failed: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	bad := func(rec *httptest.ResponseRecorder, frag string) {
+		t.Helper()
+		if rec.Code != 400 || !strings.Contains(rec.Body.String(), frag) {
+			t.Fatalf("want 400 with %q, got %d %s", frag, rec.Code, rec.Body.String())
+		}
+	}
+
+	ok(post(t, s, "/api/class/rate", url.Values{"id": {"0"}, "rate": {"2e6"}}))
+	if st := d.Status(); st.Classes[0].Rate != 2e6 {
+		t.Fatalf("rate mutation not applied: %+v", st.Classes[0])
+	}
+	bad(post(t, s, "/api/class/rate", url.Values{"id": {"0"}}), "rate")
+	bad(post(t, s, "/api/class/rate", url.Values{"id": {"x"}, "rate": {"1e6"}}), "id")
+	bad(post(t, s, "/api/class/rate", url.Values{"id": {"9"}, "rate": {"1e6"}}), "class")
+
+	ok(post(t, s, "/api/class/add", url.Values{"id": {"2"}, "rate": {"1e6"}}))
+	ok(post(t, s, "/api/class/ceil", url.Values{"id": {"2"}, "ceil": {"3e6"}}))
+	if st := d.Status(); !st.Borrowing || st.Classes[2].Ceil != 3e6 {
+		t.Fatalf("ceil mutation not applied: %+v", st)
+	}
+	ok(post(t, s, "/api/class/remove", url.Values{"id": {"2"}}))
+	bad(post(t, s, "/api/node/weight", url.Values{"name": {"agg"}, "share": {"1"}}), "topology")
+	ok(post(t, s, "/api/node/policy", url.Values{"policy": {"DRR"}}))
+	if st := d.Status(); st.Algorithm != "DRR" {
+		t.Fatalf("policy swap not applied: %q", st.Algorithm)
+	}
+	bad(post(t, s, "/api/node/policy", url.Values{"policy": {"nope"}}), "nope")
+}
+
+func TestTopologyMutationEndpoints(t *testing.T) {
+	d := topoEngine(t)
+	s := New(d)
+	ok := func(rec *httptest.ResponseRecorder) {
+		t.Helper()
+		if rec.Code != 200 {
+			t.Fatalf("mutation failed: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	ok(post(t, s, "/api/node/weight", url.Values{"name": {"agg"}, "share": {"1"}}))
+	ok(post(t, s, "/api/class/add", url.Values{"id": {"3"}, "parent": {"root"}, "share": {"2"}, "name": {"d"}}))
+	if st := d.Status(); len(st.Classes) != 4 || st.Classes[3].Name != "d" {
+		t.Fatalf("graft not applied: %+v", st.Classes)
+	}
+	ok(post(t, s, "/api/node/ceil", url.Values{"name": {"agg"}, "ceil": {"5e6"}}))
+	if !d.Status().Borrowing {
+		t.Fatal("node ceil did not enable borrowing")
+	}
+	ok(post(t, s, "/api/class/remove", url.Values{"id": {"3"}}))
+}
+
+func TestStartClose(t *testing.T) {
+	s := New(flatEngine(t))
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if addr.(interface{ String() string }).String() == "" {
+		t.Fatal("no bound address")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var unstarted Server
+	if err := unstarted.Close(); err != nil {
+		t.Fatal("Close on never-started server errored")
+	}
+}

@@ -1,0 +1,421 @@
+package dataplane
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hpfq/internal/hier"
+	"hpfq/internal/obs"
+	"hpfq/internal/pifo"
+	"hpfq/internal/sched"
+)
+
+// The control-plane surface of a running engine: live class and node
+// mutations plus the Status snapshot the admin server (internal/ctl)
+// publishes. Every mutation takes d.mu and applies between pump iterations —
+// the pump holds the lock only inside collectBatch — so a retune, graft,
+// removal, or policy swap lands atomically with respect to scheduling: no
+// pump stop, no packet loss for surviving classes.
+//
+// The drain story for RemoveClass: the class flips to draining (Ingest
+// refuses new datagrams with ErrClassDraining, recorded with reason
+// "draining"), its staged remainder leaves in normal scheduled order, and
+// the pump finalizes the removal — detaching the leaf and rebalancing its
+// siblings — once the class quiesces. Removal is therefore asynchronous but
+// loss-free; Status reports the in-between state.
+
+// removableProbe mirrors the capability probe on the pifo hosts (see
+// pifo.Sched.Removable) for flat-mode pre-checks.
+type removableProbe interface{ Removable() bool }
+
+// errNotReconfigurable names the scheduler that refused a live mutation.
+func (d *Dataplane) errNotReconfigurable() error {
+	return fmt.Errorf("dataplane: scheduler %q does not support live reconfiguration", d.algo)
+}
+
+// SetRate retunes class id's guaranteed rate in bits/sec on the live
+// engine. Over a topology the leaf's share is re-solved against its
+// siblings (hier.SetSessionRate), so sibling rates shift proportionally; in
+// flat mode only the class itself changes. Fails when the scheduling policy
+// on the affected path has no live-retune hook (notably the exact-GPS
+// clocks WFQ and WF²Q).
+func (d *Dataplane) SetRate(id int, rate float64) error {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("dataplane: invalid class rate %g", rate)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	cs := d.classes[id]
+	if cs == nil {
+		return fmt.Errorf("%w: %d", ErrNoClass, id)
+	}
+	if cs.draining {
+		return fmt.Errorf("%w: %d", ErrClassDraining, id)
+	}
+	if d.tree != nil {
+		if err := d.tree.SetSessionRate(id, rate); err != nil {
+			return err
+		}
+		d.syncRatesLocked()
+		return nil
+	}
+	r, ok := d.flat.(sched.Reconfigurer)
+	if !ok {
+		return d.errNotReconfigurable()
+	}
+	if err := r.SetSessionRate(id, rate); err != nil {
+		return err
+	}
+	cs.rate = rate
+	d.rebuildHTBLocked()
+	return nil
+}
+
+// SetWeight retunes the named topology node's service share φ relative to
+// its siblings; the subtree's guaranteed rates rescale live. Topology mode
+// only — flat classes carry absolute rates (SetRate).
+func (d *Dataplane) SetWeight(name string, share float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.tree == nil {
+		return fmt.Errorf("dataplane: no topology; flat classes carry rates, not shares")
+	}
+	if err := d.tree.SetNodeShare(name, share); err != nil {
+		return err
+	}
+	d.syncRatesLocked()
+	return nil
+}
+
+// AddLeafClass grafts a new class as a session leaf under the named
+// interior node of the live topology. Siblings dilute proportionally (the
+// paper's link-sharing semantics — there is no strict reservation to
+// exceed). ceil > 0 additionally caps the class and enables HTB borrowing;
+// 0 leaves it uncapped. Flat engines use AddClass instead.
+func (d *Dataplane) AddLeafClass(parent, name string, id int, share, ceil float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.tree == nil {
+		return fmt.Errorf("dataplane: no topology; use AddClass in flat mode")
+	}
+	if ceil != 0 && (ceil < 0 || math.IsNaN(ceil) || math.IsInf(ceil, 0)) {
+		return fmt.Errorf("dataplane: invalid ceil %g for class %d", ceil, id)
+	}
+	if _, dup := d.classes[id]; dup {
+		return fmt.Errorf("dataplane: duplicate class %d", id)
+	}
+	if err := d.tree.AddLeaf(parent, name, id, share); err != nil {
+		return err
+	}
+	d.classes[id] = d.newClassState(d.tree.SessionRate(id))
+	if ceil > 0 {
+		d.ceils[id] = ceil
+		d.borrow = true
+	}
+	d.rebuildClassOrderLocked()
+	d.syncRatesLocked()
+	return nil
+}
+
+// RemoveClass retires a class from the live engine without losing its
+// staged datagrams: the class starts draining (new Ingest calls get
+// ErrClassDraining), the remainder leaves in scheduled order, and the pump
+// finalizes the removal once the class quiesces — freed bandwidth flows to
+// the siblings. The call is idempotent while the drain runs. It fails
+// upfront, before anything changes, when the scheduler cannot remove live
+// (no FlowRemover hook on the affected policy, or the last leaf of a
+// topology node).
+func (d *Dataplane) RemoveClass(id int) error {
+	d.mu.Lock()
+	cs := d.classes[id]
+	switch {
+	case d.closed:
+		d.mu.Unlock()
+		return ErrClosed
+	case cs == nil:
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNoClass, id)
+	case cs.draining:
+		d.mu.Unlock()
+		return nil
+	}
+	if d.tree != nil {
+		if err := d.tree.CanRemoveLeaf(id); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+	} else {
+		if _, ok := d.flat.(sched.Reconfigurer); !ok {
+			d.mu.Unlock()
+			return d.errNotReconfigurable()
+		}
+		if rm, ok := d.flat.(removableProbe); !ok || !rm.Removable() {
+			d.mu.Unlock()
+			return fmt.Errorf("dataplane: policy %q does not support live class removal", d.algo)
+		}
+	}
+	cs.draining = true
+	if !d.tryFinalizeLocked(id) {
+		d.draining = append(d.draining, id)
+	}
+	d.mu.Unlock()
+	d.signal() // let an idle pump run finalization
+	return nil
+}
+
+// SetCeil caps class id at an absolute ceiling in bits/sec (HTB ceil),
+// enabling borrowing if it was off; ceil 0 removes the cap. Borrowing stays
+// on once enabled — with every cap removed the token tree admits at the
+// link rate, which is behaviorally work-conserving.
+func (d *Dataplane) SetCeil(id int, ceil float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.classes[id] == nil {
+		return fmt.Errorf("%w: %d", ErrNoClass, id)
+	}
+	switch {
+	case ceil == 0:
+		delete(d.ceils, id)
+	case ceil > 0 && !math.IsNaN(ceil) && !math.IsInf(ceil, 0):
+		d.ceils[id] = ceil
+		d.borrow = true
+	default:
+		return fmt.Errorf("dataplane: invalid ceil %g for class %d", ceil, id)
+	}
+	d.rebuildHTBLocked()
+	d.signal()
+	return nil
+}
+
+// SetNodeCeil caps a named topology node at an absolute ceiling in
+// bits/sec, bounding its whole subtree; ceil 0 removes the cap. A leaf's
+// name resolves to its class ceiling. Topology mode only.
+func (d *Dataplane) SetNodeCeil(name string, ceil float64) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	if d.tree == nil {
+		d.mu.Unlock()
+		return fmt.Errorf("dataplane: no topology; use SetCeil on a class")
+	}
+	session := -1
+	found := false
+	for _, info := range d.tree.Nodes() {
+		if info.Name == name {
+			found, session = true, info.Session
+			break
+		}
+	}
+	if !found {
+		d.mu.Unlock()
+		return fmt.Errorf("dataplane: no topology node %q", name)
+	}
+	if session >= 0 { // named leaf: its ceiling is the class ceiling
+		d.mu.Unlock()
+		return d.SetCeil(session, ceil)
+	}
+	switch {
+	case ceil == 0:
+		delete(d.nodeCeils, name)
+	case ceil > 0 && !math.IsNaN(ceil) && !math.IsInf(ceil, 0):
+		d.nodeCeils[name] = ceil
+		d.borrow = true
+	default:
+		d.mu.Unlock()
+		return fmt.Errorf("dataplane: invalid ceil %g for node %q", ceil, name)
+	}
+	d.rebuildHTBLocked()
+	d.mu.Unlock()
+	d.signal()
+	return nil
+}
+
+// SetPolicy swaps a scheduling discipline on the live engine: the flat
+// scheduler's own (node ""), or the named interior node's over a topology.
+// The standing backlog survives, re-stamped against the fresh policy's
+// virtual clock (see pifo.Sched.SetPolicy / pifo.Node.SetPolicy).
+func (d *Dataplane) SetPolicy(node string, f pifo.Factory) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.tree != nil {
+		if node == "" {
+			return fmt.Errorf("dataplane: name the topology node to swap")
+		}
+		return d.tree.SetNodePolicy(node, f)
+	}
+	if node != "" {
+		return fmt.Errorf("dataplane: flat mode has no named nodes")
+	}
+	r, ok := d.flat.(sched.Reconfigurer)
+	if !ok {
+		return d.errNotReconfigurable()
+	}
+	if err := r.SetPolicy(f, d.now()); err != nil {
+		return err
+	}
+	d.algo = f.Name
+	return nil
+}
+
+// SetPolicyName is SetPolicy resolving the discipline from the pifo policy
+// registry by name ("WF2Q+", "SCFQ", "DRR", …).
+func (d *Dataplane) SetPolicyName(node, policy string) error {
+	f, ok := pifo.Lookup(policy)
+	if !ok {
+		return fmt.Errorf("dataplane: unknown policy %q (have %v)", policy, pifo.Names())
+	}
+	return d.SetPolicy(node, f)
+}
+
+// syncRatesLocked refreshes every class's cached guaranteed rate from the
+// tree after a share-changing mutation (siblings move when one does) and
+// rebuilds the HTB mirror over the new rates. Caller holds d.mu; topology
+// mode only.
+func (d *Dataplane) syncRatesLocked() {
+	for id, cs := range d.classes {
+		if r := d.tree.SessionRate(id); r > 0 {
+			cs.rate = r
+		}
+	}
+	d.rebuildHTBLocked()
+}
+
+// tryFinalizeLocked completes a draining class's removal once it holds no
+// datagrams anywhere in the engine. Over a topology the detach can lag one
+// extra batch (hier.Tree pins the dequeued head until the next Dequeue);
+// the pump just retries. Caller holds d.mu.
+func (d *Dataplane) tryFinalizeLocked(id int) bool {
+	cs := d.classes[id]
+	if cs == nil {
+		return true
+	}
+	if cs.packets > 0 {
+		return false
+	}
+	if d.tree != nil {
+		if d.tree.RemoveLeaf(id) != nil {
+			return false
+		}
+		d.syncRatesLocked()
+	} else {
+		r, ok := d.flat.(sched.Reconfigurer)
+		if !ok || r.RemoveSession(id) != nil {
+			return false
+		}
+	}
+	delete(d.classes, id)
+	delete(d.ceils, id)
+	d.rebuildClassOrderLocked()
+	d.rebuildHTBLocked()
+	return true
+}
+
+// finalizeDraining retries removal finalization for every draining class;
+// the pump calls it once per batch. Caller holds d.mu.
+func (d *Dataplane) finalizeDraining() {
+	if len(d.draining) == 0 {
+		return
+	}
+	kept := d.draining[:0]
+	for _, id := range d.draining {
+		if !d.tryFinalizeLocked(id) {
+			kept = append(kept, id)
+		}
+	}
+	d.draining = kept
+}
+
+// Status is the control plane's one-call view of a running engine:
+// configuration, lifecycle, the scheduler's metric snapshot, the live
+// topology, and per-class staging state.
+type Status struct {
+	Algorithm string  // scheduling discipline ("WF2Q+", "H-WF2Q+", …)
+	Rate      float64 // link rate, bits/sec
+	Mode      string  // "flat" or "topology"
+	Borrowing bool    // HTB rate/ceil borrowing active
+	Started   bool
+	Closed    bool
+	Restarts  int // pump panic-recoveries
+
+	Scheduler obs.Metrics     // per-class counters, delays, drops by reason
+	Nodes     []hier.NodeInfo // live topology, preorder; nil in flat mode
+	Classes   []ClassStatus   // per-class staging state, sorted by id
+	Pool      *PoolStats      // buffer-pool counters; nil without a pool
+}
+
+// ClassStatus is one class's row in Status.
+type ClassStatus struct {
+	ID          int
+	Name        string  // topology leaf name; "" in flat mode
+	Rate        float64 // guaranteed rate, bits/sec
+	Ceil        float64 // HTB ceiling; 0 = uncapped
+	Queued      int     // datagrams staged (gate + scheduler)
+	QueuedBytes int
+	Gated       int // datagrams parked at the HTB gate
+	Draining    bool
+}
+
+// Status snapshots the engine for the admin server. Safe to call
+// concurrently with Ingest, mutations, and the pump.
+func (d *Dataplane) Status() Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := Status{
+		Algorithm: d.algo,
+		Rate:      d.rate,
+		Mode:      "flat",
+		Borrowing: d.borrow,
+		Started:   d.started,
+		Closed:    d.closed,
+		Restarts:  d.restarts,
+		Scheduler: d.q.Snapshot(),
+	}
+	names := map[int]string{}
+	if d.tree != nil {
+		st.Mode = "topology"
+		st.Algorithm = d.tree.Name()
+		st.Nodes = d.tree.Nodes()
+		for _, info := range st.Nodes {
+			if info.Session >= 0 {
+				names[info.Session] = info.Name
+			}
+		}
+	}
+	st.Classes = make([]ClassStatus, 0, len(d.classes))
+	for id, cs := range d.classes {
+		st.Classes = append(st.Classes, ClassStatus{
+			ID:          id,
+			Name:        names[id],
+			Rate:        cs.rate,
+			Ceil:        d.ceils[id],
+			Queued:      cs.packets,
+			QueuedBytes: cs.bytes,
+			Gated:       cs.gateLen(),
+			Draining:    cs.draining,
+		})
+	}
+	sort.Slice(st.Classes, func(i, j int) bool { return st.Classes[i].ID < st.Classes[j].ID })
+	if d.pool != nil {
+		ps := d.pool.Stats()
+		st.Pool = &ps
+	}
+	return st
+}

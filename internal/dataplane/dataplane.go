@@ -100,6 +100,10 @@ var (
 	// at its packet or byte cap; the datagram is dropped (tail-drop) and the
 	// drop is recorded in the metrics with its reason.
 	ErrQueueFull = errors.New("dataplane: class queue full")
+	// ErrClassDraining is returned by Ingest for a class RemoveClass is
+	// draining: already-staged datagrams still leave in scheduled order, new
+	// arrivals are refused (recorded with reason "draining").
+	ErrClassDraining = errors.New("dataplane: class draining")
 )
 
 // minWait is the shortest pacing sleep, bounding the pump's wakeup frequency
@@ -143,13 +147,28 @@ type queue interface {
 }
 
 // classState tracks one class's staged datagrams against its caps and, when
-// AQM is enabled, its CoDel state.
+// AQM is enabled, its CoDel state. packets/bytes count everything the class
+// holds inside the engine: the HTB gate (when borrowing is on) plus the
+// scheduler's staging queue, so the ingest caps bound the sum.
 type classState struct {
 	rate    float64
 	packets int
 	bytes   int
 	codel   *codel // nil unless WithAQM
+
+	// HTB borrowing gate (htb.go): staged envelopes awaiting token
+	// admission, FIFO with head compaction. Empty unless borrowing is on.
+	gate     []*envelope
+	gateHead int
+
+	// draining marks a class RemoveClass is retiring: Ingest refuses new
+	// datagrams while the staged remainder leaves in scheduled order; the
+	// pump finalizes the removal once the class quiesces.
+	draining bool
 }
+
+// gateLen returns the number of datagrams parked at the class's HTB gate.
+func (cs *classState) gateLen() int { return len(cs.gate) - cs.gateHead }
 
 // datagram is the engine's per-packet payload record: the raw bytes, the
 // opaque routing context from IngestCtx, and the packet's remaining requeue
@@ -196,6 +215,10 @@ type config struct {
 	batch    int
 	pol      *pifo.Factory
 	nodePols map[string]pifo.Factory
+
+	borrow    bool
+	ceils     map[int]float64
+	nodeCeils map[string]float64
 }
 
 // Option configures a Dataplane at construction.
@@ -293,6 +316,38 @@ func WithBufferPool(p *BufferPool) Option {
 // after a mid-batch error.
 func WithBatchSize(n int) Option { return func(c *config) { c.batch = n } }
 
+// WithBorrowing enables HTB-style rate/ceil borrowing (htb.go): every class
+// (and, over a topology, every named node) gets a token bucket at its
+// guaranteed rate, and a class whose bucket is empty may borrow idle tokens
+// from its ancestors, bounded by any ceilings on its path. Without ceilings
+// the engine behaves work-conservingly as before; the option matters once
+// SetCeil/SetNodeCeil (or '^ceil' topo clauses, which enable it implicitly)
+// cap somebody.
+func WithBorrowing() Option { return func(c *config) { c.borrow = true } }
+
+// WithClassCeil caps a class at an absolute ceiling in bits/sec (HTB ceil)
+// and enables borrowing. Over a topology the class is the session leaf;
+// '^ceil' topo clauses are the equivalent spec-side spelling.
+func WithClassCeil(class int, ceil float64) Option {
+	return func(c *config) {
+		if c.ceils == nil {
+			c.ceils = make(map[int]float64)
+		}
+		c.ceils[class] = ceil
+	}
+}
+
+// WithNodeCeil caps a named interior topology node at an absolute ceiling in
+// bits/sec (HTB ceil) and enables borrowing. Ignored in flat mode.
+func WithNodeCeil(name string, ceil float64) Option {
+	return func(c *config) {
+		if c.nodeCeils == nil {
+			c.nodeCeils = make(map[string]float64)
+		}
+		c.nodeCeils[name] = ceil
+	}
+}
+
 // WithAQM enables a per-class CoDel drop policy as graceful degradation
 // under overload: packets whose staging sojourn stays above target for a
 // full interval are shed at dequeue (reason "codel"), with drop pressure
@@ -319,6 +374,7 @@ func WithAQM(target, interval time.Duration) Option {
 type Dataplane struct {
 	rate  float64
 	burst float64
+	algo  string
 	clock wallclock.Clock
 	epoch time.Time
 	retry retryPolicy
@@ -337,6 +393,23 @@ type Dataplane struct {
 	closed   bool
 	started  bool
 	restarts int // pump panic-recoveries
+
+	// HTB borrowing state (htb.go). borrow flips on via WithBorrowing, any
+	// configured ceiling, or a live SetCeil/SetNodeCeil; the token mirror is
+	// rebuilt from scratch on every reconfiguration (mutations are rare, the
+	// admit path is hot).
+	borrow    bool
+	htb       *htb
+	ceils     map[int]float64    // per-class ceilings in bits/sec
+	nodeCeils map[string]float64 // per-interior-node ceilings in bits/sec
+	gated     int                // datagrams parked at class gates
+	gateOrder []int              // class visit order for gate release
+	gateStart int                // rotating start index into gateOrder
+	gateWait  time.Duration      // pump hint: earliest gate refill, 0 if none
+
+	// draining lists classes RemoveClass is retiring; the pump retries
+	// finalization each batch until each quiesces.
+	draining []int
 
 	pool  *BufferPool // nil: the engine never recycles payload buffers
 	batch int         // max datagrams per WriteBatch call
@@ -394,20 +467,23 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 		cfg.retry.cap = cfg.retry.backoff
 	}
 	d := &Dataplane{
-		rate:     rate,
-		burst:    cfg.burst,
-		clock:    cfg.clock,
-		retry:    cfg.retry,
-		aqm:      cfg.aqm,
-		target:   cfg.target,
-		interval: cfg.interval,
-		classes:  make(map[int]*classState),
-		capPkts:  cfg.capPkts,
-		capBytes: cfg.capBytes,
-		pool:     cfg.pool,
-		batch:    cfg.batch,
-		wake:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
+		rate:      rate,
+		burst:     cfg.burst,
+		algo:      algorithm,
+		clock:     cfg.clock,
+		retry:     cfg.retry,
+		aqm:       cfg.aqm,
+		target:    cfg.target,
+		interval:  cfg.interval,
+		classes:   make(map[int]*classState),
+		capPkts:   cfg.capPkts,
+		capBytes:  cfg.capBytes,
+		pool:      cfg.pool,
+		batch:     cfg.batch,
+		ceils:     make(map[int]float64),
+		nodeCeils: make(map[string]float64),
+		wake:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
 	}
 	if d.burst <= 0 {
 		d.burst = rate * 0.005 // 5 ms of egress per batch
@@ -451,7 +527,41 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 	if cfg.tracer != nil {
 		d.q.SetTracer(cfg.tracer)
 	}
+	// HTB ceilings: topology '^ceil' clauses first, explicit options on top.
+	if cfg.top != nil {
+		var ceilErr error
+		cfg.top.Walk(func(n *topo.Node, _ int) {
+			if n.Ceil <= 0 {
+				return
+			}
+			if n.IsLeaf() {
+				d.ceils[n.Session] = n.Ceil
+			} else if n.Name != "" {
+				d.nodeCeils[n.Name] = n.Ceil
+			} else if ceilErr == nil {
+				ceilErr = fmt.Errorf("dataplane: ceil on unnamed interior node")
+			}
+		})
+		if ceilErr != nil {
+			return nil, ceilErr
+		}
+	}
+	for id, ceil := range cfg.ceils {
+		if ceil <= 0 || math.IsNaN(ceil) || math.IsInf(ceil, 0) {
+			return nil, fmt.Errorf("dataplane: invalid ceil %g for class %d", ceil, id)
+		}
+		d.ceils[id] = ceil
+	}
+	for name, ceil := range cfg.nodeCeils {
+		if ceil <= 0 || math.IsNaN(ceil) || math.IsInf(ceil, 0) {
+			return nil, fmt.Errorf("dataplane: invalid ceil %g for node %q", ceil, name)
+		}
+		d.nodeCeils[name] = ceil
+	}
+	d.borrow = cfg.borrow || len(d.ceils) > 0 || len(d.nodeCeils) > 0
 	d.epoch = d.clock.Now()
+	d.rebuildClassOrderLocked()
+	d.rebuildHTBLocked()
 	return d, nil
 }
 
@@ -517,6 +627,8 @@ func (d *Dataplane) AddClass(id int, rate float64) error {
 	}
 	d.flat.AddSession(id, rate)
 	d.classes[id] = d.newClassState(rate)
+	d.rebuildClassOrderLocked()
+	d.rebuildHTBLocked()
 	return nil
 }
 
@@ -567,6 +679,10 @@ func (d *Dataplane) IngestCtx(class int, b []byte, ctx any) error {
 	case cs == nil:
 		d.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrNoClass, class)
+	case cs.draining:
+		d.q.RecordDropReason(d.now(), class, bits, obs.DropDraining)
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrClassDraining, class)
 	case d.capPkts > 0 && cs.packets >= d.capPkts:
 		staged := cs.packets
 		d.q.RecordDropReason(d.now(), class, bits, obs.DropTail)
@@ -584,7 +700,14 @@ func (d *Dataplane) IngestCtx(class int, b []byte, ctx any) error {
 	env.pkt.Arrival = d.now() // sojourn basis for the AQM
 	env.pkt.Payload = env
 	env.dg = datagram{b: b, ctx: ctx, requeues: d.retry.requeues}
-	d.q.Enqueue(d.now(), &env.pkt)
+	if d.htb != nil {
+		// Borrowing: park at the class gate; the pump admits against the
+		// token tree (htb.go) before the packet enters the scheduler.
+		cs.gate = append(cs.gate, env)
+		d.gated++
+	} else {
+		d.q.Enqueue(d.now(), &env.pkt)
+	}
 	cs.packets++
 	cs.bytes += len(b)
 	d.mu.Unlock()
@@ -695,8 +818,13 @@ func (d *Dataplane) pump() {
 		case closed && backlog == 0:
 			return
 		case backlog > 0:
-			// Out of tokens: sleep until the bucket covers the deficit.
+			// Out of tokens, or the remaining backlog is parked at HTB
+			// gates: sleep until the link bucket covers the deficit (or,
+			// when tokens are flush, until the earliest gate refill).
 			wait := time.Duration(-tokens / d.rate * float64(time.Second))
+			if tokens >= 0 && d.gateWait > 0 {
+				wait = d.gateWait
+			}
 			if wait < minWait {
 				wait = minWait
 			}
@@ -723,6 +851,7 @@ func (d *Dataplane) collectBatch(tokens float64, last *time.Time) (float64, int,
 	if tokens > d.burst {
 		tokens = d.burst
 	}
+	d.releaseGated(d.now())
 	for tokens >= 0 {
 		p := d.q.Dequeue(d.now())
 		if p == nil {
@@ -742,7 +871,8 @@ func (d *Dataplane) collectBatch(tokens float64, last *time.Time) (float64, int,
 		tokens -= p.Length
 		d.inflight = append(d.inflight, released{class: p.Session, env: env})
 	}
-	return tokens, d.q.Backlog(), d.closed
+	d.finalizeDraining()
+	return tokens, d.q.Backlog() + d.gated, d.closed
 }
 
 // writeInflight delivers the collected release to the writer in
@@ -851,6 +981,14 @@ func (d *Dataplane) finishWritten(written []released) {
 func (d *Dataplane) exhausted(r released, bits float64) {
 	d.mu.Lock()
 	cs := d.classes[r.class]
+	if cs == nil {
+		// Class removed while this packet was in flight: nothing left to
+		// requeue into.
+		d.q.RecordDropReason(d.now(), r.class, bits, obs.DropRetries)
+		d.mu.Unlock()
+		d.freeEnvelope(r.env)
+		return
+	}
 	fits := (d.capPkts <= 0 || cs.packets < d.capPkts) &&
 		(d.capBytes <= 0 || cs.bytes+len(r.env.dg.b) <= d.capBytes)
 	if r.env.dg.requeues <= 0 || !fits {

@@ -57,7 +57,9 @@ type node struct {
 	childIdx int // this node's id within parent's scheduler
 	children []*node
 	rate     float64
-	session  int // leaf session id, -1 for interior
+	share    float64 // service share φ relative to siblings (topo.Node.Share)
+	removed  bool    // detached by RemoveLeaf; slot kept so childIdx stays stable
+	session  int     // leaf session id, -1 for interior
 
 	ns   sched.NodeScheduler // interior nodes only
 	fifo packet.FIFO         // leaves only
@@ -160,6 +162,7 @@ func (tr *Tree) build(t *topo.Node, parent *node, idx int, rates map[*topo.Node]
 		parent:   parent,
 		childIdx: idx,
 		rate:     rates[t],
+		share:    t.Share,
 		session:  t.Session,
 	}
 	if t.IsLeaf() {

@@ -1,0 +1,344 @@
+package hier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hpfq/internal/pifo"
+	"hpfq/internal/sched"
+)
+
+// This file is the live-mutation surface of the H-PFQ tree: share retunes,
+// leaf grafts and removals, and per-node policy swaps on a running server.
+// The dataplane calls these between pump iterations while holding its own
+// lock, so nothing here synchronizes; the contract is that every method
+// either applies fully or reports an error without touching scheduler state
+// (capability pre-checks walk the affected subtree before the first write).
+//
+// Shares, not rates, are the mutable quantity — exactly the link-sharing
+// model of the paper (§2): a node's guaranteed rate is always
+// r_parent · φ/Σφ over its live siblings, so adding a class dilutes its
+// siblings proportionally and removing one lets them inherit the freed
+// bandwidth, with no reservation bookkeeping to corrupt.
+
+// ErrLeafBusy reports a RemoveLeaf on a leaf that still holds packets —
+// either queued in its FIFO or committed on the active path. The caller owns
+// the drain story: stop feeding the session and retry once it quiesces.
+var ErrLeafBusy = errors.New("hier: leaf still holds packets")
+
+// retunable and removable are the capability probes pifo hosts implement
+// (see pifo.Sched.Retunable); bespoke node schedulers without them are
+// treated as immutable.
+type retunable interface{ Retunable() bool }
+type removable interface{ Removable() bool }
+
+// NodeInfo describes one live node of the tree: the control plane's display
+// record and the dataplane's template for its HTB mirror.
+type NodeInfo struct {
+	Name    string
+	Parent  string  // parent node name; "" for the root
+	Rate    float64 // guaranteed rate r_n in bits/sec
+	Share   float64 // service share φ relative to siblings
+	Session int     // leaf session id; -1 for interior nodes
+	Policy  string  // interior node's scheduler name; "" for leaves
+}
+
+// Nodes returns every live node in depth-first preorder, root first.
+func (tr *Tree) Nodes() []NodeInfo {
+	var out []NodeInfo
+	var walk func(n *node)
+	walk = func(n *node) {
+		info := NodeInfo{
+			Name:    n.name,
+			Rate:    n.rate,
+			Share:   n.share,
+			Session: n.session,
+		}
+		if n.parent != nil {
+			info.Parent = n.parent.name
+		}
+		if !n.isLeaf() {
+			info.Policy = n.ns.Name()
+		}
+		out = append(out, info)
+		for _, c := range n.children {
+			if !c.removed {
+				walk(c)
+			}
+		}
+	}
+	walk(tr.root)
+	return out
+}
+
+// retuneCheck verifies that every interior scheduler in the subtree rooted
+// at n supports live rate changes, so a cascade that follows cannot fail
+// halfway down.
+func (tr *Tree) retuneCheck(n *node) error {
+	if n.isLeaf() || n.removed {
+		return nil
+	}
+	if _, ok := n.ns.(sched.NodeReconfigurer); !ok {
+		return fmt.Errorf("hier: node %q scheduler %q does not support live reconfiguration", n.name, n.ns.Name())
+	}
+	if rt, ok := n.ns.(retunable); !ok || !rt.Retunable() {
+		return fmt.Errorf("hier: node %q policy %q does not support live retuning", n.name, n.ns.Name())
+	}
+	for _, c := range n.children {
+		if err := tr.retuneCheck(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyShares recomputes the guaranteed rates of parent's live children from
+// their shares (r_c = r_parent · φ_c/Σφ) and cascades the new rates down the
+// subtree. Callers must have passed retuneCheck(parent) first.
+func (tr *Tree) applyShares(parent *node) error {
+	var sum float64
+	for _, c := range parent.children {
+		if !c.removed {
+			sum += c.share
+		}
+	}
+	if sum <= 0 {
+		return fmt.Errorf("hier: node %q has no live children", parent.name)
+	}
+	r := parent.ns.(sched.NodeReconfigurer)
+	for _, c := range parent.children {
+		if c.removed {
+			continue
+		}
+		rate := parent.rate * c.share / sum
+		if err := r.SetChildRate(c.childIdx, rate); err != nil {
+			return err
+		}
+		if err := tr.setRate(c, rate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tr *Tree) setRate(n *node, rate float64) error {
+	n.rate = rate
+	if n.isLeaf() {
+		tr.RetuneSession(n.session, rate)
+		return nil
+	}
+	if err := n.ns.(sched.NodeReconfigurer).SetNodeRate(rate); err != nil {
+		return err
+	}
+	return tr.applyShares(n)
+}
+
+func validShare(share float64) bool {
+	return share > 0 && !math.IsNaN(share) && !math.IsInf(share, 0)
+}
+
+// SetNodeShare retunes the named node's service share φ relative to its
+// siblings on the live tree; sibling subtrees rescale proportionally. The
+// root carries no share (it always owns the full link rate).
+func (tr *Tree) SetNodeShare(name string, share float64) error {
+	n, ok := tr.byName[name]
+	if !ok || n.removed {
+		return fmt.Errorf("hier: no node %q", name)
+	}
+	if !validShare(share) {
+		return fmt.Errorf("hier: invalid share %g for node %q", share, name)
+	}
+	if n.parent == nil {
+		return fmt.Errorf("hier: root %q carries no share", name)
+	}
+	if err := tr.retuneCheck(n.parent); err != nil {
+		return err
+	}
+	old := n.share
+	n.share = share
+	if err := tr.applyShares(n.parent); err != nil {
+		n.share = old
+		return err
+	}
+	return nil
+}
+
+// SetSessionRate retunes a session leaf to a target absolute guaranteed rate
+// in bits/sec by solving for the share that yields it against the current
+// siblings: φ' = r'·Σφ_others/(r_parent − r'). The target must stay strictly
+// below the parent's rate, and the leaf must have live siblings to trade
+// share against.
+func (tr *Tree) SetSessionRate(session int, rate float64) error {
+	leaf, ok := tr.leaves[session]
+	if !ok {
+		return fmt.Errorf("hier: unknown session %d", session)
+	}
+	if !validShare(rate) {
+		return fmt.Errorf("hier: invalid rate %g for session %d", rate, session)
+	}
+	parent := leaf.parent
+	var others float64
+	for _, c := range parent.children {
+		if !c.removed && c != leaf {
+			others += c.share
+		}
+	}
+	if others == 0 {
+		return fmt.Errorf("hier: session %d is the only child of %q; its rate is pinned to the parent's %g", session, parent.name, parent.rate)
+	}
+	if rate >= parent.rate {
+		return fmt.Errorf("hier: session %d target rate %g must be below parent %q rate %g", session, rate, parent.name, parent.rate)
+	}
+	if err := tr.retuneCheck(parent); err != nil {
+		return err
+	}
+	old := leaf.share
+	leaf.share = rate * others / (parent.rate - rate)
+	if err := tr.applyShares(parent); err != nil {
+		leaf.share = old
+		return err
+	}
+	return nil
+}
+
+// AddLeaf grafts a new session leaf with the given share under the named
+// interior node on the live tree. Siblings dilute proportionally — the
+// link-sharing semantics of the paper, so the graft always admits (there is
+// no strict reservation to exceed). name may be empty for an anonymous leaf
+// (addressable only by session id).
+func (tr *Tree) AddLeaf(parentName, name string, session int, share float64) error {
+	parent, ok := tr.byName[parentName]
+	if !ok || parent.removed {
+		return fmt.Errorf("hier: no node %q", parentName)
+	}
+	if parent.isLeaf() {
+		return fmt.Errorf("hier: node %q is a leaf, not a link-sharing class", parentName)
+	}
+	if session < 0 {
+		return fmt.Errorf("hier: invalid session id %d", session)
+	}
+	if _, dup := tr.leaves[session]; dup {
+		return fmt.Errorf("hier: session %d already exists", session)
+	}
+	if name != "" {
+		if _, dup := tr.byName[name]; dup {
+			return fmt.Errorf("hier: node %q already exists", name)
+		}
+	}
+	if !validShare(share) {
+		return fmt.Errorf("hier: invalid share %g for leaf %q", share, name)
+	}
+	if err := tr.retuneCheck(parent); err != nil {
+		return err
+	}
+	var sum float64
+	for _, c := range parent.children {
+		if !c.removed {
+			sum += c.share
+		}
+	}
+	idx := len(parent.children)
+	leaf := &node{
+		name:     name,
+		parent:   parent,
+		childIdx: idx,
+		rate:     parent.rate * share / (sum + share),
+		share:    share,
+		session:  session,
+	}
+	parent.ns.AddChild(idx, leaf.rate)
+	parent.children = append(parent.children, leaf)
+	tr.leaves[session] = leaf
+	if name != "" {
+		tr.byName[name] = leaf
+	}
+	return tr.applyShares(parent)
+}
+
+// CanRemoveLeaf reports whether the session leaf could be removed once it
+// quiesces: RemoveLeaf's static capability checks (the parent's subtree
+// retunes, the parent's policy removes, the leaf is not the last child)
+// without the quiescence test and without mutating anything. The dataplane
+// calls it before committing a class to draining.
+func (tr *Tree) CanRemoveLeaf(session int) error {
+	leaf, ok := tr.leaves[session]
+	if !ok {
+		return fmt.Errorf("hier: unknown session %d", session)
+	}
+	parent := leaf.parent
+	if err := tr.retuneCheck(parent); err != nil {
+		return err
+	}
+	if rv, ok := parent.ns.(removable); !ok || !rv.Removable() {
+		return fmt.Errorf("hier: node %q policy %q does not support live removal", parent.name, parent.ns.Name())
+	}
+	var others float64
+	for _, c := range parent.children {
+		if !c.removed && c != leaf {
+			others += c.share
+		}
+	}
+	if others == 0 {
+		return fmt.Errorf("hier: cannot remove session %d, the last child of %q", session, parent.name)
+	}
+	return nil
+}
+
+// RemoveLeaf detaches a quiesced session leaf from the live tree; its
+// siblings inherit the freed share proportionally. A leaf still holding
+// packets (queued, committed, or on the wire until the next Dequeue resets
+// the path) returns ErrLeafBusy — stop feeding the session and retry. The
+// session id may later be re-added with AddLeaf.
+func (tr *Tree) RemoveLeaf(session int) error {
+	leaf, ok := tr.leaves[session]
+	if !ok {
+		return fmt.Errorf("hier: unknown session %d", session)
+	}
+	if !leaf.fifo.Empty() || leaf.hol != nil {
+		return fmt.Errorf("%w: session %d", ErrLeafBusy, session)
+	}
+	parent := leaf.parent
+	if err := tr.retuneCheck(parent); err != nil {
+		return err
+	}
+	if rv, ok := parent.ns.(removable); !ok || !rv.Removable() {
+		return fmt.Errorf("hier: node %q policy %q does not support live removal", parent.name, parent.ns.Name())
+	}
+	var others float64
+	for _, c := range parent.children {
+		if !c.removed && c != leaf {
+			others += c.share
+		}
+	}
+	if others == 0 {
+		return fmt.Errorf("hier: cannot remove session %d, the last child of %q", session, parent.name)
+	}
+	if err := parent.ns.(sched.NodeReconfigurer).RemoveChild(leaf.childIdx); err != nil {
+		return err
+	}
+	leaf.removed = true
+	delete(tr.leaves, session)
+	if leaf.name != "" {
+		delete(tr.byName, leaf.name)
+	}
+	return tr.applyShares(parent)
+}
+
+// SetNodePolicy swaps the scheduling discipline of the named interior node
+// on the live tree. Backlogged children stay backlogged, re-stamped against
+// the fresh policy's virtual clock (see pifo.Node.SetPolicy).
+func (tr *Tree) SetNodePolicy(name string, f pifo.Factory) error {
+	n, ok := tr.byName[name]
+	if !ok || n.removed {
+		return fmt.Errorf("hier: no node %q", name)
+	}
+	if n.isLeaf() {
+		return fmt.Errorf("hier: leaf %q carries no server", name)
+	}
+	r, ok := n.ns.(sched.NodeReconfigurer)
+	if !ok {
+		return fmt.Errorf("hier: node %q scheduler %q does not support live reconfiguration", name, n.ns.Name())
+	}
+	return r.SetPolicy(f)
+}

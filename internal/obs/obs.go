@@ -63,6 +63,9 @@ const (
 	// DropPanic: the packet was in flight (dequeued, not yet written) when
 	// the pump crashed and restarted. Recorded post-dequeue.
 	DropPanic = "pump-panic"
+	// DropDraining: the datagram arrived for a class the control plane is
+	// removing; only already-queued packets drain, new arrivals are refused.
+	DropDraining = "draining"
 )
 
 // Retry reasons shared across the stack, recorded via
@@ -368,6 +371,13 @@ func (c *Collector) SetTracer(t Tracer) {
 func (c *Collector) RegisterSession(id int, rate float64) {
 	s := c.session(id)
 	s.rate = rate
+}
+
+// RetuneSession updates a session's recorded guaranteed rate after a live
+// reconfiguration, keeping its counters. (Today an alias for
+// RegisterSession, named separately so call sites read as what they are.)
+func (c *Collector) RetuneSession(id int, rate float64) {
+	c.RegisterSession(id, rate)
 }
 
 func (c *Collector) session(id int) *sessionState {

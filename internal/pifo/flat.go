@@ -47,12 +47,14 @@ func (q *pktQueue) Pop() *packet.Packet {
 // delegated to the Policy. It satisfies sched.Scheduler.
 type Sched struct {
 	name    string
+	rate    float64 // link rate, kept for policy rebuilds (SetPolicy)
 	pol     Policy
 	arrival bool // stamp packets at arrival (eq. 6) vs head promotion (eq. 28)
 	tagless bool
 	q       *Queue
 	queues  []pktQueue
 	defined []bool
+	rates   []float64 // per-session guaranteed rates, kept for rebuilds
 	backlog int
 	// Optional policy extensions, resolved once at construction: interface
 	// type assertions cost an itab lookup, too hot for the per-packet path.
@@ -70,6 +72,7 @@ func NewSched(f Factory, rate float64) *Sched {
 	}
 	s := &Sched{
 		name:    f.Name,
+		rate:    rate,
 		pol:     f.Flat(rate),
 		arrival: f.Arrival,
 		tagless: f.Tagless,
@@ -106,11 +109,13 @@ func (s *Sched) AddSession(id int, rate float64) {
 	for len(s.queues) <= id {
 		s.queues = append(s.queues, pktQueue{})
 		s.defined = append(s.defined, false)
+		s.rates = append(s.rates, 0)
 	}
 	if s.defined[id] {
 		panic(fmt.Sprintf("pifo: duplicate session id %d", id))
 	}
 	s.defined[id] = true
+	s.rates[id] = rate
 	s.q.Grow(id)
 	s.pol.AddFlow(id, rate)
 	s.RegisterSession(id, rate)

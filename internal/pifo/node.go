@@ -14,11 +14,13 @@ import (
 // satisfies sched.NodeScheduler.
 type Node struct {
 	name    string
+	rate    float64 // node guaranteed rate, kept for policy rebuilds
 	pol     Policy
 	tagless bool
 	q       *Queue
 	defined []bool
 	queued  []bool
+	rates   []float64 // per-child guaranteed rates, kept for rebuilds
 	// Optional policy extensions, resolved once at construction (see Sched).
 	floor Floorer
 	defr  Deferrer
@@ -33,6 +35,7 @@ func NewNode(f Factory, rate float64) *Node {
 	}
 	n := &Node{
 		name:    f.Name,
+		rate:    rate,
 		pol:     f.Node(rate),
 		tagless: f.Tagless,
 	}
@@ -67,11 +70,13 @@ func (n *Node) AddChild(id int, rate float64) {
 	for len(n.defined) <= id {
 		n.defined = append(n.defined, false)
 		n.queued = append(n.queued, false)
+		n.rates = append(n.rates, 0)
 	}
 	if n.defined[id] {
 		panic(fmt.Sprintf("pifo: duplicate child id %d", id))
 	}
 	n.defined[id] = true
+	n.rates[id] = rate
 	n.q.Grow(id)
 	n.pol.AddFlow(id, rate)
 	n.RegisterSession(id, rate)

@@ -110,6 +110,10 @@ func (p *wf2qPlus) Commit(_ int, length float64, _ Stamp, _ int) float64 {
 }
 func (p *wf2qPlus) V() float64 { return p.v }
 
+func (p *wf2qPlus) SetFlowRate(id int, rate float64) { p.flows[id].rate = rate }
+func (p *wf2qPlus) RemoveFlow(id int)                { p.flows[id] = flowTags{} }
+func (p *wf2qPlus) SetServerRate(rate float64)       { p.rate = rate }
+
 // WF2QPlus returns the WF²Q+ policy (the paper's contribution): SEFF over
 // the eq. 27 virtual time, O(log N) per operation.
 func WF2QPlus() Factory { return factories["WF2Q+"] }
@@ -199,6 +203,9 @@ func (p *scfq) Commit(_ int, _ float64, st Stamp, _ int) float64 {
 }
 func (p *scfq) V() float64 { return p.v }
 
+func (p *scfq) SetFlowRate(id int, rate float64) { p.flows[id].rate = rate }
+func (p *scfq) RemoveFlow(id int)                { p.flows[id] = flowTags{} }
+
 // SCFQ returns the self-clocked fair queueing policy.
 func SCFQ() Factory { return factories["SCFQ"] }
 
@@ -245,6 +252,9 @@ func (p *sfq) Commit(_ int, _ float64, st Stamp, remaining int) float64 {
 }
 
 func (p *sfq) V() float64 { return p.v }
+
+func (p *sfq) SetFlowRate(id int, rate float64) { p.flows[id].rate = rate }
+func (p *sfq) RemoveFlow(id int)                { p.flows[id] = flowTags{} }
 
 // SFQ returns the start-time fair queueing policy.
 func SFQ() Factory { return factories["SFQ"] }
@@ -340,6 +350,38 @@ func (p *drr) Commit(id int, length float64, _ Stamp, _ int) float64 {
 
 func (p *drr) V() float64 { return p.work }
 
+// requantize recomputes the smallest live rate and every quantum after a
+// rate change or removal — the same proportionality AddFlow maintains.
+func (p *drr) requantize() {
+	p.minRate = math.Inf(1)
+	for _, r := range p.rates {
+		if r > 0 && r < p.minRate {
+			p.minRate = r
+		}
+	}
+	for i, r := range p.rates {
+		if r > 0 {
+			p.quantum[i] = drrQuantumBase * r / p.minRate
+		} else {
+			p.quantum[i] = 0
+		}
+	}
+}
+
+func (p *drr) SetFlowRate(id int, rate float64) {
+	p.rates[id] = rate
+	p.requantize()
+}
+
+func (p *drr) RemoveFlow(id int) {
+	p.rates[id] = 0
+	p.deficit[id] = 0
+	if p.credited == id {
+		p.credited = -1
+	}
+	p.requantize()
+}
+
 // DRR returns the deficit round robin policy.
 func DRR() Factory { return factories["DRR"] }
 
@@ -368,6 +410,9 @@ func (p *sp) Commit(_ int, length float64, _ Stamp, _ int) float64 {
 	return p.work
 }
 func (p *sp) V() float64 { return p.work }
+
+func (p *sp) SetFlowRate(id int, rate float64) { p.ranks[id] = p.prio(id, rate) }
+func (p *sp) RemoveFlow(id int)                { p.ranks[id] = 0 }
 
 // StrictPriority returns the strict priority policy: lower flow (or child)
 // id is served first, FIFO within a priority level. Starvation of low
@@ -398,7 +443,8 @@ func (c *workClock) Commit(_ int, length float64, _ Stamp, _ int) float64 {
 	c.v += length / c.rate
 	return c.v
 }
-func (c *workClock) V() float64 { return c.v }
+func (c *workClock) V() float64              { return c.v }
+func (c *workClock) SetServerRate(r float64) { c.rate = r }
 
 type edf struct {
 	workClock
@@ -417,6 +463,9 @@ func (p *edf) Arrive(now float64, id int, length float64, _ bool) Stamp {
 	d := now + p.rel(id, p.rates[id], length)
 	return Stamp{S: now, F: d, Rank: d}
 }
+
+func (p *edf) SetFlowRate(id int, rate float64) { p.rates[id] = rate }
+func (p *edf) RemoveFlow(id int)                { p.rates[id] = 0 }
 
 // defaultRelDeadline is one transmission time at the flow's guaranteed
 // rate — the deadline a flow meeting exactly its reservation would need.
@@ -446,6 +495,9 @@ func (p *srpt) Arrive(_ float64, _ int, length float64, _ bool) Stamp {
 	return Stamp{Rank: length / p.rate}
 }
 
+func (p *srpt) SetFlowRate(int, float64) {}
+func (p *srpt) RemoveFlow(int)           {}
+
 // SRPT returns the shortest-remaining-processing-time policy: the packet
 // with the smallest transmission time on the link is served first,
 // regardless of flow. Tagless; minimizes mean sojourn at the cost of
@@ -469,6 +521,9 @@ func (p *lstf) Arrive(now float64, id int, length float64, _ bool) Stamp {
 	t := now + p.slack(id, p.rates[id], length)
 	return Stamp{S: now, F: t, Rank: t}
 }
+
+func (p *lstf) SetFlowRate(id int, rate float64) { p.rates[id] = rate }
+func (p *lstf) RemoveFlow(id int)                { p.rates[id] = 0 }
 
 // LSTF returns the least-slack-time-first policy: rank = arrival time plus
 // the packet's slack budget (default: L/r_i). With per-packet-constant

@@ -1,0 +1,182 @@
+package pifo
+
+import (
+	"strings"
+	"testing"
+
+	"hpfq/internal/packet"
+)
+
+// TestSchedSetSessionRate: a live retune changes future stamps — after the
+// retune, the faster session overtakes under WF²Q+.
+func TestSchedSetSessionRate(t *testing.T) {
+	f, _ := Lookup("WF2Q+")
+	s := NewSched(f, 1e6)
+	s.AddSession(0, 5e5)
+	s.AddSession(1, 5e5)
+	if err := s.SetSessionRate(0, 9e5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSessionRate(1, 1e5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSessionRate(7, 1e5); err == nil {
+		t.Fatal("unknown session retuned")
+	}
+	if err := s.SetSessionRate(0, -1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	// 4 packets each: session 0 at 9x the rate must finish its backlog
+	// having been served far more often early on.
+	for i := 0; i < 4; i++ {
+		s.Enqueue(0, packet.New(0, 8000))
+		s.Enqueue(0, packet.New(1, 8000))
+	}
+	order := drain(s, 0)
+	zeros := 0
+	for _, id := range order[:4] {
+		if id == 0 {
+			zeros++
+		}
+	}
+	if zeros < 3 {
+		t.Fatalf("first half of service %v: session 0 (rate 9e5) served %d of 4, want >= 3", order, zeros)
+	}
+}
+
+// TestSchedRemoveSession: removal requires an idle session and frees the id
+// for re-registration.
+func TestSchedRemoveSession(t *testing.T) {
+	f, _ := Lookup("WF2Q+")
+	s := NewSched(f, 1e6)
+	s.AddSession(0, 5e5)
+	s.AddSession(1, 5e5)
+	s.Enqueue(0, packet.New(1, 8000))
+	if err := s.RemoveSession(1); err == nil {
+		t.Fatal("removed a backlogged session")
+	}
+	drain(s, 0)
+	if err := s.RemoveSession(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveSession(1); err == nil {
+		t.Fatal("removed a session twice")
+	}
+	s.Enqueue(0, packet.New(0, 8000))
+	if got := drain(s, 0); !equalInts(got, []int{0}) {
+		t.Fatalf("survivor order %v after removal", got)
+	}
+	s.AddSession(1, 2e5) // freed id returns without panicking
+}
+
+// TestGPSNotRetunable: the exact-GPS fluid clocks refuse live mutations with
+// a descriptive error.
+func TestGPSNotRetunable(t *testing.T) {
+	for _, name := range []string{"WFQ", "WF2Q"} {
+		f, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		s := NewSched(f, 1e6)
+		s.AddSession(0, 5e5)
+		if s.Retunable() || s.Removable() {
+			t.Fatalf("%s reports live-mutation capability", name)
+		}
+		if err := s.SetSessionRate(0, 1e5); err == nil || !strings.Contains(err.Error(), "retun") {
+			t.Fatalf("%s SetSessionRate: %v, want a retuning error", name, err)
+		}
+		if err := s.RemoveSession(0); err == nil {
+			t.Fatalf("%s RemoveSession succeeded", name)
+		}
+	}
+}
+
+// TestSchedSetPolicyKeepsBacklog: a live swap re-stamps the standing backlog
+// and service continues exhaustively under the new discipline.
+func TestSchedSetPolicyKeepsBacklog(t *testing.T) {
+	f, _ := Lookup("WF2Q+")
+	s := NewSched(f, 1e6)
+	s.AddSession(0, 5e5)
+	s.AddSession(1, 5e5)
+	for i := 0; i < 3; i++ {
+		s.Enqueue(0, packet.New(0, 8000))
+		s.Enqueue(0, packet.New(1, 8000))
+	}
+	sp, _ := Lookup("SP")
+	if err := s.SetPolicy(sp, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "SP" {
+		t.Fatalf("name %q after swap", s.Name())
+	}
+	// Strict priority must now serve all of session 0 first.
+	if got, want := drain(s, 0), []int{0, 0, 0, 1, 1, 1}; !equalInts(got, want) {
+		t.Fatalf("post-swap order %v, want %v", got, want)
+	}
+}
+
+// TestSchedSetPolicyModeSwitch covers the drained-queue residue bug: serve a
+// backlog under a head-stamping policy (leaving non-zero queue heads), swap
+// to an arrival-stamping policy, and keep serving — the stamp lane must
+// realign or the next dequeue indexes out of range.
+func TestSchedSetPolicyModeSwitch(t *testing.T) {
+	f, _ := Lookup("DRR")
+	s := NewSched(f, 1e6)
+	s.AddSession(0, 5e5)
+	s.AddSession(1, 5e5)
+	for i := 0; i < 5; i++ {
+		s.Enqueue(0, packet.New(0, 8000))
+	}
+	drain(s, 0)
+	scfq, _ := Lookup("SCFQ")
+	if err := s.SetPolicy(scfq, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Enqueue(1, packet.New(0, 8000))
+		s.Enqueue(1, packet.New(1, 8000))
+	}
+	if got := len(drain(s, 1)); got != 10 {
+		t.Fatalf("drained %d packets after mode-switching swap, want 10", got)
+	}
+}
+
+// TestNodeLiveMutations: the hierarchical host's child retune, removal, and
+// policy swap, spot-checked through a node's Push/Pop interface.
+func TestNodeLiveMutations(t *testing.T) {
+	f, _ := Lookup("WF2Q+")
+	n := NewNode(f, 1e6)
+	n.AddChild(0, 5e5)
+	n.AddChild(1, 5e5)
+	if err := n.SetChildRate(0, 8e5); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetChildRate(9, 1e5); err == nil {
+		t.Fatal("unknown child retuned")
+	}
+	n.Push(0, 8000, false)
+	if err := n.RemoveChild(0); err == nil {
+		t.Fatal("removed a backlogged child")
+	}
+	if id, ok := n.Pop(); !ok || id != 0 {
+		t.Fatalf("Pop = %d,%v", id, ok)
+	}
+	if err := n.RemoveChild(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetNodeRate(2e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetNodeRate(-2); err == nil {
+		t.Fatal("negative node rate accepted")
+	}
+	// Swap policy with child 1 backlogged; the entry survives.
+	n.Push(1, 4000, false)
+	sp, _ := Lookup("SP")
+	if err := n.SetPolicy(sp); err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := n.Pop(); !ok || id != 1 {
+		t.Fatalf("post-swap Pop = %d,%v, want child 1", id, ok)
+	}
+}

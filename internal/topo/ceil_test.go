@@ -1,0 +1,60 @@
+package topo
+
+import "testing"
+
+func TestParseCeil(t *testing.T) {
+	n, err := Parse("root=1(agg=3^6e6(a=2^5e6:0,b=1:1),c=1:2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg := n.Find("agg"); agg == nil || agg.Ceil != 6e6 || agg.Share != 3 {
+		t.Fatalf("agg = %+v", n.Find("agg"))
+	}
+	if a := n.Find("a"); a == nil || a.Ceil != 5e6 || a.Session != 0 {
+		t.Fatalf("a = %+v", n.Find("a"))
+	}
+	if b := n.Find("b"); b == nil || b.Ceil != 0 {
+		t.Fatalf("uncapped leaf carries ceil: %+v", n.Find("b"))
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCeilWithPolicy(t *testing.T) {
+	// Ceil and policy clauses compose on the same node.
+	n, err := Parse("root=1^9e6:WF2Q+(a=1^2e6:0,b=1:1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Ceil != 9e6 || n.Policy != "WF2Q+" {
+		t.Fatalf("root = %+v", n)
+	}
+	if a := n.Find("a"); a == nil || a.Ceil != 2e6 {
+		t.Fatalf("a = %+v", n.Find("a"))
+	}
+}
+
+func TestParseCeilErrors(t *testing.T) {
+	for _, spec := range []string{
+		"root=1(a=1^:0)",     // empty ceil
+		"root=1(a=1^x:0)",    // non-numeric ceil
+		"root=1(a=1^0:0)",    // zero ceil
+		"root=1(a=1^-5e6:0)", // negative ceil
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestValidateCeil(t *testing.T) {
+	n := Interior("root", 1, Leaf("a", 1, 0).WithCeil(5e6))
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Interior("root", 1, Leaf("a", 1, 0).WithCeil(-1))
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative ceil validated")
+	}
+}

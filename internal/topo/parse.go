@@ -8,13 +8,17 @@ import (
 
 // Parse parses a link-sharing tree spec:
 //
-//	node     := name '=' share body
+//	node     := name '=' share ['^' ceil] body
 //	body     := ':' session [':' policy]             (leaf)
 //	          | [':' policy] '(' node {',' node} ')' (interior)
 //
 // e.g. "root=1(agg=3(a=2:0,b=1:1),c=1:2)". Shares are relative to siblings.
-// The optional policy clause names the scheduling discipline of that node's
-// server: "root=1:WF2Q+(video=3:SP(hd=2:0,sd=1:1),bulk=1:2)" runs WF²Q+ at
+// The optional '^ceil' clause caps the node at an absolute rate in bits/sec
+// (HTB borrowing ceiling, e.g. "a=2^5e6:0" guarantees a's share but never
+// lets it exceed 5 Mbit/s); any ceil in the spec enables HTB-style
+// borrowing on the dataplane built from it. The optional policy clause
+// names the scheduling discipline of that node's server:
+// "root=1:WF2Q+(video=3:SP(hd=2:0,sd=1:1),bulk=1:2)" runs WF²Q+ at
 // the root and strict priority inside the video class. A clause after a
 // leaf's session id ("hd=2:0:EDF") is accepted and recorded, though only
 // interior nodes carry servers in H-PFQ. Policy names are not validated
@@ -50,10 +54,18 @@ func (p *parser) node() (*Node, error) {
 	if !p.eat('=') {
 		return nil, fmt.Errorf("node %q: missing '='", name)
 	}
-	shareStr := p.until(":(,)")
+	shareStr := p.until("^:(,)")
 	share, err := strconv.ParseFloat(shareStr, 64)
 	if err != nil || share <= 0 {
 		return nil, fmt.Errorf("node %q: bad share %q", name, shareStr)
+	}
+	var ceil float64
+	if p.eat('^') {
+		ceilStr := p.until(":(,)")
+		ceil, err = strconv.ParseFloat(ceilStr, 64)
+		if err != nil || ceil <= 0 {
+			return nil, fmt.Errorf("node %q: bad ceil %q", name, ceilStr)
+		}
 	}
 	switch {
 	case p.eat(':'):
@@ -67,13 +79,13 @@ func (p *parser) node() (*Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			return n.WithPolicy(tok), nil
+			return n.WithPolicy(tok).WithCeil(ceil), nil
 		}
 		session, err := strconv.Atoi(tok)
 		if err != nil || session < 0 {
 			return nil, fmt.Errorf("leaf %q: bad session %q", name, tok)
 		}
-		leaf := Leaf(name, share, session)
+		leaf := Leaf(name, share, session).WithCeil(ceil)
 		if p.eat(':') {
 			policy := p.until(",)")
 			if policy == "" {
@@ -83,7 +95,11 @@ func (p *parser) node() (*Node, error) {
 		}
 		return leaf, nil
 	case p.peek('('):
-		return p.children(name, share)
+		n, err := p.children(name, share)
+		if err != nil {
+			return nil, err
+		}
+		return n.WithCeil(ceil), nil
 	}
 	return nil, fmt.Errorf("node %q: expected ':' or '(' at offset %d", name, p.i)
 }

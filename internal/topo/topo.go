@@ -26,6 +26,21 @@ type Node struct {
 	// "inherit the hierarchy default". Set directly, via WithPolicy, or via
 	// the ':policy' clause of the Parse grammar.
 	Policy string
+	// Ceil optionally caps the node's service rate in absolute bits/sec —
+	// the HTB borrowing ceiling. Zero means uncapped: the node may borrow
+	// any idle bandwidth its ancestors can lend. Unlike Share (relative),
+	// Ceil is absolute because it is an operator-facing limit independent of
+	// what siblings exist. Set directly, via WithCeil, or via the '^ceil'
+	// clause of the Parse grammar. A Ceil anywhere in a topology enables
+	// HTB-style borrowing on the dataplane built from it.
+	Ceil float64
+}
+
+// WithCeil sets the node's HTB ceiling in bits/sec and returns the node,
+// for chaining in literal topologies.
+func (n *Node) WithCeil(ceil float64) *Node {
+	n.Ceil = ceil
+	return n
 }
 
 // WithPolicy sets the node's per-node policy name and returns the node, for
@@ -62,6 +77,9 @@ func (n *Node) validate(seen map[int]string) error {
 	}
 	if n.Share <= 0 || math.IsNaN(n.Share) || math.IsInf(n.Share, 0) {
 		return fmt.Errorf("topo: node %q has invalid share %g", n.Name, n.Share)
+	}
+	if n.Ceil < 0 || math.IsNaN(n.Ceil) || math.IsInf(n.Ceil, 0) {
+		return fmt.Errorf("topo: node %q has invalid ceil %g", n.Name, n.Ceil)
 	}
 	if n.IsLeaf() {
 		if n.Session < 0 {
