@@ -2,7 +2,10 @@
 # referenced from ROADMAP.md; `make race` exercises the concurrent
 # components under the race detector; `make fault` runs the fault-injection
 # stress suite with a fixed seed (override: make fault HPFQ_FAULT_SEED=7).
-# `make bench` refreshes BENCH_dataplane.json from the pump benchmarks and
+# `make fec` runs the loss-resilience suite — coder round-trips plus the
+# end-to-end recovery/fairness tests, whose erasure patterns come from
+# seeds fixed in the tests themselves, so every run erases the same
+# datagrams. `make bench` refreshes BENCH_dataplane.json from the pump benchmarks and
 # BENCH_sched.json from the PIFO-vs-seed scheduler microbenchmarks
 # (override duration: make bench BENCHTIME=1x for a smoke run); `make
 # alloccheck` runs the steady-state zero-allocation regression test alone.
@@ -11,7 +14,7 @@ GO ?= go
 HPFQ_FAULT_SEED ?= 20260806
 BENCHTIME ?= 2s
 
-.PHONY: all build test race vet fmt fault bench alloccheck verify
+.PHONY: all build test race vet fmt fault fec bench alloccheck verify
 
 all: verify
 
@@ -22,7 +25,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shaper/... ./internal/wallclock/... ./internal/dataplane/... ./internal/ctl/... ./cmd/hpfqgw/...
+	$(GO) test -race ./internal/shaper/... ./internal/wallclock/... ./internal/dataplane/... ./internal/ctl/... ./internal/fec/... ./cmd/hpfqgw/...
 
 vet:
 	$(GO) vet ./...
@@ -35,9 +38,14 @@ fault:
 		-run 'Fault|Retry|Requeue|Panic|AQM|CoDel|IngestCloseRace|Drain|Flow' \
 		./internal/faultconn/... ./internal/dataplane/... ./cmd/hpfqgw/...
 
+fec:
+	$(GO) test -race -count=1 ./internal/fec/...
+	$(GO) test -race -count=1 -run 'FEC' \
+		./internal/dataplane/... ./internal/topo/... ./cmd/hpfqgw/...
+
 bench:
 	$(GO) test ./internal/dataplane/ -run '^$$' \
-		-bench 'BenchmarkPump(PerPacket|Batched)$$|BenchmarkReconfigUnderLoad$$' -benchmem \
+		-bench 'BenchmarkPump(PerPacket|Batched)$$|BenchmarkReconfigUnderLoad$$|BenchmarkFECEncode$$|BenchmarkPumpWithFEC$$' -benchmem \
 		-benchtime $(BENCHTIME) -count=1 \
 		| $(GO) run ./cmd/benchjson -out BENCH_dataplane.json
 	@cat BENCH_dataplane.json

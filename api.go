@@ -9,6 +9,7 @@ import (
 	"hpfq/internal/dataplane"
 	"hpfq/internal/des"
 	"hpfq/internal/errs"
+	"hpfq/internal/fec"
 	"hpfq/internal/fluid"
 	"hpfq/internal/hier"
 	"hpfq/internal/netsim"
@@ -137,6 +138,8 @@ const (
 	DropRetries = obs.DropRetries
 	// DropCoDel is a packet shed by the WithAQM CoDel policy.
 	DropCoDel = obs.DropCoDel
+	// DropRED is a packet shed by the WithAQM RED policy.
+	DropRED = obs.DropRED
 	// DropPanic is a packet lost in flight when the pump recovered a panic.
 	DropPanic = obs.DropPanic
 )
@@ -678,14 +681,93 @@ const (
 	DefaultRetryCap     = dataplane.DefaultRetryCap
 )
 
-// WithAQM enables a per-class CoDel drop policy on the data-plane as
-// graceful degradation under overload: packets whose staging sojourn stays
-// above target for a full interval are shed at dequeue (reason DropCoDel).
-// Non-positive target or interval selects the CoDel defaults (5 ms /
-// 100 ms).
-func WithAQM(target, interval time.Duration) DataplaneOption {
-	return dpOptions{dataplane.WithAQM(target, interval)}
+// WithAQM enables a per-class drop policy on the data-plane as graceful
+// degradation under overload. kind selects it: AQMCoDel sheds packets whose
+// staging sojourn stays above target for a full interval (reason DropCoDel,
+// defaults 5 ms / 100 ms); AQMRED ramps drop probability as the sojourn
+// EWMA crosses [target, interval] thresholds (reason DropRED, defaults
+// 5 ms / 15 ms). An empty kind means CoDel; non-positive durations select
+// the kind's defaults; an unknown kind fails construction.
+func WithAQM(kind string, target, interval time.Duration) DataplaneOption {
+	return dpOptions{dataplane.WithAQM(kind, target, interval)}
 }
+
+// AQM kinds for WithAQM.
+const (
+	AQMCoDel = dataplane.AQMCoDel
+	AQMRED   = dataplane.AQMRED
+)
+
+// --------------------------------------------------------------------------
+// Loss-resilient egress: FEC repair classes (internal/fec).
+
+// FECSpec is an erasure-code geometry: Scheme (FECSchemeXOR or FECSchemeRS),
+// K source datagrams per block, R repair datagrams. Parse the "rs-8-2" /
+// "xor-8" string form with ParseFECSpec.
+type FECSpec = fec.Spec
+
+// FECConfig tunes one WithFEC-protected class: the repair class id and
+// rate/share, the partial-block flush age, and the adaptive-redundancy
+// controller. The zero value is a sensible default everywhere.
+type FECConfig = dataplane.FECConfig
+
+// FECControllerConfig bounds the adaptive (k,r) controller enabled by
+// FECConfig.Adapt: EWMA gain, loss headroom, and geometry bounds.
+type FECControllerConfig = fec.ControllerConfig
+
+// FECDecoder is the receive side: feed it every arriving datagram with Push;
+// native datagrams pass through, FEC sources are unwrapped, and each block's
+// erased sources are reconstructed as soon as enough symbols arrive.
+type FECDecoder = fec.Decoder
+
+// FECDecoderStats is the decoder's counter snapshot (FECDecoder.Stats).
+type FECDecoderStats = fec.DecoderStats
+
+// FEC scheme names for FECSpec.
+const (
+	// FECSchemeXOR is single-parity XOR: R is fixed at 1; repairs any one
+	// erasure per block at 1/(K+1) overhead.
+	FECSchemeXOR = fec.SchemeXOR
+	// FECSchemeRS is systematic Reed-Solomon over GF(2^8): any K of the K+R
+	// datagrams reconstruct the block.
+	FECSchemeRS = fec.SchemeRS
+)
+
+// DefaultRepairClassOffset derives a repair class id when FECConfig leaves
+// RepairClass zero: protected class c's repairs ride class c+1000.
+const DefaultRepairClassOffset = dataplane.DefaultRepairClassOffset
+
+// DefaultFECBlockAge bounds how long a partial FEC block waits for its K-th
+// source before its repairs flush anyway.
+const DefaultFECBlockAge = dataplane.DefaultFECBlockAge
+
+// ParseFECSpec parses an erasure-code geometry string: "rs-8-2" (RS, K=8,
+// R=2), "xor-8" (XOR parity over 8 sources), colon separators accepted.
+func ParseFECSpec(s string) (FECSpec, error) { return fec.ParseSpec(s) }
+
+// NewFECDecoder returns a receive-side decoder. One decoder serves any
+// number of protected classes — blocks are keyed by the stream id in each
+// header.
+func NewFECDecoder() *FECDecoder { return fec.NewDecoder() }
+
+// IsFECDatagram reports whether b starts with the FEC header magic — how a
+// receiver distinguishes protected traffic from native datagrams.
+func IsFECDatagram(b []byte) bool { return fec.IsFEC(b) }
+
+// WithFEC protects a data-plane class with an erasure code: every source
+// datagram is FEC-stamped on ingest, and each block's repair datagrams are
+// emitted on a sibling repair class scheduled by the same WF²Q+/H-PFQ
+// machinery as everything else, so repair bandwidth competes fairly and can
+// never starve the siblings. The receive side decodes with FECDecoder and
+// reports loss back through Dataplane.FECFeedback; FECConfig.Adapt then
+// retunes the geometry to track the observed loss. The '!fec' topology
+// clause (e.g. "a=2!rs-8-2:0") is the spec-side spelling.
+func WithFEC(class int, spec FECSpec, cfg FECConfig) DataplaneOption {
+	return dpOptions{dataplane.WithFEC(class, spec, cfg)}
+}
+
+// FECStatus is one protected class's row in DataplaneStatus.FEC.
+type FECStatus = dataplane.FECStatus
 
 // WithBufferPool hands the data-plane a payload buffer pool (nil selects
 // the process-wide SharedBufferPool): once Ingest succeeds on a buffer

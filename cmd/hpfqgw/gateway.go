@@ -35,6 +35,8 @@ type gwConfig struct {
 	fault        []faultconn.Option // non-empty: wrap egress writes with injected faults
 	ingressFault []faultconn.Option // non-empty: wrap listen-socket reads with injected faults
 	pool         *hpfq.BufferPool   // ingress payload buffers; nil selects the shared pool
+	decodeFEC    bool               // -fec.decode: unwrap/reconstruct FEC traffic at ingress
+	fecClasses   []int              // -fec protected classes, for decode-stats feedback
 }
 
 // gateway forwards UDP datagrams from a listen socket to an upstream peer,
@@ -59,6 +61,15 @@ type gateway struct {
 	// absorbed (injected by -fault.ingress, or real EAGAIN-class errors).
 	readFaults atomic.Int64
 
+	// FEC receive side (-fec.decode): the ingress loop unwraps protected
+	// datagrams and reconstructs erasures before classification. Only the
+	// single supervised ingress goroutine touches these fields.
+	dec        *hpfq.FECDecoder
+	fecClasses []int  // local protected classes fed decode-stats feedback
+	fecSeen    uint64 // FEC datagrams since start, for feedback cadence
+	lastRec    uint64 // Stats().Recovered already reported
+	lastUnrec  uint64 // Stats().Unrecoverable already reported
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -79,6 +90,10 @@ func newGateway(dp *hpfq.Dataplane, listen *net.UDPConn, upstream *net.UDPAddr, 
 	g.rd = g.src
 	if len(cfg.ingressFault) > 0 {
 		g.rd = faultconn.NewReader(g.src, cfg.ingressFault...)
+	}
+	if cfg.decodeFEC {
+		g.dec = hpfq.NewFECDecoder()
+		g.fecClasses = cfg.fecClasses
 	}
 	return g
 }
@@ -206,7 +221,7 @@ func (e *egress) WriteBatch(pkts []hpfq.PacketDatagram) (int, error) {
 }
 
 // faultOptions assembles the faultconn plan behind the -fault.* flags.
-func faultOptions(seed int64, errRate, short, drop float64, latency time.Duration, failAfter uint64) []faultconn.Option {
+func faultOptions(seed int64, errRate, short, drop float64, gilbert []float64, latency time.Duration, failAfter uint64) []faultconn.Option {
 	opts := []faultconn.Option{faultconn.WithSeed(seed)}
 	if errRate > 0 {
 		opts = append(opts, faultconn.WithErrorRate(errRate))
@@ -214,7 +229,9 @@ func faultOptions(seed int64, errRate, short, drop float64, latency time.Duratio
 	if short > 0 {
 		opts = append(opts, faultconn.WithShortWrites(short))
 	}
-	if drop > 0 {
+	if gilbert != nil {
+		opts = append(opts, faultconn.WithGilbertElliott(gilbert[0], gilbert[1], gilbert[2], gilbert[3]))
+	} else if drop > 0 {
 		opts = append(opts, faultconn.WithDropRate(drop))
 	}
 	if latency > 0 {
@@ -282,6 +299,31 @@ func (g *gateway) readOnce() (err error, panicked bool) {
 			continue // transient flow-setup failure: drop this datagram
 		}
 		b := buf[:n]
+		if g.dec != nil && hpfq.IsFECDatagram(b) {
+			// FEC receive side: unwrap sources, absorb repairs, and forward
+			// whatever the decoder delivers — the unwrapped source plus any
+			// erased datagrams it reconstructed. Repairs and duplicates
+			// deliver nothing; malformed headers are dropped here.
+			outs, derr := g.dec.Push(b)
+			delivered := false
+			for _, ob := range outs {
+				switch err := g.dp.IngestCtx(g.classify(src, ob), ob, f); {
+				case err == nil:
+					delivered = true
+				case errors.Is(err, hpfq.ErrDataplaneClosed):
+					return nil, false
+				}
+			}
+			if delivered {
+				// A delivered source aliases buf (the decoder unwraps in
+				// place), so the engine may own it now.
+				buf = g.pool.Get()
+			}
+			if derr == nil {
+				g.maybeFECFeedback()
+			}
+			continue
+		}
 		if err := g.dp.IngestCtx(g.classify(src, b), b, f); err == nil {
 			buf = g.pool.Get() // the engine owns b now
 		} else if errors.Is(err, hpfq.ErrDataplaneClosed) {
@@ -289,6 +331,31 @@ func (g *gateway) readOnce() (err error, panicked bool) {
 		}
 		// Tail/byte-cap drops and unknown classes are accounted by the
 		// data-plane's metrics and leave the buffer with us; keep forwarding.
+	}
+}
+
+// maybeFECFeedback periodically reports the ingress decoder's results to the
+// data-plane: recovered/unrecoverable counts land in the metrics, and the
+// decoder's loss estimate drives the adaptive controller of every locally
+// protected class (-fec with -fec.adapt). Loss observed toward us is a proxy
+// for loss on the path we send over — the right signal when the two
+// directions share fate, and a no-op when no local class is protected.
+func (g *gateway) maybeFECFeedback() {
+	g.fecSeen++
+	if g.fecSeen%64 != 0 {
+		return
+	}
+	st := g.dec.Stats()
+	rec := int(st.Recovered - g.lastRec)
+	unrec := int(st.Unrecoverable - g.lastUnrec)
+	g.lastRec, g.lastUnrec = st.Recovered, st.Unrecoverable
+	est := g.dec.LossEstimate()
+	if len(g.fecClasses) == 0 {
+		return
+	}
+	for _, c := range g.fecClasses {
+		g.dp.FECFeedback(c, rec, unrec, est) // best-effort: errors only say "not protected"
+		rec, unrec = 0, 0                    // counts land once; the estimate reaches every class
 	}
 }
 
@@ -377,6 +444,71 @@ func parseClasses(spec string) (ids []int, rates []float64, err error) {
 		return nil, nil, errors.New("empty class spec")
 	}
 	return ids, rates, nil
+}
+
+// parseFEC parses the -fec spec "id=scheme,id=scheme,..." (scheme in the
+// hpfq.ParseFECSpec grammar, e.g. "0=rs-8-2,1=xor-8") into WithFEC options
+// sharing the -fec.adapt and -fec.blockage knobs. An empty spec is no FEC.
+// parseGilbert parses the -fault.gilbert clause
+// "pGoodBad,pBadGood[,dropGood,dropBad]" into the four
+// faultconn.WithGilbertElliott parameters (dropGood defaults to 0, dropBad
+// to 1: clean good state, every bad-state datagram lost). Empty input means
+// the flag is unset: nil, no error.
+func parseGilbert(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 && len(parts) != 4 {
+		return nil, fmt.Errorf("fault.gilbert %q: want pGoodBad,pBadGood[,dropGood,dropBad]", s)
+	}
+	out := []float64{0, 0, 0, 1}
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault.gilbert %q: %v", s, err)
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("fault.gilbert %q: %v outside [0,1]", s, v)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseFEC(spec string, adapt bool, blockAge time.Duration) ([]int, []hpfq.DataplaneOption, error) {
+	if spec == "" {
+		return nil, nil, nil
+	}
+	var ids []int
+	var opts []hpfq.DataplaneOption
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, nil, fmt.Errorf("fec %q: want id=spec", part)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(kv[0]))
+		if err != nil {
+			return nil, nil, fmt.Errorf("fec %q: bad class id: %v", part, err)
+		}
+		fspec, err := hpfq.ParseFECSpec(strings.TrimSpace(kv[1]))
+		if err != nil {
+			return nil, nil, fmt.Errorf("fec %q: %v", part, err)
+		}
+		ids = append(ids, id)
+		opts = append(opts, hpfq.WithFEC(id, fspec, hpfq.FECConfig{
+			Adapt:       adapt,
+			MaxBlockAge: blockAge,
+		}))
+	}
+	if len(ids) == 0 {
+		return nil, nil, errors.New("empty fec spec")
+	}
+	return ids, opts, nil
 }
 
 // parseTopo parses a link-sharing tree spec, e.g.

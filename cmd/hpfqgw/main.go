@@ -33,19 +33,30 @@
 //	curl -X POST 'http://127.0.0.1:9090/api/class/rate?id=0&rate=8e6'
 //
 // Failure handling: transient upstream write errors are retried with capped
-// exponential backoff (-retries, -retry.backoff, -retry.cap); -aqm switches
-// the per-class drop policy to CoDel (-aqm.target, -aqm.interval) for
+// exponential backoff (-retries, -retry.backoff, -retry.cap); -aqm selects
+// a per-class drop policy, codel or red (-aqm.target, -aqm.interval), for
 // bounded latency under overload; the ingress reader restarts itself after a
 // panic. SIGINT/SIGTERM drains the staged backlog through the pacer for at
 // most -drain before exiting (a second signal exits immediately).
+//
+// Loss resilience: -fec protects chosen classes with an erasure code
+// ("0=rs-8-2,1=xor-8"; '!fec' topo clauses are the -topo spelling) — source
+// datagrams are header-stamped and each block's repair datagrams ride a
+// sibling repair class (id+1000) scheduled like any other leaf, so repair
+// bandwidth competes under the same fairness guarantees. A downstream
+// gateway run with -fec.decode unwraps the protection on ingress and
+// reconstructs erased datagrams from the repairs; -fec.adapt retunes each
+// protected class's geometry to the loss the decoder reports back.
 //
 // The data path is batch-oriented and allocation-free at steady state:
 // datagrams are read into buffers recycled through the shared hpfq
 // BufferPool, and egress releases are written in batches of up to -batch
 // datagrams, grouped by destination flow.
 //
-// The hidden -fault.* flags (seed, errors, short, drop, latency, failafter)
-// inject deterministic faults into the egress path via internal/faultconn;
+// The hidden -fault.* flags (seed, errors, short, drop, gilbert, latency,
+// failafter) inject deterministic faults into the egress path via
+// internal/faultconn — -fault.gilbert "pGoodBad,pBadGood[,dropGood,dropBad]"
+// switches silent drops to the bursty Gilbert–Elliott chain;
 // -fault.ingress applies the same plan to listen-socket reads, which the
 // supervised reader absorbs (transient errors are retried, not fatal) —
 // testing only.
@@ -95,15 +106,21 @@ func run(args []string) error {
 		retryBackoff = fs.Duration("retry.backoff", hpfq.DefaultRetryBackoff, "first retry backoff (doubles per attempt)")
 		retryCap     = fs.Duration("retry.cap", hpfq.DefaultRetryCap, "retry backoff ceiling")
 		requeue      = fs.Int("requeue", 0, "times a retry-exhausted datagram may rejoin the scheduler")
-		aqm          = fs.Bool("aqm", false, "shed standing queues with per-class CoDel instead of growing latency")
-		aqmTarget    = fs.Duration("aqm.target", 0, "CoDel sojourn target (0 = default 5ms)")
-		aqmInterval  = fs.Duration("aqm.interval", 0, "CoDel interval (0 = default 100ms)")
+		aqm          = fs.String("aqm", "", "per-class AQM policy: codel or red (empty = off)")
+		aqmTarget    = fs.Duration("aqm.target", 0, "AQM sojourn target / RED min threshold (0 = policy default)")
+		aqmInterval  = fs.Duration("aqm.interval", 0, "AQM interval / RED max threshold (0 = policy default)")
+
+		fecSpec     = fs.String("fec", "", "FEC-protect classes as id=spec,... (e.g. 0=rs-8-2,1=xor-8); repairs ride class id+1000")
+		fecAdapt    = fs.Bool("fec.adapt", false, "adapt each protected class's (k,r) to the reported loss")
+		fecBlockAge = fs.Duration("fec.blockage", 0, "flush partial FEC blocks after this (0 = default, negative = never)")
+		fecDecode   = fs.Bool("fec.decode", false, "decode FEC-protected ingress: unwrap sources, reconstruct erasures")
 
 		// Fault injection (testing only; see internal/faultconn).
 		faultSeed      = fs.Int64("fault.seed", 1, "fault-injection seed")
 		faultErrors    = fs.Float64("fault.errors", 0, "probability of an injected transient egress error")
 		faultShort     = fs.Float64("fault.short", 0, "probability of an injected short write")
 		faultDrop      = fs.Float64("fault.drop", 0, "probability of silently dropping an egress datagram")
+		faultGilbert   = fs.String("fault.gilbert", "", "bursty drops: Gilbert-Elliott chain pGoodBad,pBadGood[,dropGood,dropBad] (overrides -fault.drop)")
 		faultLatency   = fs.Duration("fault.latency", 0, "added latency per egress write")
 		faultFailAfter = fs.Uint64("fault.failafter", 0, "fail every egress write permanently after this many (0 = never)")
 		faultIngress   = fs.Bool("fault.ingress", false, "apply the -fault.* plan to listen-socket reads as well")
@@ -128,9 +145,14 @@ func run(args []string) error {
 	if *metrics {
 		opts = append(opts, hpfq.WithDataplaneMetrics())
 	}
-	if *aqm {
-		opts = append(opts, hpfq.WithAQM(*aqmTarget, *aqmInterval))
+	if *aqm != "" {
+		opts = append(opts, hpfq.WithAQM(*aqm, *aqmTarget, *aqmInterval))
 	}
+	fecClasses, fecOpts, err := parseFEC(*fecSpec, *fecAdapt, *fecBlockAge)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, fecOpts...)
 	var top *hpfq.Topology
 	if *topoSpec != "" {
 		var err error
@@ -172,14 +194,19 @@ func run(args []string) error {
 		return fmt.Errorf("-upstream %q: %v", *upstreamAddr, err)
 	}
 
-	cfg := gwConfig{flowTTL: *flowTTL, maxFlows: *maxFlows, pool: pool}
-	if *faultErrors > 0 || *faultShort > 0 || *faultDrop > 0 || *faultLatency > 0 || *faultFailAfter > 0 {
-		cfg.fault = faultOptions(*faultSeed, *faultErrors, *faultShort, *faultDrop, *faultLatency, *faultFailAfter)
+	cfg := gwConfig{flowTTL: *flowTTL, maxFlows: *maxFlows, pool: pool,
+		decodeFEC: *fecDecode, fecClasses: fecClasses}
+	gilbert, err := parseGilbert(*faultGilbert)
+	if err != nil {
+		return err
+	}
+	if *faultErrors > 0 || *faultShort > 0 || *faultDrop > 0 || gilbert != nil || *faultLatency > 0 || *faultFailAfter > 0 {
+		cfg.fault = faultOptions(*faultSeed, *faultErrors, *faultShort, *faultDrop, gilbert, *faultLatency, *faultFailAfter)
 		fmt.Fprintln(os.Stderr, "hpfqgw: egress fault injection ENABLED (testing only)")
 		if *faultIngress {
 			// A separate wrapper instance (same plan, own seeded stream)
 			// around the listen socket.
-			cfg.ingressFault = faultOptions(*faultSeed, *faultErrors, *faultShort, *faultDrop, *faultLatency, *faultFailAfter)
+			cfg.ingressFault = faultOptions(*faultSeed, *faultErrors, *faultShort, *faultDrop, gilbert, *faultLatency, *faultFailAfter)
 			fmt.Fprintln(os.Stderr, "hpfqgw: ingress fault injection ENABLED (testing only)")
 		}
 	}

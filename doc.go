@@ -103,19 +103,39 @@
 // DefaultRetryLimit / DefaultRetryBackoff / DefaultRetryCap — while
 // everything else drops the packet immediately. WithRequeue lets a packet
 // that exhausts its retry budget rejoin the scheduler a bounded number of
-// times. WithAQM adds a per-class CoDel policy (RFC 8289) that sheds packets
-// whose staging sojourn stays above target, bounding latency under overload
-// where tail-drop would let it grow. The pump runs under a crash-only
+// times. WithAQM adds a per-class drop policy — AQMCoDel (RFC 8289) sheds
+// packets whose staging sojourn stays above target, AQMRED drops
+// probabilistically as the EWMA queue depth climbs — bounding latency under
+// overload where tail-drop would let it grow. The pump runs under a crash-only
 // supervisor: a panic out of the Writer costs the in-flight batch, never the
 // link, and Dataplane.Restarts counts the recoveries.
 //
 // Every outcome is accounted in Metrics by reason. Drop reasons: DropTail
 // and DropBytes (ingest caps), DropClosed (arrival after Close), DropWrite
-// (fatal write error), DropRetries (retry budget exhausted), DropCoDel (AQM
-// shed), DropPanic (lost with a recovered pump panic). Retry reasons:
-// RetryTransient (a backoff re-attempt) and RetryRequeue (a WithRequeue
-// re-enqueue). internal/faultconn injects deterministic seeded faults to
-// exercise all of these paths (`make fault`).
+// (fatal write error), DropRetries (retry budget exhausted), DropCoDel and
+// DropRED (AQM shed), DropPanic (lost with a recovered pump panic). Retry
+// reasons: RetryTransient (a backoff re-attempt) and RetryRequeue (a
+// WithRequeue re-enqueue). internal/faultconn injects deterministic seeded
+// faults — including Gilbert–Elliott bursty loss — to exercise all of these
+// paths (`make fault`).
+//
+// # Loss resilience
+//
+// Retry recovers errors the sender can observe; WithFEC(class, spec, cfg)
+// recovers datagrams the network silently drops. The protected class's
+// egress is wrapped in a systematic erasure code (ParseFECSpec: "xor-k" or
+// "rs-k-r", Reed-Solomon over GF(2⁸)), and each block's repair datagrams
+// are enqueued into a grafted sibling repair class (class id +
+// DefaultRepairClassOffset) that competes under the schedulers like any
+// other leaf — repair overhead is itself subject to fair queueing and can
+// never starve siblings. Partial blocks flush after FECConfig.MaxBlockAge
+// (DefaultFECBlockAge). The receive side runs NewFECDecoder: Push strips
+// source headers, reassembles blocks in any arrival order, and
+// reconstructs erased datagrams; IsFECDatagram routes mixed traffic. With
+// FECConfig.Adapt, loss reported through Dataplane.FECFeedback drives an
+// EWMA controller that retunes (k, r) within bounds at block boundaries.
+// Counters: FECEncoded, FECRepairSent, FECRecovered, FECUnrecoverable
+// (`make fec` runs the seeded recovery and fairness suite).
 //
 // # Layout
 //
@@ -127,6 +147,8 @@
 //     internal/stats: simulation substrate and instrumentation
 //   - internal/shaper, internal/wallclock, internal/dataplane: wall-clock
 //     pacing and the concurrent UDP egress engine
+//   - internal/fec: XOR / Reed-Solomon erasure coding with adaptive
+//     redundancy control; internal/faultconn: seeded fault injection
 //   - internal/experiments: every figure of the paper as a runnable
 //     experiment (see EXPERIMENTS.md)
 //

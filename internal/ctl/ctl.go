@@ -224,6 +224,17 @@ func (s *Server) statusText(w http.ResponseWriter, r *http.Request) {
 	if s.flows != nil {
 		fmt.Fprintf(w, "flows: %d\n", len(s.flows()))
 	}
+	if len(st.FEC) > 0 {
+		for _, f := range st.FEC {
+			fmt.Fprintf(w, "fec: class %d repair %d  %s  pending %d", f.Class, f.RepairClass, f.Spec, f.Pending)
+			if f.Adaptive {
+				fmt.Fprintf(w, "  adaptive (loss est %.3f)", f.LossEst)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "fec counters: encoded %d  repairs %d  recovered %d  unrecoverable %d\n",
+			m.FECEncoded, m.FECRepairSent, m.FECRecovered, m.FECUnrecoverable)
+	}
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "CLASS\tNAME\tRATE\tCEIL\tQUEUED\tBYTES\tGATED\tSTATE")

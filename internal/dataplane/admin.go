@@ -359,6 +359,7 @@ type Status struct {
 	Nodes     []hier.NodeInfo // live topology, preorder; nil in flat mode
 	Classes   []ClassStatus   // per-class staging state, sorted by id
 	Pool      *PoolStats      // buffer-pool counters; nil without a pool
+	FEC       []FECStatus     // protected classes, sorted by id; nil without FEC
 }
 
 // ClassStatus is one class's row in Status.
@@ -417,5 +418,6 @@ func (d *Dataplane) Status() Status {
 		ps := d.pool.Stats()
 		st.Pool = &ps
 	}
+	st.FEC = d.fecStatusLocked()
 	return st
 }

@@ -93,7 +93,7 @@ func TestAQMShedsOverloadedClass(t *testing.T) {
 	)
 	clk := wallclock.NewFake()
 	d, err := New("WF2Q+", rate, WithClock(clk), WithMetrics(),
-		WithAQM(2*time.Millisecond, 20*time.Millisecond))
+		WithAQM(AQMCoDel, 2*time.Millisecond, 20*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,9 +67,10 @@
 // tracer) is recovered, the in-flight batch is accounted as dropped with
 // reason "pump-panic", and the pump restarts, so one bad packet cannot
 // wedge the link. Overload degrades gracefully too: WithAQM replaces
-// nothing but adds a per-class CoDel policy (codel.go) that sheds packets
-// whose staging sojourn stays above target, keeping latency bounded where
-// tail-drop would let it grow with the queue. Every outcome lands in the
+// nothing but adds a per-class drop policy — CoDel (codel.go) or
+// time-domain RED (red.go) — that sheds packets whose staging sojourn
+// grows, keeping latency bounded where tail-drop would let it grow with
+// the queue. Every outcome lands in the
 // obs layer: drops by reason, retries by reason, and the restart count via
 // Restarts.
 package dataplane
@@ -78,9 +79,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
+	"hpfq/internal/fec"
 	"hpfq/internal/hier"
 	"hpfq/internal/obs"
 	"hpfq/internal/packet"
@@ -143,18 +146,19 @@ type queue interface {
 	RecordDropReason(now float64, session int, bits float64, reason string)
 	RecordRetry(now float64, session int, bits float64, reason string)
 	RecordBatchWrite(now float64, pkts int, bits float64)
+	RecordFEC(encoded, repairSent, recovered, unrecoverable int)
 	obs.Observable
 }
 
 // classState tracks one class's staged datagrams against its caps and, when
-// AQM is enabled, its CoDel state. packets/bytes count everything the class
-// holds inside the engine: the HTB gate (when borrowing is on) plus the
-// scheduler's staging queue, so the ingest caps bound the sum.
+// AQM is enabled, its drop-policy state. packets/bytes count everything the
+// class holds inside the engine: the HTB gate (when borrowing is on) plus
+// the scheduler's staging queue, so the ingest caps bound the sum.
 type classState struct {
 	rate    float64
 	packets int
 	bytes   int
-	codel   *codel // nil unless WithAQM
+	aqm     aqmPolicy // nil unless WithAQM
 
 	// HTB borrowing gate (htb.go): staged envelopes awaiting token
 	// admission, FIFO with head compaction. Empty unless borrowing is on.
@@ -208,13 +212,14 @@ type config struct {
 	metrics  bool
 	tracer   obs.Tracer
 	retry    retryPolicy
-	aqm      bool
+	aqmKind  string // "" (off), AQMCoDel, or AQMRED
 	target   time.Duration
 	interval time.Duration
 	pool     *BufferPool
 	batch    int
 	pol      *pifo.Factory
 	nodePols map[string]pifo.Factory
+	fec      map[int]fecPending
 
 	borrow    bool
 	ceils     map[int]float64
@@ -348,20 +353,37 @@ func WithNodeCeil(name string, ceil float64) Option {
 	}
 }
 
-// WithAQM enables a per-class CoDel drop policy as graceful degradation
-// under overload: packets whose staging sojourn stays above target for a
-// full interval are shed at dequeue (reason "codel"), with drop pressure
-// growing as interval/sqrt(drops) until the standing queue clears
-// (RFC 8289). Non-positive target or interval selects the CoDel defaults
-// (5 ms / 100 ms). AQM composes with the packet and byte caps: the caps
-// bound memory at ingest, CoDel bounds latency at egress.
-func WithAQM(target, interval time.Duration) Option {
+// WithAQM enables a per-class drop policy as graceful degradation under
+// overload. kind selects the policy:
+//
+//   - "codel": packets whose staging sojourn stays above target for a full
+//     interval are shed at dequeue (reason "codel"), with drop pressure
+//     growing as interval/sqrt(drops) until the standing queue clears
+//     (RFC 8289). Defaults 5 ms / 100 ms.
+//   - "red": the EWMA of staging sojourn is compared against the two
+//     thresholds (target = min, interval = max): drops ramp probabilistically
+//     from 0 to 10% across them, then gently to certain drop at twice the
+//     max (reason "red"). Defaults 5 ms / 15 ms.
+//
+// Non-positive durations select the kind's defaults; an unknown kind fails
+// construction. AQM composes with the packet and byte caps: the caps bound
+// memory at ingest, the AQM bounds latency at egress.
+func WithAQM(kind string, target, interval time.Duration) Option {
 	return func(c *config) {
-		c.aqm = true
-		if target <= 0 {
+		if kind == "" {
+			kind = AQMCoDel
+		}
+		c.aqmKind = kind
+		switch {
+		case target <= 0 && kind == AQMRED:
+			target = DefaultREDMin
+		case target <= 0:
 			target = DefaultCoDelTarget
 		}
-		if interval <= 0 {
+		switch {
+		case interval <= 0 && kind == AQMRED:
+			interval = DefaultREDMax
+		case interval <= 0:
 			interval = DefaultCoDelInterval
 		}
 		c.target, c.interval = target, interval
@@ -379,7 +401,7 @@ type Dataplane struct {
 	epoch time.Time
 	retry retryPolicy
 
-	aqm      bool
+	aqmKind  string
 	target   time.Duration
 	interval time.Duration
 
@@ -410,6 +432,16 @@ type Dataplane struct {
 	// draining lists classes RemoveClass is retiring; the pump retries
 	// finalization each batch until each quiesces.
 	draining []int
+
+	// FEC state (fec.go): protected classes by id, repair→protected
+	// back-mapping, deterministic iteration order, pending construction-time
+	// configs for flat-mode classes that don't exist yet, and the pump's
+	// hint for the earliest partial-block flush deadline.
+	fec        map[int]*fecState
+	repairOf   map[int]int
+	fecList    []*fecState
+	fecPending map[int]fecPending
+	fecWait    time.Duration
 
 	pool  *BufferPool // nil: the engine never recycles payload buffers
 	batch int         // max datagrams per WriteBatch call
@@ -466,13 +498,19 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 	if cfg.retry.cap < cfg.retry.backoff {
 		cfg.retry.cap = cfg.retry.backoff
 	}
+	switch cfg.aqmKind {
+	case "", AQMCoDel, AQMRED:
+	default:
+		return nil, fmt.Errorf("dataplane: unknown AQM kind %q (want %q or %q)",
+			cfg.aqmKind, AQMCoDel, AQMRED)
+	}
 	d := &Dataplane{
 		rate:      rate,
 		burst:     cfg.burst,
 		algo:      algorithm,
 		clock:     cfg.clock,
 		retry:     cfg.retry,
-		aqm:       cfg.aqm,
+		aqmKind:   cfg.aqmKind,
 		target:    cfg.target,
 		interval:  cfg.interval,
 		classes:   make(map[int]*classState),
@@ -562,15 +600,64 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 	d.epoch = d.clock.Now()
 	d.rebuildClassOrderLocked()
 	d.rebuildHTBLocked()
+	// FEC protection: '!fec' topo clauses become WithFEC requests with
+	// default knobs (an explicit WithFEC on the same class wins). Topology
+	// classes exist now, so their repair leaves graft here; flat-mode
+	// requests wait for the AddClass that registers the protected class.
+	if cfg.top != nil {
+		var fecErr error
+		cfg.top.Walk(func(n *topo.Node, _ int) {
+			if fecErr != nil || n.FEC == "" || !n.IsLeaf() {
+				return
+			}
+			if _, explicit := cfg.fec[n.Session]; explicit {
+				return
+			}
+			spec, err := fec.ParseSpec(n.FEC)
+			if err != nil {
+				fecErr = fmt.Errorf("dataplane: leaf %q: %v", n.Name, err)
+				return
+			}
+			if cfg.fec == nil {
+				cfg.fec = make(map[int]fecPending)
+			}
+			cfg.fec[n.Session] = fecPending{spec: spec}
+		})
+		if fecErr != nil {
+			return nil, fecErr
+		}
+	}
+	if len(cfg.fec) > 0 {
+		ids := make([]int, 0, len(cfg.fec))
+		for id := range cfg.fec {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if d.tree == nil {
+				if d.fecPending == nil {
+					d.fecPending = make(map[int]fecPending)
+				}
+				d.fecPending[id] = cfg.fec[id]
+				continue
+			}
+			if err := d.attachFECLocked(id, cfg.fec[id]); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return d, nil
 }
 
-// newClassState returns per-class staging state, with CoDel attached when
-// AQM is on.
+// newClassState returns per-class staging state, with the configured AQM
+// policy attached when one is on.
 func (d *Dataplane) newClassState(rate float64) *classState {
 	cs := &classState{rate: rate}
-	if d.aqm {
-		cs.codel = newCodel(d.target, d.interval)
+	switch d.aqmKind {
+	case AQMCoDel:
+		cs.aqm = newCodel(d.target, d.interval)
+	case AQMRED:
+		cs.aqm = newRED(d.target, d.interval)
 	}
 	return cs
 }
@@ -629,6 +716,10 @@ func (d *Dataplane) AddClass(id int, rate float64) error {
 	d.classes[id] = d.newClassState(rate)
 	d.rebuildClassOrderLocked()
 	d.rebuildHTBLocked()
+	if p, ok := d.fecPending[id]; ok {
+		delete(d.fecPending, id)
+		return d.attachFECLocked(id, p)
+	}
 	return nil
 }
 
@@ -693,6 +784,25 @@ func (d *Dataplane) IngestCtx(class int, b []byte, ctx any) error {
 		d.q.RecordDropReason(d.now(), class, bits, obs.DropBytes)
 		d.mu.Unlock()
 		return fmt.Errorf("%w: class %d at %d bytes", ErrQueueFull, class, staged)
+	}
+	if len(d.fecList) > 0 {
+		if prot, isRepair := d.repairOf[class]; isRepair {
+			d.mu.Unlock()
+			return fmt.Errorf("dataplane: class %d is the FEC repair class of %d (engine-owned)", class, prot)
+		}
+		if fs := d.fec[class]; fs != nil {
+			// Stage the header-stamped copy instead; the engine recycles the
+			// caller's buffer (success is guaranteed past this point, so
+			// ownership has effectively transferred). A completed block
+			// flushes its repairs into the repair class right here.
+			enc, err := d.encodeFECLocked(fs, b, ctx)
+			if err != nil {
+				d.mu.Unlock()
+				return err
+			}
+			b = enc
+			bits = float64(len(b)) * 8
+		}
 	}
 	env := d.newEnvelope()
 	env.pkt.Session = class
@@ -830,6 +940,13 @@ func (d *Dataplane) pump() {
 			}
 			d.await(wait)
 		default:
+			if d.fecWait > 0 {
+				// A partial FEC block is aging toward its flush deadline:
+				// sleep at most until then instead of parking on the wake
+				// channel (its repairs are work no Ingest will announce).
+				d.await(d.fecWait)
+				continue
+			}
 			<-d.wake // idle: wait for an Ingest or Close nudge
 		}
 	}
@@ -851,6 +968,11 @@ func (d *Dataplane) collectBatch(tokens float64, last *time.Time) (float64, int,
 	if tokens > d.burst {
 		tokens = d.burst
 	}
+	if len(d.fecList) > 0 {
+		// Partial FEC blocks past their age (or any, once closing) flush
+		// their repairs before the dequeue loop so they ride this batch.
+		d.flushStaleFECLocked(d.now())
+	}
 	d.releaseGated(d.now())
 	for tokens >= 0 {
 		p := d.q.Dequeue(d.now())
@@ -861,10 +983,10 @@ func (d *Dataplane) collectBatch(tokens float64, last *time.Time) (float64, int,
 		cs := d.classes[p.Session]
 		cs.packets--
 		cs.bytes -= len(env.dg.b)
-		if cs.codel != nil && cs.codel.onDequeue(d.now(), d.now()-p.Arrival) {
+		if cs.aqm != nil && cs.aqm.onDequeue(d.now(), d.now()-p.Arrival) {
 			// Shed by the AQM: record and pick the next packet without
 			// spending link tokens on the carcass.
-			d.q.RecordDropReason(d.now(), p.Session, p.Length, obs.DropCoDel)
+			d.q.RecordDropReason(d.now(), p.Session, p.Length, cs.aqm.reason())
 			d.freeEnvelope(env)
 			continue
 		}

@@ -1,0 +1,119 @@
+package dataplane
+
+import (
+	"time"
+
+	"hpfq/internal/obs"
+)
+
+// AQM kind names accepted by WithAQM.
+const (
+	AQMCoDel = "codel"
+	AQMRED   = "red"
+)
+
+// aqmPolicy is the per-class AQM contract: the pump consults it for every
+// packet about to leave staging (under the engine lock) and records a drop
+// under the policy's reason tag when it says shed. codel and red implement
+// it.
+type aqmPolicy interface {
+	// onDequeue decides the fate of one packet with the given staging
+	// sojourn; true means drop it. Times in seconds on the engine clock.
+	onDequeue(now, sojourn float64) bool
+	// reason is the obs drop-reason tag for this policy's drops.
+	reason() string
+}
+
+func (c *codel) reason() string { return obs.DropCoDel }
+
+// RED AQM defaults. RED is configured by two sojourn thresholds (the
+// time-domain analogue of the classic queue-length thresholds); the gentle
+// variant keeps a probabilistic region up to twice the max threshold. The
+// 3× spread between min and max follows the classic guidance.
+const (
+	DefaultREDMin = 5 * time.Millisecond
+	DefaultREDMax = 15 * time.Millisecond
+
+	redWeight = 0.1 // EWMA gain on sojourn samples (one per dequeue)
+	redMaxP   = 0.1 // drop probability at the max threshold
+)
+
+// red is one class's Random Early Detection state, operated in the time
+// domain: instead of averaging queue *length* (Floyd & Jacobson 1993), it
+// averages each packet's staging *sojourn* — the same signal CoDel uses, so
+// the two policies are interchangeable behind aqmPolicy and comparable in
+// tests. Between minTh and maxTh the drop probability ramps linearly to
+// maxP, spaced by the classic count correction so drops spread evenly
+// instead of clustering; above maxTh the "gentle" extension ramps to
+// certain drop at 2·maxTh rather than cliff-dropping.
+//
+// Randomness comes from a per-class xorshift64 generator with a fixed seed:
+// deterministic across runs, no locking, no global rand.
+type red struct {
+	minTh, maxTh float64 // seconds of average sojourn
+
+	avg   float64
+	init  bool
+	count int    // packets since the last drop (-1: below minTh)
+	rng   uint64 // xorshift64 state
+}
+
+// newRED returns per-class RED state for the given sojourn thresholds.
+func newRED(minTh, maxTh time.Duration) *red {
+	return &red{
+		minTh: minTh.Seconds(),
+		maxTh: maxTh.Seconds(),
+		count: -1,
+		rng:   0x9E3779B97F4A7C15,
+	}
+}
+
+func (r *red) reason() string { return obs.DropRED }
+
+func (r *red) onDequeue(now, sojourn float64) bool {
+	if !r.init {
+		r.avg, r.init = sojourn, true
+	} else {
+		r.avg += redWeight * (sojourn - r.avg)
+	}
+	switch {
+	case r.avg < r.minTh:
+		r.count = -1
+		return false
+	case r.avg >= 2*r.maxTh:
+		r.count = 0
+		return true
+	}
+	// Linear ramp: 0→maxP over [minTh, maxTh), then maxP→1 over
+	// [maxTh, 2·maxTh) (gentle RED).
+	var p float64
+	if r.avg < r.maxTh {
+		p = redMaxP * (r.avg - r.minTh) / (r.maxTh - r.minTh)
+	} else {
+		p = redMaxP + (1-redMaxP)*(r.avg-r.maxTh)/r.maxTh
+	}
+	r.count++
+	// Count correction: pa = p / (1 − count·p) spreads drops uniformly
+	// across the inter-drop interval instead of geometrically.
+	pa := p
+	if d := 1 - float64(r.count)*p; d > p {
+		pa = p / d
+	} else {
+		pa = 1
+	}
+	if r.uniform() < pa {
+		r.count = 0
+		return true
+	}
+	return false
+}
+
+// uniform returns the next deterministic pseudo-random float64 in [0, 1).
+func (r *red) uniform() float64 {
+	x := r.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.rng = x
+	return float64(x>>11) / (1 << 53)
+}

@@ -1,0 +1,156 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"hpfq/internal/obs"
+	"hpfq/internal/wallclock"
+)
+
+// TestREDBelowMinNeverDrops: sojourns whose average stays under the min
+// threshold are left alone.
+func TestREDBelowMinNeverDrops(t *testing.T) {
+	r := newRED(5*time.Millisecond, 15*time.Millisecond)
+	for i := 0; i < 10000; i++ {
+		if r.onDequeue(float64(i)*1e-3, 0.004) {
+			t.Fatalf("dropped at i=%d with average sojourn below min", i)
+		}
+	}
+}
+
+// TestREDRampsBetweenThresholds: with the average pinned mid-ramp the drop
+// fraction lands near the configured probability, spread out rather than
+// clustered.
+func TestREDRampsBetweenThresholds(t *testing.T) {
+	r := newRED(5*time.Millisecond, 15*time.Millisecond)
+	const sojourn = 0.010 // midpoint: p = maxP/2 = 5%
+	drops, gap, maxGap := 0, 0, 0
+	for i := 0; i < 10000; i++ {
+		if r.onDequeue(float64(i)*1e-3, sojourn) {
+			drops++
+			if gap > maxGap {
+				maxGap = gap
+			}
+			gap = 0
+		} else {
+			gap++
+		}
+	}
+	if drops < 200 || drops > 1200 {
+		t.Errorf("dropped %d of 10000 at mid-ramp, want ≈ 5%%", drops)
+	}
+	// The count correction bounds inter-drop gaps near 1/p; a cluster-free
+	// sequence never goes many multiples of that without a drop.
+	if maxGap > 200 {
+		t.Errorf("max inter-drop gap %d packets at p≈0.05 — drops clustering", maxGap)
+	}
+}
+
+// TestREDGentleRegionAndRecovery: far above max the policy sheds hard;
+// once the average sojourn decays below min it stops entirely.
+func TestREDGentleRegionAndRecovery(t *testing.T) {
+	r := newRED(5*time.Millisecond, 15*time.Millisecond)
+	drops := 0
+	for i := 0; i < 1000; i++ {
+		if r.onDequeue(float64(i)*1e-3, 0.100) { // ≥ 2·maxTh once EWMA catches up
+			drops++
+		}
+	}
+	if drops < 900 {
+		t.Errorf("dropped %d of 1000 far above the gentle region, want ~all", drops)
+	}
+	// Drain: tiny sojourns pull the EWMA back under min within a few dozen
+	// samples; after that nothing drops.
+	for i := 0; i < 100; i++ {
+		r.onDequeue(1+float64(i)*1e-3, 0.0001)
+	}
+	for i := 0; i < 1000; i++ {
+		if r.onDequeue(2+float64(i)*1e-3, 0.0001) {
+			t.Fatal("dropped after the queue drained")
+		}
+	}
+}
+
+// TestREDDeterministic: the per-class generator is seeded, so two identical
+// runs shed identical packets.
+func TestREDDeterministic(t *testing.T) {
+	run := func() []bool {
+		r := newRED(5*time.Millisecond, 15*time.Millisecond)
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i] = r.onDequeue(float64(i)*1e-3, 0.012)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at packet %d", i)
+		}
+	}
+}
+
+// TestREDShedsOverloadedClass is the engine-level RED twin of
+// TestAQMShedsOverloadedClass: drops land under reason "red", spare the
+// in-profile class, and conserve the counters.
+func TestREDShedsOverloadedClass(t *testing.T) {
+	const (
+		rate = 1e6
+		size = 125
+	)
+	clk := wallclock.NewFake()
+	d, err := New("WF2Q+", rate, WithClock(clk), WithMetrics(),
+		WithAQM(AQMRED, 2*time.Millisecond, 6*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AddClass(0, 0.75e6)
+	d.AddClass(1, 0.25e6)
+	w := &countWriter{}
+	if err := d.Start(w); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := d.Ingest(0, mkPayload(0, i, size)); err != nil {
+			t.Fatal(err)
+		}
+		if i%8 == 0 {
+			if err := d.Ingest(1, mkPayload(1, i, size)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		clk.Advance(500 * time.Microsecond)
+		time.Sleep(20 * time.Microsecond)
+	}
+	closeDraining(t, d, clk)
+
+	m := d.Snapshot()
+	if m.DropReasons[obs.DropRED].Packets == 0 {
+		t.Fatalf("overloaded class never shed by RED: %+v", m.DropReasons)
+	}
+	if m.DropReasons[obs.DropCoDel].Packets != 0 {
+		t.Errorf("RED run recorded codel drops: %+v", m.DropReasons)
+	}
+	s1, _ := m.Session(1)
+	if s1.Dropped.Packets != 0 {
+		t.Errorf("in-profile class lost %d packets to RED", s1.Dropped.Packets)
+	}
+	if !m.Conserved() {
+		t.Error("metrics not conserved with RED drops")
+	}
+	if got := w.packets.Load() + m.DropReasons[obs.DropRED].Packets; got != m.Dequeued.Packets {
+		t.Errorf("written %d + red-shed %d != dequeued %d",
+			w.packets.Load(), m.DropReasons[obs.DropRED].Packets, m.Dequeued.Packets)
+	}
+}
+
+// TestUnknownAQMKindRejected: construction fails fast on a bad kind.
+func TestUnknownAQMKindRejected(t *testing.T) {
+	if _, err := New("WF2Q+", 1e6, WithAQM("blue", 0, 0)); err == nil {
+		t.Fatal("unknown AQM kind accepted")
+	}
+	if d, err := New("WF2Q+", 1e6, WithAQM("", 0, 0)); err != nil || d.aqmKind != AQMCoDel {
+		t.Fatalf("empty kind should default to codel: %v %q", err, d.aqmKind)
+	}
+}

@@ -1,7 +1,7 @@
 // Package faultconn wraps the data-plane's datagram Reader/Writer contracts
 // with deterministic, seeded fault injection: transient (EAGAIN-style)
-// errors, permanent failures after a threshold, short writes, silent drops,
-// and added latency. It exists so the retry/backoff and drop-accounting
+// errors, permanent failures after a threshold, short writes, silent drops
+// (i.i.d. or Gilbert–Elliott bursty), and added latency. It exists so the retry/backoff and drop-accounting
 // paths of internal/dataplane — and the full cmd/hpfqgw pipeline via its
 // hidden -fault.* flags — can be exercised reproducibly from tests instead
 // of waiting for a flaky network.
@@ -75,6 +75,7 @@ type Stats struct {
 	ShortWrites uint64 // injected short writes (writers only)
 	Dropped     uint64 // silently discarded datagrams
 	Fatal       uint64 // operations refused after the fail-after threshold
+	BadOps      uint64 // operations decided in the Gilbert–Elliott bad state
 }
 
 // config collects the fault plan.
@@ -86,6 +87,15 @@ type config struct {
 	dropRate  float64       // silent-drop probability per op
 	latency   time.Duration // added delay per op
 	failAfter uint64        // ops beyond this count fail with ErrFatal (0 = off)
+	ge        *geConfig     // Gilbert–Elliott bursty-loss chain (nil = off)
+}
+
+// geConfig parameterizes the two-state Gilbert–Elliott loss chain.
+type geConfig struct {
+	pGoodBad float64 // P(good → bad) per operation
+	pBadGood float64 // P(bad → good) per operation
+	dropGood float64 // drop probability while good
+	dropBad  float64 // drop probability while bad
 }
 
 // Option configures a fault-injecting wrapper.
@@ -111,6 +121,25 @@ func WithShortWrites(p float64) Option { return func(c *config) { c.shortRate = 
 // reporting success — the loss mode retries cannot see.
 func WithDropRate(p float64) Option { return func(c *config) { c.dropRate = p } }
 
+// WithGilbertElliott switches silent drops from i.i.d. (WithDropRate) to the
+// two-state Gilbert–Elliott Markov chain, the standard model for *bursty*
+// correlated loss: the link alternates between a good state (drop
+// probability dropGood, usually ~0) and a bad state (dropBad, high), with
+// per-operation transition probabilities pGoodBad and pBadGood. Expected
+// burst length is 1/pBadGood operations and long-run loss is
+//
+//	π_bad·dropBad + π_good·dropGood, with π_bad = pGoodBad/(pGoodBad+pBadGood).
+//
+// The chain starts good, advances one step per operation from the same
+// seeded source as every other knob, and takes precedence over WithDropRate.
+// Correlated loss is what separates Reed-Solomon from single-parity FEC:
+// r-erasure bursts inside one block defeat XOR but not RS(k, r).
+func WithGilbertElliott(pGoodBad, pBadGood, dropGood, dropBad float64) Option {
+	return func(c *config) {
+		c.ge = &geConfig{pGoodBad: pGoodBad, pBadGood: pBadGood, dropGood: dropGood, dropBad: dropBad}
+	}
+}
+
 // WithLatency sleeps d before every operation, simulating a slow device.
 func WithLatency(d time.Duration) Option { return func(c *config) { c.latency = d } }
 
@@ -124,6 +153,7 @@ type injector struct {
 	rng   *rand.Rand
 	cfg   config
 	stats Stats
+	geBad bool // current Gilbert–Elliott state (starts good)
 }
 
 func newInjector(opts []Option) *injector {
@@ -169,6 +199,28 @@ func (j *injector) decide(isWrite bool) verdict {
 	if isWrite && j.cfg.shortRate > 0 && j.rng.Float64() < j.cfg.shortRate {
 		j.stats.ShortWrites++
 		v.short = true
+		return v
+	}
+	if ge := j.cfg.ge; ge != nil {
+		// One chain step per operation, then the state's drop roll. Both
+		// draws come from the shared seeded source, so GE plans replay
+		// exactly like every other knob.
+		if j.geBad {
+			if j.rng.Float64() < ge.pBadGood {
+				j.geBad = false
+			}
+		} else if j.rng.Float64() < ge.pGoodBad {
+			j.geBad = true
+		}
+		p := ge.dropGood
+		if j.geBad {
+			j.stats.BadOps++
+			p = ge.dropBad
+		}
+		if p > 0 && j.rng.Float64() < p {
+			j.stats.Dropped++
+			v.drop = true
+		}
 		return v
 	}
 	if j.cfg.dropRate > 0 && j.rng.Float64() < j.cfg.dropRate {

@@ -1,0 +1,154 @@
+package fec
+
+import (
+	"fmt"
+	"math"
+)
+
+// ControllerConfig bounds the adaptive redundancy control law.
+type ControllerConfig struct {
+	// Alpha is the EWMA gain applied to each loss observation (default
+	// 0.25): high enough to track a link going bad within a few feedback
+	// rounds, low enough that one unlucky block doesn't double redundancy.
+	Alpha float64
+	// Headroom scales the loss estimate before sizing redundancy (default
+	// 1.5): the code is provisioned for Headroom× the estimated loss, so
+	// ordinary variance around the estimate doesn't immediately exceed
+	// what the block can repair.
+	Headroom float64
+	// MinK/MaxK and MinR/MaxR clamp the geometry the controller may pick
+	// (defaults 2/base.K and 1/MaxR for RS, 1 fixed for XOR).
+	MinK, MaxK int
+	MinR, MaxR int
+}
+
+// Controller turns per-class loss observations into (k, r) retunes: an EWMA
+// tracks the loss fraction, and Tune picks the cheapest geometry within
+// bounds whose redundancy r/(k+r) covers Headroom× that estimate. The
+// dataplane feeds it from receiver feedback (Decoder.LossEstimate on the far
+// side) or an operator-configured estimate, and applies Tune's spec via
+// Encoder.Retune at block boundaries.
+//
+// Not goroutine-safe; the owning class serializes access.
+type Controller struct {
+	base Spec
+	cfg  ControllerConfig
+	est  float64
+	init bool
+	cur  Spec
+}
+
+// NewController builds a controller anchored at base (the spec used until
+// observations say otherwise, and the fallback when loss is negligible).
+func NewController(base Spec, cfg ControllerConfig) (*Controller, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.25
+	}
+	if cfg.Headroom < 1 {
+		cfg.Headroom = 1.5
+	}
+	if cfg.MinK < 1 {
+		cfg.MinK = 2
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = base.K
+	}
+	if cfg.MinR < 1 {
+		cfg.MinR = 1
+	}
+	if cfg.MaxR <= 0 {
+		if base.Scheme == SchemeXOR {
+			cfg.MaxR = 1
+		} else {
+			cfg.MaxR = MaxR
+		}
+	}
+	if cfg.MinK > cfg.MaxK || cfg.MinR > cfg.MaxR || cfg.MaxK > MaxK || cfg.MaxR > MaxR {
+		return nil, fmt.Errorf("fec: controller bounds k[%d,%d] r[%d,%d] invalid",
+			cfg.MinK, cfg.MaxK, cfg.MinR, cfg.MaxR)
+	}
+	if base.Scheme == SchemeXOR {
+		cfg.MinR, cfg.MaxR = 1, 1
+	}
+	return &Controller{base: base, cfg: cfg, cur: base}, nil
+}
+
+// Observe folds one loss measurement (fraction in [0,1]) into the estimate.
+func (c *Controller) Observe(loss float64) {
+	if loss < 0 {
+		loss = 0
+	} else if loss > 1 {
+		loss = 1
+	}
+	if !c.init {
+		c.est, c.init = loss, true
+		return
+	}
+	c.est = (1-c.cfg.Alpha)*c.est + c.cfg.Alpha*loss
+}
+
+// Estimate returns the current EWMA loss estimate.
+func (c *Controller) Estimate() float64 { return c.est }
+
+// Spec returns the geometry the controller last chose.
+func (c *Controller) Spec() Spec { return c.cur }
+
+// Tune returns the geometry for the next blocks: the least-redundant (k, r)
+// within bounds whose overhead r/(k+r) is at least Headroom× the loss
+// estimate. With no observed loss it relaxes back to the base spec. XOR
+// holds r = 1 and shrinks k instead (smaller blocks ⇒ more parity per
+// datagram); RS holds k at base and grows r, shrinking k only once r is
+// pinned at MaxR.
+func (c *Controller) Tune() Spec {
+	target := c.est * c.cfg.Headroom
+	if target > 0.5 {
+		target = 0.5 // beyond 50% overhead, FEC is the wrong tool
+	}
+	spec := c.base
+	if !c.init || target <= spec.Overhead() {
+		c.cur = c.clamp(spec)
+		return c.cur
+	}
+	if c.base.Scheme == SchemeXOR {
+		// 1/(k+1) ≥ target ⇒ k ≤ 1/target − 1.
+		k := int(1/target) - 1
+		spec.K = k
+	} else {
+		// Grow r first: r/(k+r) ≥ target ⇔ r ≥ k·target/(1−target).
+		k := spec.K
+		need := func(k int) int {
+			r := int(math.Ceil(float64(k) * target / (1 - target)))
+			if r < 1 {
+				r = 1
+			}
+			return r
+		}
+		r := need(k)
+		for r > c.cfg.MaxR && k > c.cfg.MinK {
+			k--
+			r = need(k)
+		}
+		spec.K, spec.R = k, r
+	}
+	c.cur = c.clamp(spec)
+	return c.cur
+}
+
+func (c *Controller) clamp(s Spec) Spec {
+	if s.K < c.cfg.MinK {
+		s.K = c.cfg.MinK
+	}
+	if s.K > c.cfg.MaxK {
+		s.K = c.cfg.MaxK
+	}
+	if s.R < c.cfg.MinR {
+		s.R = c.cfg.MinR
+	}
+	if s.R > c.cfg.MaxR {
+		s.R = c.cfg.MaxR
+	}
+	return s
+}

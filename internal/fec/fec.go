@@ -1,0 +1,225 @@
+// Package fec is the egress path's forward-error-correction layer: systematic
+// block erasure codes over UDP datagrams, so a receiver can reconstruct
+// datagrams a lossy link silently dropped — the failure mode retry/backoff
+// cannot touch, because the write "succeeded".
+//
+// Two schemes share one contract:
+//
+//   - XOR parity: one repair datagram per block of k sources, recovering any
+//     single erasure. Zero multiplication cost, 1/k overhead.
+//   - Reed-Solomon: r repair datagrams per block of k sources over GF(2^8),
+//     recovering any r erasures (MDS). The parity matrix is Cauchy, so every
+//     square submatrix is invertible and decoding never hits a singular
+//     system. Standard library only.
+//
+// The code is systematic: source datagrams travel as themselves plus a small
+// header, so a receiver without the decoder still sees every delivered
+// payload in order — FEC only ever adds information. Block boundaries,
+// per-datagram lengths, and the (k, r) geometry ride in the header, which
+// means every block is self-describing and the sender may retune (k, r)
+// between blocks (see Controller) without coordinating with the receiver.
+//
+// The three moving parts:
+//
+//   - Encoder (encoder.go): stamps source datagrams, accumulates each open
+//     block, and emits repair datagrams at block completion (or an early
+//     Flush for a partial block — partial blocks simply carry a smaller k).
+//   - Decoder (decoder.go): reassembles blocks from whatever arrives, in any
+//     order, recovers erased sources as soon as enough symbols are present,
+//     and measures the observed loss fraction for feedback.
+//   - Controller (adapt.go): an EWMA control law turning loss estimates into
+//     (k, r) retunes within configured bounds.
+//
+// The scheduling story lives in internal/dataplane: repair datagrams are not
+// bolted onto the wire path but staged into a sibling *repair class* of the
+// protected class, so redundancy overhead competes under the same
+// WF²Q+/H-PFQ guarantees as everything else — per-class programmable
+// scheduling in the sense of Sivaraman et al. (Programmable Packet
+// Scheduling) and Alcoz et al. (Everything Matters in Programmable Packet
+// Scheduling), applied to repair traffic.
+package fec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Scheme names.
+const (
+	SchemeXOR = "xor" // 1 repair per block, recovers any single erasure
+	SchemeRS  = "rs"  // r repairs per block, recovers any r erasures
+)
+
+// Geometry bounds. GF(2^8) Reed-Solomon needs k+r ≤ 256 distinct field
+// elements for the Cauchy construction; the tighter bounds here keep repair
+// latency (a block must fill before repairs exist) and decoder state small.
+const (
+	MaxK = 64 // source datagrams per block
+	MaxR = 16 // repair datagrams per block
+)
+
+// Wire format. Every FEC datagram starts with a two-byte magic so receivers
+// can pass non-FEC traffic through untouched, then:
+//
+//	[0:2]  magic 0xFE 0xC1
+//	[2]    type: 0 source, 1 repair
+//	[3:5]  stream id (big endian) — the protected class, so blocks from
+//	       different classes sharing a link never collide
+//	[5:9]  block id (big endian), per-stream monotone
+//	[9]    index: source position 0..k-1, or repair row 0..r-1
+//	[10]   k — sources in this block (set at flush time for partial blocks)
+//	[11]   r — repair rows generated for this block
+//
+// A source datagram's payload follows immediately. A repair datagram
+// continues with the symbol length (uint16, big endian) and symLen coded
+// bytes; the coded symbol covers the block's sources each framed as
+// [len uint16][payload][zero padding] to symLen, so per-datagram lengths are
+// themselves protected.
+const (
+	magic0, magic1 = 0xFE, 0xC1
+	typeSource     = 0
+	typeRepair     = 1
+
+	// SourceOverhead is the header prepended to each protected datagram.
+	SourceOverhead = 12
+	// RepairOverhead is the repair header; the coded symbol follows.
+	RepairOverhead = 14
+	// lenPrefix frames each source payload inside a coded symbol.
+	lenPrefix = 2
+)
+
+// ErrNotFEC reports a datagram without the FEC magic — pass it through.
+var ErrNotFEC = errors.New("fec: not an FEC datagram")
+
+// Spec is one protected class's code geometry.
+type Spec struct {
+	Scheme string // SchemeXOR or SchemeRS
+	K      int    // source datagrams per block
+	R      int    // repair datagrams per block (XOR: must be 1)
+}
+
+// Validate checks the geometry against the scheme's bounds.
+func (s Spec) Validate() error {
+	if s.K < 1 || s.K > MaxK {
+		return fmt.Errorf("fec: k %d out of range [1,%d]", s.K, MaxK)
+	}
+	switch s.Scheme {
+	case SchemeXOR:
+		if s.R != 1 {
+			return fmt.Errorf("fec: xor parity has exactly 1 repair, got r %d", s.R)
+		}
+	case SchemeRS:
+		if s.R < 1 || s.R > MaxR {
+			return fmt.Errorf("fec: r %d out of range [1,%d]", s.R, MaxR)
+		}
+	default:
+		return fmt.Errorf("fec: unknown scheme %q (want %q or %q)", s.Scheme, SchemeXOR, SchemeRS)
+	}
+	return nil
+}
+
+// Overhead returns the code's redundancy fraction r/(k+r) — the share of the
+// protected stream's egress that is repair traffic.
+func (s Spec) Overhead() float64 {
+	return float64(s.R) / float64(s.K+s.R)
+}
+
+// String renders the spec in ParseSpec's canonical form ("rs-8-2").
+func (s Spec) String() string {
+	if s.Scheme == SchemeXOR {
+		return fmt.Sprintf("%s-%d", s.Scheme, s.K)
+	}
+	return fmt.Sprintf("%s-%d-%d", s.Scheme, s.K, s.R)
+}
+
+// ParseSpec parses a compact scheme spec: "xor-8" (k=8, r=1) or "rs-8-2"
+// (k=8, r=2). ':' separators are accepted too ("rs:8:2") for flag contexts
+// where '-' reads poorly; topology '!fec' clauses use the dashed form.
+func ParseSpec(s string) (Spec, error) {
+	norm := strings.ReplaceAll(s, ":", "-")
+	parts := strings.Split(norm, "-")
+	bad := func() (Spec, error) {
+		return Spec{}, fmt.Errorf("fec: bad spec %q (want scheme-k[-r], e.g. xor-8 or rs-8-2)", s)
+	}
+	if len(parts) < 2 || len(parts) > 3 {
+		return bad()
+	}
+	k, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return bad()
+	}
+	spec := Spec{Scheme: strings.ToLower(parts[0]), K: k, R: 1}
+	if len(parts) == 3 {
+		if spec.R, err = strconv.Atoi(parts[2]); err != nil {
+			return bad()
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// header is one parsed FEC datagram header.
+type header struct {
+	repair bool
+	stream uint16
+	block  uint32
+	index  int
+	k, r   int
+}
+
+// putHeader writes h into b[:SourceOverhead].
+func putHeader(b []byte, h header) {
+	b[0], b[1] = magic0, magic1
+	b[2] = typeSource
+	if h.repair {
+		b[2] = typeRepair
+	}
+	binary.BigEndian.PutUint16(b[3:5], h.stream)
+	binary.BigEndian.PutUint32(b[5:9], h.block)
+	b[9] = byte(h.index)
+	b[10] = byte(h.k)
+	b[11] = byte(h.r)
+}
+
+// parseHeader reads the common header; the caller slices past
+// SourceOverhead (source) or RepairOverhead (repair).
+func parseHeader(b []byte) (header, error) {
+	if len(b) < SourceOverhead || b[0] != magic0 || b[1] != magic1 {
+		return header{}, ErrNotFEC
+	}
+	h := header{
+		stream: binary.BigEndian.Uint16(b[3:5]),
+		block:  binary.BigEndian.Uint32(b[5:9]),
+		index:  int(b[9]),
+		k:      int(b[10]),
+		r:      int(b[11]),
+	}
+	switch b[2] {
+	case typeSource:
+	case typeRepair:
+		h.repair = true
+		if len(b) < RepairOverhead {
+			return header{}, fmt.Errorf("fec: truncated repair datagram (%d bytes)", len(b))
+		}
+	default:
+		return header{}, fmt.Errorf("fec: unknown datagram type %d", b[2])
+	}
+	if h.k < 1 || h.k > MaxK || h.r < 1 || h.r > MaxR || h.index < 0 {
+		return header{}, fmt.Errorf("fec: implausible geometry k=%d r=%d index=%d", h.k, h.r, h.index)
+	}
+	if (h.repair && h.index >= h.r) || (!h.repair && h.index >= h.k) {
+		return header{}, fmt.Errorf("fec: index %d outside block geometry k=%d r=%d", h.index, h.k, h.r)
+	}
+	return h, nil
+}
+
+// IsFEC reports whether b carries the FEC wire header — the cheap test
+// ingress paths use to route datagrams to the decoder or pass them through.
+func IsFEC(b []byte) bool {
+	return len(b) >= SourceOverhead && b[0] == magic0 && b[1] == magic1
+}

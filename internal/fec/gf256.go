@@ -1,0 +1,72 @@
+package fec
+
+// GF(2^8) arithmetic for the Reed-Solomon scheme, over the AES/QR-code
+// field polynomial x^8+x^4+x^3+x^2+1 (0x11D). Addition is XOR; multiply and
+// invert go through exp/log tables built once at init. Table lookups keep
+// the per-byte encode cost at two loads and one add — fast enough that a
+// 1500-byte symbol encodes in microseconds without assembly or SIMD.
+
+const gfPoly = 0x11D
+
+var (
+	gfExp [512]byte // α^i, doubled so mul can skip the mod-255 reduction
+	gfLog [256]byte // log_α(x); gfLog[0] is unused (0 has no log)
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x >= 256 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul returns a·b in GF(2^8).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfInv returns a^-1 in GF(2^8); a must be non-zero.
+func gfInv(a byte) byte {
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfDiv returns a/b in GF(2^8); b must be non-zero.
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfMulAddRow accumulates dst[i] ^= c·src[i] over a whole symbol — the inner
+// loop of both encode and reconstruct. c == 0 is a no-op, c == 1 a plain
+// XOR; both short-circuits matter because systematic coding touches every
+// (row, symbol) pair.
+func gfMulAddRow(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		for i := range src {
+			dst[i] ^= src[i]
+		}
+	default:
+		logC := int(gfLog[c])
+		for i := range src {
+			if s := src[i]; s != 0 {
+				dst[i] ^= gfExp[logC+int(gfLog[s])]
+			}
+		}
+	}
+}

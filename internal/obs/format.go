@@ -22,6 +22,10 @@ func (m Metrics) WriteTable(w io.Writer) error {
 		fmt.Fprintf(tw, "# batches: writes=%d packets=%d avg=%.2f\n",
 			m.BatchWrites, m.BatchedPackets, m.AvgBatch())
 	}
+	if m.FECEncoded > 0 || m.FECRepairSent > 0 || m.FECRecovered > 0 || m.FECUnrecoverable > 0 {
+		fmt.Fprintf(tw, "# fec: encoded=%d repairs=%d recovered=%d unrecoverable=%d\n",
+			m.FECEncoded, m.FECRepairSent, m.FECRecovered, m.FECUnrecoverable)
+	}
 	fmt.Fprintln(tw, "session\trate\tenq\tdeq\tdrop\tqlen\tmax\tdelay_min\tdelay_mean\tdelay_max\twfi")
 	for _, s := range m.Sessions {
 		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\n",

@@ -66,6 +66,10 @@ const (
 	// DropDraining: the datagram arrived for a class the control plane is
 	// removing; only already-queued packets drain, new arrivals are refused.
 	DropDraining = "draining"
+	// DropRED: the AQM policy dropped the packet at dequeue because the
+	// class's average sojourn time crossed the RED thresholds. Recorded
+	// post-dequeue, like DropCoDel.
+	DropRED = "red"
 )
 
 // Retry reasons shared across the stack, recorded via
@@ -199,6 +203,18 @@ type Metrics struct {
 	BatchWrites    int64
 	BatchedPackets int64
 
+	// FEC counters, recorded with RecordFEC. Encoded counts source
+	// datagrams stamped into FEC blocks; RepairSent counts repair datagrams
+	// handed to repair classes (they then flow through the normal
+	// enqueue/dequeue counters of their class). Recovered and Unrecoverable
+	// arrive via receiver feedback: erased datagrams the far side
+	// reconstructed, and erasures it abandoned. Feedback events touch no
+	// conservation terms — the loss happened on the wire, not in a queue.
+	FECEncoded       int64
+	FECRepairSent    int64
+	FECRecovered     int64
+	FECUnrecoverable int64
+
 	// DropReasons breaks Dropped down by the reason tag passed to
 	// RecordDropReason. Untagged drops (RecordDrop) are not listed, so the
 	// per-reason counters sum to at most Dropped.
@@ -324,6 +340,10 @@ type Collector struct {
 	maxDepth              int
 	batchWrites           int64
 	batchPkts             int64
+	fecEnc                int64
+	fecRep                int64
+	fecRec                int64
+	fecUnrec              int64
 	reasons               map[string]Counter // drop counters keyed by reason tag
 	retryReasons          map[string]Counter // retry counters keyed by reason tag
 
@@ -572,21 +592,40 @@ func (c *Collector) RecordBatchWrite(now float64, pkts int, bits float64) {
 	}
 }
 
+// RecordFEC accounts forward-error-correction activity: encoded source
+// datagrams and repair datagrams emitted on the send side, and — via
+// receiver feedback — erasures recovered or abandoned on the far side. Any
+// argument may be zero; all are deltas. Like RecordBatchWrite it changes no
+// conservation terms and is alloc-free on the pump path.
+func (c *Collector) RecordFEC(encoded, repairSent, recovered, unrecoverable int) {
+	if !c.active || !c.metrics {
+		return
+	}
+	c.fecEnc += int64(encoded)
+	c.fecRep += int64(repairSent)
+	c.fecRec += int64(recovered)
+	c.fecUnrec += int64(unrecoverable)
+}
+
 // Snapshot freezes the counters into a Metrics value. Cheap enough to call
 // periodically while a simulation runs.
 func (c *Collector) Snapshot() Metrics {
 	m := Metrics{
-		Name:           c.name,
-		Rate:           c.rate,
-		Enabled:        c.metrics,
-		Enqueued:       c.enq,
-		Dequeued:       c.deq,
-		Dropped:        c.drop,
-		Retried:        c.retry,
-		QueueLen:       c.depth,
-		MaxQueueLen:    c.maxDepth,
-		BatchWrites:    c.batchWrites,
-		BatchedPackets: c.batchPkts,
+		Name:             c.name,
+		Rate:             c.rate,
+		Enabled:          c.metrics,
+		Enqueued:         c.enq,
+		Dequeued:         c.deq,
+		Dropped:          c.drop,
+		Retried:          c.retry,
+		QueueLen:         c.depth,
+		MaxQueueLen:      c.maxDepth,
+		BatchWrites:      c.batchWrites,
+		BatchedPackets:   c.batchPkts,
+		FECEncoded:       c.fecEnc,
+		FECRepairSent:    c.fecRep,
+		FECRecovered:     c.fecRec,
+		FECUnrecoverable: c.fecUnrec,
 	}
 	if len(c.reasons) > 0 {
 		m.DropReasons = make(map[string]Counter, len(c.reasons))

@@ -442,3 +442,35 @@ func TestBatchWriteAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFECAccounting(t *testing.T) {
+	var inert Collector
+	inert.RecordFEC(1, 1, 1, 1) // disabled collector stays inert
+	if m := inert.Snapshot(); m.FECEncoded != 0 || m.FECRepairSent != 0 {
+		t.Errorf("disabled collector accumulated FEC counters: %+v", m)
+	}
+
+	var c Collector
+	c.InitObs("dataplane", 1e6)
+	c.EnableMetrics()
+	c.RecordFEC(8, 2, 0, 0) // one block encoded on the send side
+	c.RecordFEC(0, 0, 3, 1) // receiver feedback
+	c.RecordFEC(0, 0, 0, 0) // zero deltas are fine
+
+	m := c.Snapshot()
+	if m.FECEncoded != 8 || m.FECRepairSent != 2 || m.FECRecovered != 3 || m.FECUnrecoverable != 1 {
+		t.Errorf("fec counters = %d/%d/%d/%d, want 8/2/3/1",
+			m.FECEncoded, m.FECRepairSent, m.FECRecovered, m.FECUnrecoverable)
+	}
+	if !m.Conserved() {
+		t.Errorf("FEC accounting broke conservation: %+v", m)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fec: encoded=8 repairs=2 recovered=3 unrecoverable=1") {
+		t.Errorf("table missing fec line:\n%s", buf.String())
+	}
+}

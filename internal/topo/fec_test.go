@@ -1,0 +1,54 @@
+package topo
+
+import "testing"
+
+func TestParseFEC(t *testing.T) {
+	n, err := Parse("root=1(agg=3(a=2!rs-8-2:0,b=1:1),c=1!xor-8:2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := n.Find("a"); a == nil || a.FEC != "rs-8-2" || a.Session != 0 || a.Share != 2 {
+		t.Fatalf("a = %+v", n.Find("a"))
+	}
+	if b := n.Find("b"); b == nil || b.FEC != "" {
+		t.Fatalf("unprotected leaf carries FEC: %+v", n.Find("b"))
+	}
+	if c := n.Find("c"); c == nil || c.FEC != "xor-8" {
+		t.Fatalf("c = %+v", n.Find("c"))
+	}
+}
+
+func TestParseFECComposesWithCeilAndPolicy(t *testing.T) {
+	// Order is fixed by the grammar: share, then '^ceil', then '!fec'.
+	n, err := Parse("root=1:WF2Q+(a=2^5e6!rs-4-2:0:EDF,b=1:1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := n.Find("a")
+	if a == nil || a.Ceil != 5e6 || a.FEC != "rs-4-2" || a.Policy != "EDF" {
+		t.Fatalf("a = %+v", a)
+	}
+}
+
+func TestParseFECErrors(t *testing.T) {
+	for _, spec := range []string{
+		"root=1(a=1!:0)",             // empty fec clause
+		"root=1!rs-8-2(a=1:0,b=1:1)", // interior node protected
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestValidateFEC(t *testing.T) {
+	if err := Interior("root", 1, Leaf("a", 1, 0).WithFEC("rs-8-2")).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The spec string is opaque here — the dataplane validates geometry —
+	// but interior nodes must not carry one.
+	bad := Interior("root", 1, Interior("agg", 1, Leaf("a", 1, 0)).WithFEC("rs-8-2"))
+	if err := bad.Validate(); err == nil {
+		t.Fatal("interior FEC validated")
+	}
+}

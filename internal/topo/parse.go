@@ -8,7 +8,7 @@ import (
 
 // Parse parses a link-sharing tree spec:
 //
-//	node     := name '=' share ['^' ceil] body
+//	node     := name '=' share ['^' ceil] ['!' fec] body
 //	body     := ':' session [':' policy]             (leaf)
 //	          | [':' policy] '(' node {',' node} ')' (interior)
 //
@@ -16,7 +16,11 @@ import (
 // The optional '^ceil' clause caps the node at an absolute rate in bits/sec
 // (HTB borrowing ceiling, e.g. "a=2^5e6:0" guarantees a's share but never
 // lets it exceed 5 Mbit/s); any ceil in the spec enables HTB-style
-// borrowing on the dataplane built from it. The optional policy clause
+// borrowing on the dataplane built from it. The optional '!fec' clause
+// protects a leaf's egress with the named erasure-code geometry
+// (internal/fec spec syntax, e.g. "a=2!rs-8-2:0" codes 2 Reed-Solomon
+// repair datagrams per 8 sources); leaves only — the dataplane grafts a
+// sibling repair class and validates the geometry. The optional policy clause
 // names the scheduling discipline of that node's server:
 // "root=1:WF2Q+(video=3:SP(hd=2:0,sd=1:1),bulk=1:2)" runs WF²Q+ at
 // the root and strict priority inside the video class. A clause after a
@@ -54,17 +58,23 @@ func (p *parser) node() (*Node, error) {
 	if !p.eat('=') {
 		return nil, fmt.Errorf("node %q: missing '='", name)
 	}
-	shareStr := p.until("^:(,)")
+	shareStr := p.until("^!:(,)")
 	share, err := strconv.ParseFloat(shareStr, 64)
 	if err != nil || share <= 0 {
 		return nil, fmt.Errorf("node %q: bad share %q", name, shareStr)
 	}
 	var ceil float64
 	if p.eat('^') {
-		ceilStr := p.until(":(,)")
+		ceilStr := p.until("!:(,)")
 		ceil, err = strconv.ParseFloat(ceilStr, 64)
 		if err != nil || ceil <= 0 {
 			return nil, fmt.Errorf("node %q: bad ceil %q", name, ceilStr)
+		}
+	}
+	var fecSpec string
+	if p.eat('!') {
+		if fecSpec = p.until(":(,)"); fecSpec == "" {
+			return nil, fmt.Errorf("node %q: empty fec spec", name)
 		}
 	}
 	switch {
@@ -79,13 +89,13 @@ func (p *parser) node() (*Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			return n.WithPolicy(tok).WithCeil(ceil), nil
+			return n.WithPolicy(tok).WithCeil(ceil).WithFEC(fecSpec), nil
 		}
 		session, err := strconv.Atoi(tok)
 		if err != nil || session < 0 {
 			return nil, fmt.Errorf("leaf %q: bad session %q", name, tok)
 		}
-		leaf := Leaf(name, share, session).WithCeil(ceil)
+		leaf := Leaf(name, share, session).WithCeil(ceil).WithFEC(fecSpec)
 		if p.eat(':') {
 			policy := p.until(",)")
 			if policy == "" {
@@ -99,7 +109,7 @@ func (p *parser) node() (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return n.WithCeil(ceil), nil
+		return n.WithCeil(ceil).WithFEC(fecSpec), nil
 	}
 	return nil, fmt.Errorf("node %q: expected ':' or '(' at offset %d", name, p.i)
 }

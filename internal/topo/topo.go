@@ -34,6 +34,13 @@ type Node struct {
 	// clause of the Parse grammar. A Ceil anywhere in a topology enables
 	// HTB-style borrowing on the dataplane built from it.
 	Ceil float64
+	// FEC optionally names an erasure-code geometry protecting this leaf's
+	// egress (internal/fec spec syntax, e.g. "rs-8-2" or "xor-8"). Leaves
+	// only — repair datagrams ride a sibling repair class the dataplane
+	// grafts next to the leaf. Set directly, via WithFEC, or via the '!fec'
+	// clause of the Parse grammar. The string is opaque here; the dataplane
+	// parses and validates it when the engine is built.
+	FEC string
 }
 
 // WithCeil sets the node's HTB ceiling in bits/sec and returns the node,
@@ -47,6 +54,13 @@ func (n *Node) WithCeil(ceil float64) *Node {
 // chaining in literal topologies.
 func (n *Node) WithPolicy(policy string) *Node {
 	n.Policy = policy
+	return n
+}
+
+// WithFEC sets the leaf's erasure-code geometry (internal/fec spec syntax)
+// and returns the node, for chaining in literal topologies.
+func (n *Node) WithFEC(spec string) *Node {
+	n.FEC = spec
 	return n
 }
 
@@ -93,6 +107,9 @@ func (n *Node) validate(seen map[int]string) error {
 	}
 	if n.Session >= 0 {
 		return fmt.Errorf("topo: interior node %q must not carry session id %d", n.Name, n.Session)
+	}
+	if n.FEC != "" {
+		return fmt.Errorf("topo: interior node %q cannot carry FEC %q (leaves only)", n.Name, n.FEC)
 	}
 	for _, c := range n.Children {
 		if err := c.validate(seen); err != nil {
