@@ -9,12 +9,16 @@
 # BENCH_sched.json from the PIFO-vs-seed scheduler microbenchmarks
 # (override duration: make bench BENCHTIME=1x for a smoke run); `make
 # alloccheck` runs the steady-state zero-allocation regression test alone.
+# `make overload` runs the overload-control suite — shedding, brownout,
+# watchdog/stall, health endpoints — under the race detector, including the
+# gateway soak (HPFQ_SOAK=5m scales it up; HPFQ_SOAK_OUT merges the shed and
+# recovery stats into a benchjson document such as BENCH_dataplane.json).
 
 GO ?= go
 HPFQ_FAULT_SEED ?= 20260806
 BENCHTIME ?= 2s
 
-.PHONY: all build test race vet fmt fault fec bench alloccheck verify
+.PHONY: all build test race vet fmt fault fec bench alloccheck overload verify
 
 all: verify
 
@@ -25,7 +29,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shaper/... ./internal/wallclock/... ./internal/dataplane/... ./internal/ctl/... ./internal/fec/... ./cmd/hpfqgw/...
+	$(GO) test -race ./internal/shaper/... ./internal/wallclock/... ./internal/overload/... ./internal/dataplane/... ./internal/ctl/... ./internal/fec/... ./cmd/hpfqgw/...
 
 vet:
 	$(GO) vet ./...
@@ -57,5 +61,10 @@ bench:
 
 alloccheck:
 	$(GO) test ./internal/dataplane/ -run TestPumpSteadyStateZeroAlloc -count=1 -v
+
+overload:
+	$(GO) test -race -count=1 ./internal/overload/...
+	$(GO) test -race -count=1 -run 'Overload|Shed|Brownout|Watchdog|Stall|Healthz|RestartStorm' \
+		./internal/faultconn/... ./internal/dataplane/... ./internal/ctl/... ./cmd/hpfqgw/...
 
 verify: build test vet fmt race

@@ -14,6 +14,7 @@ import (
 	"hpfq/internal/hier"
 	"hpfq/internal/netsim"
 	"hpfq/internal/obs"
+	"hpfq/internal/overload"
 	"hpfq/internal/packet"
 	"hpfq/internal/pifo"
 	"hpfq/internal/sched"
@@ -142,6 +143,18 @@ const (
 	DropRED = obs.DropRED
 	// DropPanic is a packet lost in flight when the pump recovered a panic.
 	DropPanic = obs.DropPanic
+	// DropShed is a datagram refused by the overload controller (pressure
+	// shedding, or the gateway's brownout refusal of a new flow). The cause
+	// breakdown lands in Metrics.ShedReasons.
+	DropShed = obs.DropShed
+)
+
+// Shed causes, as recorded in Metrics.ShedReasons under DropShed drops.
+const (
+	// ShedPressure is a class refused by pressure-driven load shedding.
+	ShedPressure = obs.ShedPressure
+	// ShedBrownout is a datagram refused by the gateway's brownout gate.
+	ShedBrownout = obs.ShedBrownout
 )
 
 // Retry reasons, as recorded in Metrics.RetryReasons and on EventRetry trace
@@ -889,3 +902,79 @@ func NewAdminServer(dp *Dataplane, opts ...AdminOption) *AdminServer {
 // WithAdminFlows publishes the flow table fs on the admin server's
 // /api/flows endpoint.
 func WithAdminFlows(fs FlowSource) AdminOption { return ctl.WithFlows(fs) }
+
+// --------------------------------------------------------------------------
+// Overload control: pressure tracking, load shedding, brownout, watchdog
+// (internal/overload, wired through the data-plane).
+
+// HealthState is the data-plane's overload health verdict, advancing
+// Healthy → Degraded → Overloaded → Wedged as smoothed pressure crosses the
+// OverloadConfig thresholds (and back down with hysteresis). Read it cheaply
+// with Dataplane.HealthState, or in full with Dataplane.Health.
+type HealthState = overload.State
+
+// Health states, in escalation order.
+const (
+	// Healthy: no overload response active.
+	Healthy = overload.Healthy
+	// Degraded: priority-aware shedding — the lowest-share classes (or the
+	// WithShedOrder prefix) refuse intake with ErrShedding.
+	Degraded = overload.Degraded
+	// Overloaded: brownout — FEC encoding and tracing switch off, the
+	// gateway refuses new flows, and /healthz answers 503.
+	Overloaded = overload.Overloaded
+	// Wedged: the pump watchdog's circuit breaker tripped (stalled writer
+	// or restart storm); writes fail fast until progress resumes.
+	Wedged = overload.Wedged
+)
+
+// OverloadConfig tunes the pressure tracker behind WithOverload: sampling
+// cadence, EWMA smoothing, the enter/exit hysteresis bands of each state,
+// and the watchdog/restart circuit breakers. Zero fields select the
+// DefaultOverloadConfig values.
+type OverloadConfig = overload.Config
+
+// OverloadSignals is one raw pressure sample: staging occupancy against the
+// caps, buffer-pool miss rate, write-retry fraction, pump restart rate, and
+// heartbeat age (HealthStatus.Signals).
+type OverloadSignals = overload.Signals
+
+// DefaultOverloadConfig returns the tracker defaults documented on
+// OverloadConfig.
+func DefaultOverloadConfig() OverloadConfig { return overload.DefaultConfig() }
+
+// HealthStatus is the detailed health report behind Dataplane.Health,
+// /healthz, and the admin server's GET /api/health.
+type HealthStatus = dataplane.HealthStatus
+
+// ErrShedding reports an Ingest refused because the overload controller is
+// currently shedding the class; the datagram was dropped and recorded with
+// reason DropShed.
+var ErrShedding = dataplane.ErrShedding
+
+// WithOverload enables the data-plane's pressure-and-health subsystem: a
+// monitor goroutine samples staging occupancy, pool pressure, retry/restart
+// rates and the pump heartbeat, smooths them into a pressure score, and
+// walks the Healthy → Degraded → Overloaded → Wedged state machine with
+// hysteresis. Degraded sheds the lowest-share classes first; Overloaded
+// adds brownout (FEC and tracing off, 503 on /healthz).
+func WithOverload(cfg OverloadConfig) DataplaneOption {
+	return dpOptions{dataplane.WithOverload(cfg)}
+}
+
+// WithShedOrder fixes the overload shed order explicitly: listed classes
+// shed front-first as pressure grows, unlisted classes are never shed.
+// Without it the order derives from the hierarchy — repair classes first,
+// then ascending guaranteed rate, and the top-share class is never shed.
+func WithShedOrder(ids ...int) DataplaneOption {
+	return dpOptions{dataplane.WithShedOrder(ids...)}
+}
+
+// WithWatchdog arms the pump watchdog: a heartbeat older than timeout while
+// work is queued counts as a stall, interrupts the blocked write with a
+// write deadline (any Writer with SetWriteDeadline), and after repeated
+// stalls trips the circuit breaker to Wedged instead of hot-looping.
+// Implies WithOverload with defaults when none was given.
+func WithWatchdog(timeout time.Duration) DataplaneOption {
+	return dpOptions{dataplane.WithWatchdog(timeout)}
+}

@@ -171,6 +171,16 @@ func (t *flowTable) snapshot() []hpfq.FlowInfo {
 	return out
 }
 
+// has reports whether src already owns a flow, without creating one or
+// refreshing its TTL — the gateway's brownout gate distinguishes returning
+// clients (kept) from new ones (refused) with this.
+func (t *flowTable) has(src *net.UDPAddr) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.flows[src.String()]
+	return ok
+}
+
 // count returns the live flow count.
 func (t *flowTable) count() int {
 	t.mu.Lock()

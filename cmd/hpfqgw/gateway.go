@@ -220,9 +220,64 @@ func (e *egress) WriteBatch(pkts []hpfq.PacketDatagram) (int, error) {
 	return written, nil
 }
 
+// parseShedOrder parses the -shed clause "id,id,..." into the explicit
+// overload shed order (front sheds first).
+func parseShedOrder(s string) ([]int, error) {
+	var ids []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("shed %q: bad class id %q", s, part)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, errors.New("empty shed order")
+	}
+	return ids, nil
+}
+
+// stallSpec is the parsed -fault.stall clause: block every write after the
+// first `after` ops, each for `dur` (0 = forever, until a write deadline
+// interrupts it).
+type stallSpec struct {
+	after uint64
+	dur   time.Duration
+}
+
+// parseStall parses the -fault.stall clause "after[,dur]" — e.g. "100,2s"
+// stalls each write for 2 s once 100 ops have passed, "0" stalls every
+// write forever. Empty input means the flag is unset: nil, no error.
+func parseStall(s string) (*stallSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.SplitN(s, ",", 2)
+	after, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("fault.stall %q: bad op count: %v", s, err)
+	}
+	sp := &stallSpec{after: after}
+	if len(parts) == 2 {
+		d, err := time.ParseDuration(strings.TrimSpace(parts[1]))
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("fault.stall %q: bad duration", s)
+		}
+		sp.dur = d
+	}
+	return sp, nil
+}
+
 // faultOptions assembles the faultconn plan behind the -fault.* flags.
-func faultOptions(seed int64, errRate, short, drop float64, gilbert []float64, latency time.Duration, failAfter uint64) []faultconn.Option {
+func faultOptions(seed int64, errRate, short, drop float64, gilbert []float64, latency time.Duration, failAfter uint64, stall *stallSpec) []faultconn.Option {
 	opts := []faultconn.Option{faultconn.WithSeed(seed)}
+	if stall != nil {
+		opts = append(opts, faultconn.WithStall(stall.after, stall.dur))
+	}
 	if errRate > 0 {
 		opts = append(opts, faultconn.WithErrorRate(errRate))
 	}
@@ -291,6 +346,12 @@ func (g *gateway) readOnce() (err error, panicked bool) {
 			continue
 		}
 		src := g.src.src
+		if g.dp.HealthState() >= hpfq.Overloaded && !g.ft.has(src) {
+			// Brownout: existing flows keep their service, new clients are
+			// refused until pressure recedes. Accounted as a "shed" drop.
+			g.dp.RecordShed(g.classify(src, buf[:n]), n, hpfq.ShedBrownout)
+			continue
+		}
 		f, err := g.ft.lookup(src)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {

@@ -430,7 +430,7 @@ func TestGatewayFaultInjectionDelivers(t *testing.T) {
 		t.Fatal(err)
 	}
 	dp.AddClass(0, 5e7)
-	cfg := gwConfig{fault: faultOptions(42, 0.3, 0, 0, nil, 0, 0)}
+	cfg := gwConfig{fault: faultOptions(42, 0.3, 0, 0, nil, 0, 0, nil)}
 	gw, recv, listen, _ := testGateway(t, dp, cfg,
 		func(*net.UDPAddr, []byte) int { return 0 })
 	defer gw.close(time.Second)
@@ -469,7 +469,7 @@ func TestGatewayIngressFaultTolerated(t *testing.T) {
 		t.Fatal(err)
 	}
 	dp.AddClass(0, 5e7)
-	cfg := gwConfig{ingressFault: faultOptions(7, 0.3, 0, 0, nil, 0, 0)}
+	cfg := gwConfig{ingressFault: faultOptions(7, 0.3, 0, 0, nil, 0, 0, nil)}
 	gw, recv, listen, runDone := testGateway(t, dp, cfg,
 		func(*net.UDPAddr, []byte) int { return 0 })
 	client := dialClient(t, listen)

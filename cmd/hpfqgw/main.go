@@ -39,6 +39,20 @@
 // panic. SIGINT/SIGTERM drains the staged backlog through the pacer for at
 // most -drain before exiting (a second signal exits immediately).
 //
+// Overload control: -overload enables the pressure-and-health subsystem —
+// staging occupancy, buffer-pool pressure, retry/restart rates and the pump
+// heartbeat are smoothed into a pressure score driving a
+// healthy → degraded → overloaded → wedged state machine with hysteresis.
+// Degraded sheds the lowest-share classes first (override with -shed
+// "id,id,..."); overloaded adds brownout — FEC encoding and tracing switch
+// off and new client flows are refused while existing flows keep their
+// service — and flips /healthz to 503 (GET /api/health serves the full
+// report). -watchdog arms the pump watchdog: a heartbeat staler than the
+// threshold with work queued counts as a stall, blocked writes are
+// interrupted with a write deadline, and repeated stalls trip a circuit
+// breaker to wedged instead of hot-looping; panic restarts get capped
+// exponential backoff and their own restart-budget breaker.
+//
 // Loss resilience: -fec protects chosen classes with an erasure code
 // ("0=rs-8-2,1=xor-8"; '!fec' topo clauses are the -topo spelling) — source
 // datagrams are header-stamped and each block's repair datagrams ride a
@@ -54,12 +68,13 @@
 // datagrams, grouped by destination flow.
 //
 // The hidden -fault.* flags (seed, errors, short, drop, gilbert, latency,
-// failafter) inject deterministic faults into the egress path via
+// failafter, stall) inject deterministic faults into the egress path via
 // internal/faultconn — -fault.gilbert "pGoodBad,pBadGood[,dropGood,dropBad]"
-// switches silent drops to the bursty Gilbert–Elliott chain;
-// -fault.ingress applies the same plan to listen-socket reads, which the
-// supervised reader absorbs (transient errors are retried, not fatal) —
-// testing only.
+// switches silent drops to the bursty Gilbert–Elliott chain; -fault.stall
+// "after[,dur]" blocks writes instead of erring them, the scenario the
+// -watchdog machinery exists for; -fault.ingress applies the same plan to
+// listen-socket reads, which the supervised reader absorbs (transient
+// errors are retried, not fatal) — testing only.
 package main
 
 import (
@@ -110,6 +125,10 @@ func run(args []string) error {
 		aqmTarget    = fs.Duration("aqm.target", 0, "AQM sojourn target / RED min threshold (0 = policy default)")
 		aqmInterval  = fs.Duration("aqm.interval", 0, "AQM interval / RED max threshold (0 = policy default)")
 
+		overloadOn = fs.Bool("overload", false, "enable pressure-aware overload control: priority shedding, brownout, health state on /healthz and /api/health")
+		watchdog   = fs.Duration("watchdog", 0, "pump watchdog: heartbeat staleness that counts as a stall (0 = off; implies -overload machinery)")
+		shedOrder  = fs.String("shed", "", "explicit overload shed order as id,id,... (front sheds first; empty = derive from shares)")
+
 		fecSpec     = fs.String("fec", "", "FEC-protect classes as id=spec,... (e.g. 0=rs-8-2,1=xor-8); repairs ride class id+1000")
 		fecAdapt    = fs.Bool("fec.adapt", false, "adapt each protected class's (k,r) to the reported loss")
 		fecBlockAge = fs.Duration("fec.blockage", 0, "flush partial FEC blocks after this (0 = default, negative = never)")
@@ -124,6 +143,7 @@ func run(args []string) error {
 		faultLatency   = fs.Duration("fault.latency", 0, "added latency per egress write")
 		faultFailAfter = fs.Uint64("fault.failafter", 0, "fail every egress write permanently after this many (0 = never)")
 		faultIngress   = fs.Bool("fault.ingress", false, "apply the -fault.* plan to listen-socket reads as well")
+		faultStall     = fs.String("fault.stall", "", "stall egress writes: after[,dur] — writes past the op count block for dur each (no dur = forever)")
 	)
 	fs.Parse(args)
 	if *upstreamAddr == "" {
@@ -147,6 +167,19 @@ func run(args []string) error {
 	}
 	if *aqm != "" {
 		opts = append(opts, hpfq.WithAQM(*aqm, *aqmTarget, *aqmInterval))
+	}
+	if *overloadOn {
+		opts = append(opts, hpfq.WithOverload(hpfq.DefaultOverloadConfig()))
+	}
+	if *watchdog > 0 {
+		opts = append(opts, hpfq.WithWatchdog(*watchdog))
+	}
+	if *shedOrder != "" {
+		ids, err := parseShedOrder(*shedOrder)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, hpfq.WithShedOrder(ids...))
 	}
 	fecClasses, fecOpts, err := parseFEC(*fecSpec, *fecAdapt, *fecBlockAge)
 	if err != nil {
@@ -200,13 +233,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *faultErrors > 0 || *faultShort > 0 || *faultDrop > 0 || gilbert != nil || *faultLatency > 0 || *faultFailAfter > 0 {
-		cfg.fault = faultOptions(*faultSeed, *faultErrors, *faultShort, *faultDrop, gilbert, *faultLatency, *faultFailAfter)
+	stall, err := parseStall(*faultStall)
+	if err != nil {
+		return err
+	}
+	if *faultErrors > 0 || *faultShort > 0 || *faultDrop > 0 || gilbert != nil || *faultLatency > 0 || *faultFailAfter > 0 || stall != nil {
+		cfg.fault = faultOptions(*faultSeed, *faultErrors, *faultShort, *faultDrop, gilbert, *faultLatency, *faultFailAfter, stall)
 		fmt.Fprintln(os.Stderr, "hpfqgw: egress fault injection ENABLED (testing only)")
 		if *faultIngress {
 			// A separate wrapper instance (same plan, own seeded stream)
-			// around the listen socket.
-			cfg.ingressFault = faultOptions(*faultSeed, *faultErrors, *faultShort, *faultDrop, gilbert, *faultLatency, *faultFailAfter)
+			// around the listen socket. Stalls are write-side only.
+			cfg.ingressFault = faultOptions(*faultSeed, *faultErrors, *faultShort, *faultDrop, gilbert, *faultLatency, *faultFailAfter, nil)
 			fmt.Fprintln(os.Stderr, "hpfqgw: ingress fault injection ENABLED (testing only)")
 		}
 	}

@@ -113,7 +113,9 @@
 // Every outcome is accounted in Metrics by reason. Drop reasons: DropTail
 // and DropBytes (ingest caps), DropClosed (arrival after Close), DropWrite
 // (fatal write error), DropRetries (retry budget exhausted), DropCoDel and
-// DropRED (AQM shed), DropPanic (lost with a recovered pump panic). Retry
+// DropRED (AQM shed), DropPanic (lost with a recovered pump panic),
+// DropShed (refused by the overload controller — the ShedReasons breakdown
+// distinguishes pressure shedding from brownout refusals). Retry
 // reasons: RetryTransient (a backoff re-attempt) and RetryRequeue (a
 // WithRequeue re-enqueue). internal/faultconn injects deterministic seeded
 // faults — including Gilbert–Elliott bursty loss — to exercise all of these
@@ -136,6 +138,23 @@
 // EWMA controller that retunes (k, r) within bounds at block boundaries.
 // Counters: FECEncoded, FECRepairSent, FECRecovered, FECUnrecoverable
 // (`make fec` runs the seeded recovery and fairness suite).
+//
+// # Overload control
+//
+// WithOverload(cfg) arms a pressure monitor that samples staging occupancy,
+// buffer-pool misses, retry rates, pump restarts, and heartbeat age into a
+// smoothed score driving a hysteresis state machine: Healthy → Degraded →
+// Overloaded → Wedged (Dataplane.Health / HealthState, HTTP /healthz and
+// GET /api/health). Under Degraded the engine sheds load class by class —
+// repair classes first, then ascending share, never the top-share class
+// (WithShedOrder overrides the order) — each refusal a drop with reason
+// DropShed. Under Overloaded it browns out: FEC encoding and tracing pause,
+// and the gateway refuses flows it has never seen while serving established
+// ones. WithWatchdog(timeout) adds a pump watchdog: a stalled iteration
+// forces a write deadline to break blocked writes, and circuit breakers
+// (consecutive stalls, a restart storm) park the engine in Wedged instead
+// of hot-looping. Everything recovers through the same hysteresis when
+// pressure recedes (`make overload` runs the suite).
 //
 // # Layout
 //

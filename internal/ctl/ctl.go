@@ -4,7 +4,13 @@
 //
 // Read side:
 //
-//	GET /healthz      liveness probe ("ok")
+//	GET /healthz      liveness probe: health state, pump restarts, and
+//	                  heartbeat age; 200 while healthy/degraded, 503 once
+//	                  the overload tracker reports overloaded or wedged
+//	                  (and back to 200 with its exit hysteresis)
+//	GET /api/health   the full health report as JSON (dataplane.HealthStatus):
+//	                  state, smoothed pressure, per-signal detail, watchdog
+//	                  stalls, brownout transitions, shedding classes
 //	GET /status       human-readable status table (curl-friendly)
 //	GET /api/status   full engine snapshot as JSON (dataplane.Status)
 //	GET /api/nodes    per-node scheduler metrics over a topology (404 flat)
@@ -45,6 +51,7 @@ import (
 
 	"hpfq/internal/dataplane"
 	"hpfq/internal/obs"
+	"hpfq/internal/overload"
 	"hpfq/internal/pifo"
 )
 
@@ -52,6 +59,7 @@ import (
 // *dataplane.Dataplane satisfies it.
 type Engine interface {
 	Status() dataplane.Status
+	Health() dataplane.HealthStatus
 	NodeSnapshots() map[string]obs.Metrics
 	AddClass(id int, rate float64) error
 	AddLeafClass(parent, name string, id int, share, ceil float64) error
@@ -101,6 +109,7 @@ func New(eng Engine, opts ...Option) *Server {
 	}
 	s.mux.HandleFunc("/healthz", s.healthz)
 	s.mux.HandleFunc("/status", s.statusText)
+	s.mux.HandleFunc("/api/health", s.healthJSON)
 	s.mux.HandleFunc("/api/status", s.statusJSON)
 	s.mux.HandleFunc("/api/nodes", s.nodes)
 	s.mux.HandleFunc("/api/flows", s.flowsJSON)
@@ -143,9 +152,38 @@ func (s *Server) Close() error {
 // --------------------------------------------------------------------------
 // Read side.
 
+// healthz is the liveness probe: 200 while the engine is healthy or
+// degraded, 503 once the overload tracker reports overloaded or wedged
+// (flipping back with the tracker's exit hysteresis). The body carries the
+// state, pump restart count, and heartbeat age, so a bare curl tells an
+// operator whether "down" means wedged pump or pressure shedding.
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	h := s.eng.Health()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	code := http.StatusOK
+	if h.State >= overload.Overloaded {
+		code = http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	if code == http.StatusOK && h.State == overload.Healthy {
+		fmt.Fprintln(w, "ok")
+	} else {
+		fmt.Fprintln(w, h.State.String())
+	}
+	fmt.Fprintf(w, "restarts=%d heartbeat_age=%s\n", h.Restarts, h.HeartbeatAge)
+	if h.Enabled {
+		fmt.Fprintf(w, "pressure=%.3f\n", h.Pressure)
+	}
+}
+
+// healthJSON serves the full health report (GET /api/health).
+func (s *Server) healthJSON(w http.ResponseWriter, r *http.Request) {
+	h := s.eng.Health()
+	code := http.StatusOK
+	if h.State >= overload.Overloaded {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -218,6 +256,17 @@ func (s *Server) statusText(w http.ResponseWriter, r *http.Request) {
 	if st.Restarts > 0 {
 		fmt.Fprintf(w, "pump restarts: %d\n", st.Restarts)
 	}
+	if h := st.Health; h.Enabled {
+		fmt.Fprintf(w, "health: %s  pressure %.3f  heartbeat age %s", h.State, h.Pressure, h.HeartbeatAge)
+		if h.Brownout {
+			fmt.Fprintf(w, "  [brownout]")
+		}
+		fmt.Fprintln(w)
+		if h.WatchdogStalls > 0 || h.BrownoutTransitions > 0 || m.Shed.Packets > 0 {
+			fmt.Fprintf(w, "overload: shed %d  brownout transitions %d  watchdog stalls %d\n",
+				m.Shed.Packets, h.BrownoutTransitions, h.WatchdogStalls)
+		}
+	}
 	if st.Pool != nil {
 		fmt.Fprintf(w, "pool: gets %d  puts %d  allocs %d\n", st.Pool.Gets, st.Pool.Puts, st.Pool.Allocs)
 	}
@@ -240,8 +289,11 @@ func (s *Server) statusText(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(tw, "CLASS\tNAME\tRATE\tCEIL\tQUEUED\tBYTES\tGATED\tSTATE")
 	for _, c := range st.Classes {
 		state := "live"
-		if c.Draining {
+		switch {
+		case c.Draining:
 			state = "draining"
+		case c.Shedding:
+			state = "shedding"
 		}
 		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%d\t%d\t%d\t%s\n",
 			c.ID, orDash(c.Name), rate(c.Rate), ceilStr(c.Ceil),

@@ -360,6 +360,7 @@ type Status struct {
 	Classes   []ClassStatus   // per-class staging state, sorted by id
 	Pool      *PoolStats      // buffer-pool counters; nil without a pool
 	FEC       []FECStatus     // protected classes, sorted by id; nil without FEC
+	Health    HealthStatus    // overload/liveness report (overload.go)
 }
 
 // ClassStatus is one class's row in Status.
@@ -372,6 +373,7 @@ type ClassStatus struct {
 	QueuedBytes int
 	Gated       int // datagrams parked at the HTB gate
 	Draining    bool
+	Shedding    bool // overload controller currently refusing intake
 }
 
 // Status snapshots the engine for the admin server. Safe to call
@@ -411,6 +413,7 @@ func (d *Dataplane) Status() Status {
 			QueuedBytes: cs.bytes,
 			Gated:       cs.gateLen(),
 			Draining:    cs.draining,
+			Shedding:    cs.shed,
 		})
 	}
 	sort.Slice(st.Classes, func(i, j int) bool { return st.Classes[i].ID < st.Classes[j].ID })
@@ -419,5 +422,6 @@ func (d *Dataplane) Status() Status {
 		st.Pool = &ps
 	}
 	st.FEC = d.fecStatusLocked()
+	st.Health = d.healthLocked()
 	return st
 }

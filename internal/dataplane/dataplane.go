@@ -86,6 +86,7 @@ import (
 	"hpfq/internal/fec"
 	"hpfq/internal/hier"
 	"hpfq/internal/obs"
+	"hpfq/internal/overload"
 	"hpfq/internal/packet"
 	"hpfq/internal/pifo"
 	"hpfq/internal/sched"
@@ -147,6 +148,9 @@ type queue interface {
 	RecordRetry(now float64, session int, bits float64, reason string)
 	RecordBatchWrite(now float64, pkts int, bits float64)
 	RecordFEC(encoded, repairSent, recovered, unrecoverable int)
+	RecordShed(now float64, session int, bits float64, cause string)
+	RecordBrownoutTransition()
+	RecordWatchdogStall()
 	obs.Observable
 }
 
@@ -169,6 +173,11 @@ type classState struct {
 	// datagrams while the staged remainder leaves in scheduled order; the
 	// pump finalizes the removal once the class quiesces.
 	draining bool
+
+	// shed marks a class the overload controller is currently refusing
+	// intake for (overload.go): new arrivals drop with reason "shed"
+	// while staged datagrams leave normally.
+	shed bool
 }
 
 // gateLen returns the number of datagrams parked at the class's HTB gate.
@@ -224,6 +233,10 @@ type config struct {
 	borrow    bool
 	ceils     map[int]float64
 	nodeCeils map[string]float64
+
+	ov        *overload.Config // overload control (nil = off unless watchdog)
+	shedOrder []int            // explicit shed order (nil = derive)
+	watchdog  time.Duration    // pump watchdog timeout (0 = off)
 }
 
 // Option configures a Dataplane at construction.
@@ -405,6 +418,12 @@ type Dataplane struct {
 	target   time.Duration
 	interval time.Duration
 
+	tracer obs.Tracer // construction-time tracer (brownout restores it)
+
+	// ov is the overload-control state (overload.go): tracker, shed
+	// order, brownout switches, pump heartbeat, monitor lifecycle.
+	ov ovState
+
 	mu       sync.Mutex
 	q        queue
 	flat     sched.Scheduler // non-nil in flat mode: has AddSession
@@ -446,8 +465,9 @@ type Dataplane struct {
 	pool  *BufferPool // nil: the engine never recycles payload buffers
 	batch int         // max datagrams per WriteBatch call
 
-	bw      BatchWriter // egress, resolved by Start via AsBatchWriter
-	scratch []Datagram  // pump-goroutine scratch for the current chunk
+	bw        BatchWriter // egress, resolved by Start via AsBatchWriter
+	rawWriter Writer      // the writer as handed to Start (watchdog deadline probe)
+	scratch   []Datagram  // pump-goroutine scratch for the current chunk
 
 	// recycle gates envelope reuse: true in flat mode, where a dequeued
 	// packet is fully detached from the scheduler; false in topology mode,
@@ -563,8 +583,10 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 		d.q.EnableMetrics()
 	}
 	if cfg.tracer != nil {
+		d.tracer = cfg.tracer
 		d.q.SetTracer(cfg.tracer)
 	}
+	d.initOverload(&cfg)
 	// HTB ceilings: topology '^ceil' clauses first, explicit options on top.
 	if cfg.top != nil {
 		var ceilErr error
@@ -774,6 +796,10 @@ func (d *Dataplane) IngestCtx(class int, b []byte, ctx any) error {
 		d.q.RecordDropReason(d.now(), class, bits, obs.DropDraining)
 		d.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrClassDraining, class)
+	case cs.shed:
+		d.q.RecordShed(d.now(), class, bits, obs.ShedPressure)
+		d.mu.Unlock()
+		return shedError(class)
 	case d.capPkts > 0 && cs.packets >= d.capPkts:
 		staged := cs.packets
 		d.q.RecordDropReason(d.now(), class, bits, obs.DropTail)
@@ -790,7 +816,10 @@ func (d *Dataplane) IngestCtx(class int, b []byte, ctx any) error {
 			d.mu.Unlock()
 			return fmt.Errorf("dataplane: class %d is the FEC repair class of %d (engine-owned)", class, prot)
 		}
-		if fs := d.fec[class]; fs != nil {
+		if fs := d.fec[class]; fs != nil && !d.ov.brownout {
+			// Brownout (overload.go) suspends FEC encoding: source
+			// datagrams pass unprotected instead of spending CPU and link
+			// share on redundancy the engine cannot afford right now.
 			// Stage the header-stamped copy instead; the engine recycles the
 			// caller's buffer (success is guaranteed past this point, so
 			// ownership has effectively transferred). A completed block
@@ -851,8 +880,12 @@ func (d *Dataplane) Start(w Writer) error {
 		return fmt.Errorf("dataplane: already started")
 	}
 	d.bw = AsBatchWriter(w)
+	d.rawWriter = w
 	d.started = true
 	go d.supervise()
+	if d.overloadEnabled() {
+		d.startMonitor()
+	}
 	return nil
 }
 
@@ -860,10 +893,43 @@ func (d *Dataplane) Start(w Writer) error {
 // it exits cleanly (closed and drained), recovering panics that escape the
 // Writer or a tracer. Each recovery accounts the in-flight batch as dropped
 // (reason "pump-panic") and increments the restart counter, so a poisonous
-// packet costs its batch, never the link.
+// packet costs its batch, never the link. Restarts are paced: the first is
+// immediate, later ones back off exponentially (capped), and a pump that
+// survives restartResetAfter earns a fresh budget — a panic loop costs
+// bounded CPU instead of a hot loop. With overload control on, exceeding
+// the tracker's restart budget inside its window additionally trips the
+// circuit breaker to wedged.
 func (d *Dataplane) supervise() {
 	defer close(d.done)
-	for !d.pumpOnce() {
+	backoff := time.Duration(0)
+	restarts := 0
+	windowStart := d.clock.Now()
+	for {
+		started := d.clock.Now()
+		if d.pumpOnce() {
+			return
+		}
+		now := d.clock.Now()
+		if now.Sub(started) >= restartResetAfter {
+			backoff, restarts, windowStart = 0, 0, now
+		}
+		if tr := d.ov.tracker; tr != nil {
+			cfg := tr.Config()
+			if now.Sub(windowStart) > cfg.RestartWindow {
+				restarts, windowStart = 0, now
+			}
+			if restarts++; restarts >= cfg.RestartBreaker {
+				tr.ForceWedged()
+			}
+		}
+		if backoff > 0 {
+			d.sleep(backoff)
+		}
+		if backoff = backoff * 2; backoff < restartBackoffMin {
+			backoff = restartBackoffMin
+		} else if backoff > restartBackoffMax {
+			backoff = restartBackoffMax
+		}
 	}
 }
 
@@ -897,6 +963,7 @@ func (d *Dataplane) recoverPanic() {
 	}
 	d.inflight = d.inflight[:0]
 	d.infHead = 0
+	d.ov.inflight.Store(0)
 }
 
 // Restarts returns how many times the pump supervisor recovered a panic and
@@ -915,6 +982,7 @@ func (d *Dataplane) pump() {
 	var tokens float64
 	last := d.clock.Now()
 	for {
+		d.beat() // pump heartbeat: the watchdog's liveness signal
 		var backlog int
 		var closed bool
 		tokens, backlog, closed = d.collectBatch(tokens, &last)
@@ -947,7 +1015,9 @@ func (d *Dataplane) pump() {
 				d.await(d.fecWait)
 				continue
 			}
+			d.beat() // park with a fresh heartbeat: idle is healthy
 			<-d.wake // idle: wait for an Ingest or Close nudge
+			d.beat()
 		}
 	}
 }
@@ -994,6 +1064,7 @@ func (d *Dataplane) collectBatch(tokens float64, last *time.Time) (float64, int,
 		d.inflight = append(d.inflight, released{class: p.Session, env: env})
 	}
 	d.finalizeDraining()
+	d.ov.inflight.Store(int64(len(d.inflight)))
 	return tokens, d.q.Backlog() + d.gated, d.closed
 }
 
@@ -1010,6 +1081,7 @@ func (d *Dataplane) writeInflight() {
 	}
 	d.inflight = d.inflight[:0]
 	d.infHead = 0
+	d.ov.inflight.Store(0)
 }
 
 // writeChunk drives one WriteBatch chunk to completion. Retry/backoff and
@@ -1068,6 +1140,7 @@ func (d *Dataplane) writeChunk(chunk []released) {
 		default:
 			attempts++
 			d.mu.Lock()
+			d.ov.retries++
 			d.q.RecordRetry(d.now(), head.class, bits, obs.RetryTransient)
 			d.mu.Unlock()
 			d.sleep(backoff)
@@ -1088,8 +1161,12 @@ func (d *Dataplane) finishWritten(written []released) {
 		bits += float64(len(written[i].env.dg.b)) * 8
 	}
 	d.mu.Lock()
+	d.ov.writes += int64(len(written))
 	d.q.RecordBatchWrite(d.now(), len(written), bits)
 	d.mu.Unlock()
+	if tr := d.ov.tracker; tr != nil {
+		tr.NoteProgress() // delivery releases a tripped watchdog breaker
+	}
 	for i := range written {
 		d.freeEnvelope(written[i].env)
 	}
@@ -1258,5 +1335,6 @@ func (d *Dataplane) Close() error {
 	}
 	d.signal()
 	<-d.done
+	d.stopMonitor()
 	return nil
 }

@@ -168,6 +168,7 @@ func (d *Dataplane) rebuildClassOrderLocked() {
 	if d.gateStart >= len(d.gateOrder) {
 		d.gateStart = 0
 	}
+	d.rebuildShedOrderLocked()
 }
 
 // rebuildHTBLocked rebuilds the token mirror from the current classes (flat
@@ -175,6 +176,9 @@ func (d *Dataplane) rebuildClassOrderLocked() {
 // d.mu. Buckets start full — a reconfiguration grants every class one fresh
 // burst, the same grace a newly started engine gives.
 func (d *Dataplane) rebuildHTBLocked() {
+	// Rates may have moved (SetRate/SetWeight land here); keep the derived
+	// shed order in sync even when borrowing is off.
+	d.rebuildShedOrderLocked()
 	if !d.borrow {
 		d.htb = nil
 		return

@@ -68,6 +68,29 @@ func (e *InjectedError) Temporary() bool { return true }
 // data-plane's classifier treats it as transient.
 var ErrShortWrite = fmt.Errorf("faultconn: injected short write: %w", io.ErrShortWrite)
 
+// StallError is returned when an injected stall is interrupted by a write
+// deadline (SetWriteDeadline), mirroring the net.Conn timeout convention:
+// it reports Timeout and Transient, so the data-plane's classifier retries
+// rather than dropping.
+type StallError struct {
+	N uint64 // 1-based operation count at injection time
+}
+
+// Error describes the interrupted stall.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("faultconn: stalled write aborted by deadline (op %d)", e.N)
+}
+
+// Transient marks the error retryable for the data-plane's classifier.
+func (e *StallError) Transient() bool { return true }
+
+// Timeout makes the error satisfy the net.Error timeout convention.
+func (e *StallError) Timeout() bool { return true }
+
+// Temporary is kept for callers still using the deprecated net.Error
+// method.
+func (e *StallError) Temporary() bool { return true }
+
 // Stats counts the wrapper's operations and injected faults.
 type Stats struct {
 	Ops         uint64 // operations attempted through the wrapper
@@ -76,6 +99,7 @@ type Stats struct {
 	Dropped     uint64 // silently discarded datagrams
 	Fatal       uint64 // operations refused after the fail-after threshold
 	BadOps      uint64 // operations decided in the Gilbert–Elliott bad state
+	Stalls      uint64 // writes that entered an injected stall
 }
 
 // config collects the fault plan.
@@ -88,6 +112,10 @@ type config struct {
 	latency   time.Duration // added delay per op
 	failAfter uint64        // ops beyond this count fail with ErrFatal (0 = off)
 	ge        *geConfig     // Gilbert–Elliott bursty-loss chain (nil = off)
+
+	stallOn    bool          // stall mode enabled
+	stallAfter uint64        // writes beyond this count block
+	stallDur   time.Duration // how long each stalled write blocks (0 = forever)
 }
 
 // geConfig parameterizes the two-state Gilbert–Elliott loss chain.
@@ -147,6 +175,21 @@ func WithLatency(d time.Duration) Option { return func(c *config) { c.latency = 
 // ErrFatal — a crashed peer that never comes back.
 func WithFailAfter(n uint64) Option { return func(c *config) { c.failAfter = n } }
 
+// WithStall makes every write past the nth *block* for dur instead of
+// erroring — a wedged peer or full socket buffer, the failure mode retries
+// cannot see and only a watchdog can break. dur = 0 blocks forever. A
+// stalled write can be interrupted by SetWriteDeadline, in which case it
+// returns a transient StallError (the net.Conn timeout shape), which is
+// exactly the escape hatch the data-plane watchdog uses. Stalls are
+// decided after the fatal threshold and before every probabilistic knob.
+func WithStall(after uint64, dur time.Duration) Option {
+	return func(c *config) {
+		c.stallOn = true
+		c.stallAfter = after
+		c.stallDur = dur
+	}
+}
+
 // injector is the shared seeded fault engine behind Reader and Writer.
 type injector struct {
 	mu    sync.Mutex
@@ -168,6 +211,7 @@ func newInjector(opts []Option) *injector {
 type verdict struct {
 	n     uint64
 	fatal bool
+	stall bool // write blocks (wedge mode)
 	err   bool // transient error
 	short bool
 	drop  bool
@@ -184,6 +228,11 @@ func (j *injector) decide(isWrite bool) verdict {
 	if j.cfg.failAfter > 0 && j.stats.Ops > j.cfg.failAfter {
 		j.stats.Fatal++
 		v.fatal = true
+		return v
+	}
+	if isWrite && j.cfg.stallOn && j.stats.Ops > j.cfg.stallAfter {
+		j.stats.Stalls++
+		v.stall = true
 		return v
 	}
 	if j.cfg.errEvery > 0 && j.stats.Ops%uint64(j.cfg.errEvery) == 0 {
@@ -249,15 +298,72 @@ func (j *injector) Stats() Stats {
 type Writer struct {
 	inner PacketWriter
 	inj   *injector
+
+	// Write-deadline state for the stall mode. wake is closed and replaced
+	// whenever the deadline changes, so in-flight stalls re-evaluate it.
+	dmu      sync.Mutex
+	deadline time.Time
+	wake     chan struct{}
 }
 
 // NewWriter returns w wrapped with fault injection.
 func NewWriter(w PacketWriter, opts ...Option) *Writer {
-	return &Writer{inner: w, inj: newInjector(opts)}
+	return &Writer{inner: w, inj: newInjector(opts), wake: make(chan struct{})}
 }
 
 // Stats returns the wrapper's operation and fault counters.
 func (w *Writer) Stats() Stats { return w.inj.Stats() }
+
+// SetWriteDeadline sets the deadline for stalled writes, matching the
+// net.Conn contract: a deadline in the past (or at the current instant)
+// immediately interrupts any write currently blocked in an injected stall,
+// which then fails with a transient StallError; the zero time clears the
+// deadline. Non-stalled writes ignore the deadline — the wrapped writer is
+// assumed non-blocking.
+func (w *Writer) SetWriteDeadline(t time.Time) error {
+	w.dmu.Lock()
+	w.deadline = t
+	close(w.wake)
+	w.wake = make(chan struct{})
+	w.dmu.Unlock()
+	return nil
+}
+
+// stall blocks for the injected stall duration (forever when zero),
+// honoring the write deadline: a deadline expiry ends the stall with a
+// StallError. Returns nil when the stall elapsed and the write may proceed.
+func (w *Writer) stall(v verdict) error {
+	var done <-chan time.Time
+	if d := w.inj.cfg.stallDur; d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		done = t.C
+	}
+	for {
+		w.dmu.Lock()
+		deadline := w.deadline
+		wake := w.wake
+		w.dmu.Unlock()
+		var expire <-chan time.Time
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				return &StallError{N: v.n}
+			}
+			t := time.NewTimer(rem)
+			defer t.Stop()
+			expire = t.C
+		}
+		select {
+		case <-done:
+			return nil
+		case <-expire:
+			return &StallError{N: v.n}
+		case <-wake:
+			// Deadline changed; re-evaluate.
+		}
+	}
+}
 
 // WritePacket applies the fault plan, then forwards to the wrapped writer
 // unless the operation was injected away.
@@ -269,6 +375,10 @@ func (w *Writer) WritePacket(b []byte) (int, error) {
 	switch {
 	case v.fatal:
 		return 0, ErrFatal
+	case v.stall:
+		if err := w.stall(v); err != nil {
+			return 0, err
+		}
 	case v.err:
 		return 0, &InjectedError{Op: "write", N: v.n}
 	case v.short:

@@ -1,0 +1,140 @@
+package faultconn
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestStallAfter: writes up to the threshold pass untouched; later ones
+// block for the configured duration, then complete successfully.
+func TestStallAfter(t *testing.T) {
+	inner := &memWriter{}
+	w := NewWriter(inner, WithStall(2, 20*time.Millisecond))
+	b := make([]byte, 10)
+	for i := 0; i < 2; i++ {
+		start := time.Now()
+		if _, err := w.WritePacket(b); err != nil {
+			t.Fatalf("write %d before the threshold: %v", i, err)
+		}
+		if time.Since(start) > 10*time.Millisecond {
+			t.Fatalf("write %d stalled before the threshold", i)
+		}
+	}
+	start := time.Now()
+	if _, err := w.WritePacket(b); err != nil {
+		t.Fatalf("timed stall should complete, got %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("write past the threshold returned after %v, want ~20ms stall", d)
+	}
+	if len(inner.got) != 3 {
+		t.Fatalf("forwarded %d datagrams, want 3 (elapsed stalls still deliver)", len(inner.got))
+	}
+	if st := w.Stats(); st.Stalls != 1 {
+		t.Fatalf("Stalls = %d, want 1", st.Stalls)
+	}
+}
+
+// TestStallDeadlineInterrupts: a stalled-forever write is broken by
+// SetWriteDeadline and fails with the transient, timeout-shaped
+// StallError — the watchdog's escape hatch.
+func TestStallDeadlineInterrupts(t *testing.T) {
+	inner := &memWriter{}
+	w := NewWriter(inner, WithStall(0, 0)) // every write blocks forever
+	errc := make(chan error, 1)
+	go func() {
+		_, err := w.WritePacket(make([]byte, 10))
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("forever-stall returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	w.SetWriteDeadline(time.Now())
+	var err error
+	select {
+	case err = <-errc:
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline did not interrupt the stalled write")
+	}
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("interrupted stall returned %v, want StallError", err)
+	}
+	if !se.Timeout() || !se.Transient() {
+		t.Fatalf("StallError Timeout=%v Transient=%v, want true/true", se.Timeout(), se.Transient())
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("StallError should satisfy net.Error's timeout shape, got %v", err)
+	}
+	if len(inner.got) != 0 {
+		t.Fatal("interrupted stall must not forward the datagram")
+	}
+}
+
+// TestStallPastDeadlineFailsFast: with the deadline already in the past
+// (the watchdog pins it while the breaker is tripped), stalled writes fail
+// immediately instead of blocking, and clearing the deadline restores the
+// block.
+func TestStallPastDeadlineFailsFast(t *testing.T) {
+	w := NewWriter(&memWriter{}, WithStall(0, 0))
+	w.SetWriteDeadline(time.Now().Add(-time.Second))
+	start := time.Now()
+	_, err := w.WritePacket(make([]byte, 10))
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("want StallError, got %v", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("past deadline should fail the stall without blocking")
+	}
+
+	// Clearing the deadline re-arms the block.
+	w.SetWriteDeadline(time.Time{})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := w.WritePacket(make([]byte, 10))
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("stall after deadline clear returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	w.SetWriteDeadline(time.Now()) // release the goroutine
+	<-errc
+}
+
+// TestStallBatchWrites: WriteBatch hits the same stall machinery; an
+// interrupted stall reports the progress made before it.
+func TestStallBatchWrites(t *testing.T) {
+	inner := &memWriter{}
+	w := NewWriter(inner, WithStall(2, 0))
+	pkts := [][]byte{make([]byte, 5), make([]byte, 5), make([]byte, 5)}
+	done := make(chan struct{})
+	var n int
+	var err error
+	go func() {
+		defer close(done)
+		n, err = w.WriteBatch(pkts)
+	}()
+	select {
+	case <-done:
+		t.Fatalf("batch with a forever-stall completed: n=%d err=%v", n, err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	w.SetWriteDeadline(time.Now())
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline did not interrupt the stalled batch")
+	}
+	var se *StallError
+	if n != 2 || !errors.As(err, &se) {
+		t.Fatalf("batch = (%d, %v), want 2 delivered and a StallError on the third", n, err)
+	}
+}

@@ -26,6 +26,15 @@ func (m Metrics) WriteTable(w io.Writer) error {
 		fmt.Fprintf(tw, "# fec: encoded=%d repairs=%d recovered=%d unrecoverable=%d\n",
 			m.FECEncoded, m.FECRepairSent, m.FECRecovered, m.FECUnrecoverable)
 	}
+	if m.Shed.Packets > 0 {
+		fmt.Fprintf(tw, "# shed: packets=%d", m.Shed.Packets)
+		writeReasonSuffix(tw, m.ShedReasons)
+		fmt.Fprintln(tw)
+	}
+	if m.BrownoutTransitions > 0 || m.WatchdogStalls > 0 {
+		fmt.Fprintf(tw, "# overload: brownout_transitions=%d watchdog_stalls=%d\n",
+			m.BrownoutTransitions, m.WatchdogStalls)
+	}
 	fmt.Fprintln(tw, "session\trate\tenq\tdeq\tdrop\tqlen\tmax\tdelay_min\tdelay_mean\tdelay_max\twfi")
 	for _, s := range m.Sessions {
 		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\n",
@@ -36,6 +45,19 @@ func (m Metrics) WriteTable(w io.Writer) error {
 			durString(s.WFI))
 	}
 	return tw.Flush()
+}
+
+// writeReasonSuffix appends a sorted per-reason breakdown to the current
+// line (" pressure=3 brownout=1"), without a label or trailing newline.
+func writeReasonSuffix(w io.Writer, reasons map[string]Counter) {
+	keys := make([]string, 0, len(reasons))
+	for r := range reasons {
+		keys = append(keys, r)
+	}
+	sort.Strings(keys)
+	for _, r := range keys {
+		fmt.Fprintf(w, " %s=%d", r, reasons[r].Packets)
+	}
 }
 
 // writeReasonLine renders a per-reason counter map as one sorted comment

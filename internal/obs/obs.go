@@ -70,6 +70,23 @@ const (
 	// class's average sojourn time crossed the RED thresholds. Recorded
 	// post-dequeue, like DropCoDel.
 	DropRED = "red"
+	// DropShed: the overload controller refused the packet at arrival
+	// because its class is currently shedding (priority-aware load
+	// shedding under degraded/overloaded health states). Like DropTail,
+	// shed packets never enter a queue.
+	DropShed = "shed"
+)
+
+// Shed causes: the reason tags recorded alongside DropShed in
+// Metrics.ShedReasons, distinguishing *why* the overload controller
+// refused the packet.
+const (
+	// ShedPressure: the class was selected by the shed order because the
+	// smoothed pressure score is in the degraded/overloaded band.
+	ShedPressure = "pressure"
+	// ShedBrownout: a brownout refusal — the engine (or gateway) declined
+	// work categorically, e.g. admission of a new flow while overloaded.
+	ShedBrownout = "brownout"
 )
 
 // Retry reasons shared across the stack, recorded via
@@ -215,6 +232,23 @@ type Metrics struct {
 	FECRecovered     int64
 	FECUnrecoverable int64
 
+	// Shed counts packets refused by the overload controller, recorded
+	// with RecordShed. Every shed is also a drop with reason DropShed
+	// (it flows into Dropped and DropReasons), so conservation laws are
+	// unaffected; the dedicated counter and the ShedReasons breakdown by
+	// cause (ShedPressure, ShedBrownout, …) exist so operators can see
+	// overload refusals without string-matching drop reasons.
+	Shed        Counter
+	ShedReasons map[string]Counter
+
+	// BrownoutTransitions counts health-state crossings of the brownout
+	// boundary (entering or leaving overloaded/wedged), recorded with
+	// RecordBrownoutTransition. WatchdogStalls counts pump stall
+	// detections recorded with RecordWatchdogStall. Both are events, not
+	// packets: no conservation terms.
+	BrownoutTransitions int64
+	WatchdogStalls      int64
+
 	// DropReasons breaks Dropped down by the reason tag passed to
 	// RecordDropReason. Untagged drops (RecordDrop) are not listed, so the
 	// per-reason counters sum to at most Dropped.
@@ -344,6 +378,10 @@ type Collector struct {
 	fecRep                int64
 	fecRec                int64
 	fecUnrec              int64
+	shed                  Counter
+	shedReasons           map[string]Counter // shed counters keyed by cause tag
+	brownouts             int64
+	watchdogStalls        int64
 	reasons               map[string]Counter // drop counters keyed by reason tag
 	retryReasons          map[string]Counter // retry counters keyed by reason tag
 
@@ -545,6 +583,45 @@ func (c *Collector) recordDrop(now float64, session int, bits float64, reason st
 	}
 }
 
+// RecordShed accounts one packet refused by the overload controller for
+// the session: a drop with reason DropShed (flowing into the normal drop
+// counters and trace events) plus the dedicated Shed counter, broken down
+// by cause (ShedPressure, ShedBrownout, or any component-specific string).
+func (c *Collector) RecordShed(now float64, session int, bits float64, cause string) {
+	if !c.active {
+		return
+	}
+	if c.metrics {
+		c.shed.add(bits)
+		if cause != "" {
+			if c.shedReasons == nil {
+				c.shedReasons = make(map[string]Counter)
+			}
+			r := c.shedReasons[cause]
+			r.add(bits)
+			c.shedReasons[cause] = r
+		}
+	}
+	c.recordDrop(now, session, bits, DropShed)
+}
+
+// RecordBrownoutTransition accounts one health-state crossing of the
+// brownout boundary (entering or leaving overloaded/wedged).
+func (c *Collector) RecordBrownoutTransition() {
+	if !c.active || !c.metrics {
+		return
+	}
+	c.brownouts++
+}
+
+// RecordWatchdogStall accounts one pump stall detection by the watchdog.
+func (c *Collector) RecordWatchdogStall() {
+	if !c.active || !c.metrics {
+		return
+	}
+	c.watchdogStalls++
+}
+
 // RecordRetry accounts one egress re-attempt of a packet for the session,
 // tagged with a retry reason (one of the Retry* constants, or any
 // component-specific string). A retry is an event on a packet still in
@@ -611,21 +688,30 @@ func (c *Collector) RecordFEC(encoded, repairSent, recovered, unrecoverable int)
 // periodically while a simulation runs.
 func (c *Collector) Snapshot() Metrics {
 	m := Metrics{
-		Name:             c.name,
-		Rate:             c.rate,
-		Enabled:          c.metrics,
-		Enqueued:         c.enq,
-		Dequeued:         c.deq,
-		Dropped:          c.drop,
-		Retried:          c.retry,
-		QueueLen:         c.depth,
-		MaxQueueLen:      c.maxDepth,
-		BatchWrites:      c.batchWrites,
-		BatchedPackets:   c.batchPkts,
-		FECEncoded:       c.fecEnc,
-		FECRepairSent:    c.fecRep,
-		FECRecovered:     c.fecRec,
-		FECUnrecoverable: c.fecUnrec,
+		Name:                c.name,
+		Rate:                c.rate,
+		Enabled:             c.metrics,
+		Enqueued:            c.enq,
+		Dequeued:            c.deq,
+		Dropped:             c.drop,
+		Retried:             c.retry,
+		QueueLen:            c.depth,
+		MaxQueueLen:         c.maxDepth,
+		BatchWrites:         c.batchWrites,
+		BatchedPackets:      c.batchPkts,
+		FECEncoded:          c.fecEnc,
+		FECRepairSent:       c.fecRep,
+		FECRecovered:        c.fecRec,
+		FECUnrecoverable:    c.fecUnrec,
+		Shed:                c.shed,
+		BrownoutTransitions: c.brownouts,
+		WatchdogStalls:      c.watchdogStalls,
+	}
+	if len(c.shedReasons) > 0 {
+		m.ShedReasons = make(map[string]Counter, len(c.shedReasons))
+		for r, n := range c.shedReasons {
+			m.ShedReasons[r] = n
+		}
 	}
 	if len(c.reasons) > 0 {
 		m.DropReasons = make(map[string]Counter, len(c.reasons))
