@@ -5,8 +5,10 @@
 # `make fec` runs the loss-resilience suite — coder round-trips plus the
 # end-to-end recovery/fairness tests, whose erasure patterns come from
 # seeds fixed in the tests themselves, so every run erases the same
-# datagrams. `make bench` refreshes BENCH_dataplane.json from the pump benchmarks and
-# BENCH_sched.json from the PIFO-vs-seed scheduler microbenchmarks
+# datagrams. `make bench` refreshes BENCH_dataplane.json from the pump
+# benchmarks (monolithic and sharded, so the single/multi-shard pair lands
+# in one document) and BENCH_sched.json from the PIFO-vs-seed scheduler
+# microbenchmarks
 # (override duration: make bench BENCHTIME=1x for a smoke run); `make
 # alloccheck` runs the steady-state zero-allocation regression test alone.
 # `make overload` runs the overload-control suite — shedding, brownout,
@@ -29,7 +31,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shaper/... ./internal/wallclock/... ./internal/overload/... ./internal/dataplane/... ./internal/ctl/... ./internal/fec/... ./cmd/hpfqgw/...
+	$(GO) test -race ./internal/shaper/... ./internal/wallclock/... ./internal/overload/... ./internal/dataplane/... ./internal/shard/... ./internal/obs/... ./internal/ctl/... ./internal/fec/... ./cmd/hpfqgw/...
 
 vet:
 	$(GO) vet ./...
@@ -48,9 +50,12 @@ fec:
 		./internal/dataplane/... ./internal/topo/... ./cmd/hpfqgw/...
 
 bench:
-	$(GO) test ./internal/dataplane/ -run '^$$' \
+	{ $(GO) test ./internal/dataplane/ -run '^$$' \
 		-bench 'BenchmarkPump(PerPacket|Batched)$$|BenchmarkReconfigUnderLoad$$|BenchmarkFECEncode$$|BenchmarkPumpWithFEC$$' -benchmem \
-		-benchtime $(BENCHTIME) -count=1 \
+		-benchtime $(BENCHTIME) -count=1 ; \
+	  $(GO) test ./internal/shard/ -run '^$$' \
+		-bench 'BenchmarkShardedPump$$' -benchmem \
+		-benchtime $(BENCHTIME) -count=1 ; } \
 		| $(GO) run ./cmd/benchjson -out BENCH_dataplane.json
 	@cat BENCH_dataplane.json
 	$(GO) test ./internal/sched/ -run '^$$' \

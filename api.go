@@ -19,6 +19,7 @@ import (
 	"hpfq/internal/pifo"
 	"hpfq/internal/sched"
 	"hpfq/internal/shaper"
+	"hpfq/internal/shard"
 	"hpfq/internal/tcp"
 	"hpfq/internal/topo"
 	"hpfq/internal/traffic"
@@ -978,3 +979,63 @@ func WithShedOrder(ids ...int) DataplaneOption {
 func WithWatchdog(timeout time.Duration) DataplaneOption {
 	return dpOptions{dataplane.WithWatchdog(timeout)}
 }
+
+// --------------------------------------------------------------------------
+// Sharded multi-core data plane (internal/shard): N independent engines
+// behind one front, flows partitioned by consistent hash, the shared link
+// kept work-conserving by a per-tick rate splitter.
+
+// ShardedDataplane runs N independent Dataplane engines — one per CPU —
+// behind a single control surface. Each shard owns a full scheduler tree,
+// token bucket, staging queues and pump over a 1/N slice of the link;
+// packets never cross a shard boundary, so the hot path takes no
+// cross-shard locks. A rate splitter lends idle shards' pacing budget to
+// backlogged ones each tick (deficit-carrying), keeping the aggregate link
+// work-conserving. Route traffic with IngestKey/IngestKeyCtx (software
+// consistent hash) or pin whole sockets to shards via Shard(i) in
+// SO_REUSEPORT deployments. Mutations (AddClass, SetRate, …) fan out to
+// every shard atomically with respect to each pump.
+type ShardedDataplane = shard.Sharded
+
+// ShardOption configures a ShardedDataplane front (redistribution tick,
+// test clock).
+type ShardOption = shard.Option
+
+// WithShardSplitTick sets the rate splitter's redistribution cadence
+// (default shard.DefaultSplitTick, 5 ms).
+func WithShardSplitTick(d time.Duration) ShardOption { return shard.WithSplitTick(d) }
+
+// NewShardedDataplane builds shards independent engines under the named
+// algorithm, each pacing at rate/shards with guarantees, ceilings and burst
+// scaled to its slice, behind one ShardedDataplane front. shards == 1
+// degenerates to a bare engine behind the front (no splitter, no scaling).
+// The option set is applied identically to every shard — required for the
+// fan-out mutation contract.
+func NewShardedDataplane(algorithm Algorithm, rate float64, shards int, opts ...DataplaneOption) (*ShardedDataplane, error) {
+	return NewShardedDataplaneOpts(algorithm, rate, shards, nil, opts...)
+}
+
+// NewShardedDataplaneOpts is NewShardedDataplane with front-level options
+// (ShardOption) alongside the per-shard engine options.
+func NewShardedDataplaneOpts(algorithm Algorithm, rate float64, shards int, shardOpts []ShardOption, opts ...DataplaneOption) (*ShardedDataplane, error) {
+	var all []dataplane.Option
+	for _, o := range opts {
+		all = append(all, o.dataplaneOptions()...)
+	}
+	return shard.New(string(algorithm), rate, shards, all, shardOpts...)
+}
+
+// NewShardedAdminServer returns an admin HTTP server over a sharded front.
+// Reads aggregate across shards (plus per-shard drill-down on /api/shards);
+// mutations fan out to every shard.
+func NewShardedAdminServer(sdp *ShardedDataplane, opts ...AdminOption) *AdminServer {
+	return ctl.New(sdp, opts...)
+}
+
+// FlowKey hashes arbitrary flow-identifying bytes into the 64-bit key
+// ShardedDataplane.IngestKey partitions on (FNV-1a, allocation-free).
+func FlowKey(b []byte) uint64 { return shard.Key(b) }
+
+// FlowKeyAddr hashes an IP/port endpoint into a flow key without
+// allocating — the per-datagram path of a single-socket gateway.
+func FlowKeyAddr(ip []byte, port int) uint64 { return shard.KeyAddr(ip, port) }

@@ -18,7 +18,7 @@ func TestParseFEC(t *testing.T) {
 		t.Fatalf("ids = %v, %d options", ids, len(opts))
 	}
 	// The options must be applicable: protect two classes on a live engine.
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 1e6, opts...)
+	dp, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 1e6, 1, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestParseGilbert(t *testing.T) {
 // decoding gateway reconstructs them from the repairs and forwards the full
 // original stream upstream.
 func TestGatewayFECDecode(t *testing.T) {
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.WithDataplaneMetrics())
+	dp, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 5e7, 1, hpfq.WithDataplaneMetrics())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestGatewayFECDecode(t *testing.T) {
 // datagrams.
 func TestGatewayFECChain(t *testing.T) {
 	// Far side: decode-enabled gateway in front of the receiver.
-	dpB, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7)
+	dpB, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 5e7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestGatewayFECChain(t *testing.T) {
 
 	// Near side: FEC-encoding gateway whose upstream is the far gateway.
 	spec := hpfq.FECSpec{Scheme: hpfq.FECSchemeRS, K: 4, R: 2}
-	dpA, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.WithDataplaneMetrics(),
+	dpA, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 5e7, 1, hpfq.WithDataplaneMetrics(),
 		hpfq.WithFEC(0, spec, hpfq.FECConfig{}))
 	if err != nil {
 		t.Fatal(err)
@@ -158,7 +158,7 @@ func TestGatewayFECChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gwA := newGateway(dpA, listenA, listenB.LocalAddr().(*net.UDPAddr),
+	gwA := newGateway(dpA, []*net.UDPConn{listenA}, listenB.LocalAddr().(*net.UDPAddr),
 		func(*net.UDPAddr, []byte) int { return 0 }, gwConfig{})
 	runA := make(chan error, 1)
 	go func() { runA <- gwA.run() }()

@@ -22,14 +22,24 @@ const (
 // any still-queued forward datagram fail fatally at write time (recorded as
 // a "write-error" drop).
 type flow struct {
+	key    string // client address string, the table key
 	client *net.UDPAddr
 	conn   *net.UDPConn
+	shard  int       // owning data-plane shard, for /api/flows
 	last   time.Time // guarded by the owning table's mutex
 }
 
-// flowTable maps client addresses to flows with TTL eviction, replacing the
-// old last-client-wins relay: replies reach the client that owns the flow,
-// however many clients are interleaved. Safe for concurrent use.
+// flowTable maps client addresses to flows with epoch-swap TTL eviction.
+//
+// Idle flows age out through two map generations instead of a per-entry
+// timestamp sweep: every ttl the janitor retires the previous generation
+// wholesale and demotes the current one, so under the lock a GC cycle is a
+// pointer swap — O(1) instead of the old O(flows) scan that stalled lookups
+// on large tables — and the socket closes happen outside the lock. Any
+// activity (a forward lookup or a return-path reply) promotes the flow back
+// into the live generation, so an active flow never ages; an idle one is
+// evicted after between ttl and 2·ttl of silence, never sooner than ttl.
+// Safe for concurrent use.
 type flowTable struct {
 	listen   *net.UDPConn // return-path source socket (WriteToUDP per client)
 	upstream *net.UDPAddr
@@ -37,7 +47,8 @@ type flowTable struct {
 	max      int
 
 	mu     sync.Mutex
-	flows  map[string]*flow
+	flows  map[string]*flow // live generation: touched since the last swap
+	prev   map[string]*flow // previous generation: retired at the next swap
 	closed bool
 	stop   chan struct{}
 	wg     sync.WaitGroup // return-path readers + janitor
@@ -56,6 +67,7 @@ func newFlowTable(listen *net.UDPConn, upstream *net.UDPAddr, ttl time.Duration,
 		ttl:      ttl,
 		max:      max,
 		flows:    make(map[string]*flow),
+		prev:     make(map[string]*flow),
 		stop:     make(chan struct{}),
 	}
 	t.wg.Add(1)
@@ -63,32 +75,47 @@ func newFlowTable(listen *net.UDPConn, upstream *net.UDPAddr, ttl time.Duration,
 	return t
 }
 
-// lookup returns src's flow, refreshing its TTL, creating it (and its
-// return-path reader) on first sight. At capacity the idlest flow is evicted
-// first, NAT-style.
-func (t *flowTable) lookup(src *net.UDPAddr) (*flow, error) {
+// lookup returns src's flow, creating it (and its return-path reader) on
+// first sight and recording shard as its owner. A hit in either generation
+// promotes the flow into the live one. At capacity the idlest flow is
+// evicted first, NAT-style.
+func (t *flowTable) lookup(src *net.UDPAddr, shard int) (*flow, error) {
 	key := src.String()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
 		return nil, net.ErrClosed
 	}
-	if f, ok := t.flows[key]; ok {
+	if f := t.promoteLocked(key); f != nil {
 		f.last = time.Now()
 		return f, nil
 	}
-	if len(t.flows) >= t.max {
+	if len(t.flows)+len(t.prev) >= t.max {
 		t.evictIdlestLocked()
 	}
 	conn, err := net.DialUDP("udp", nil, t.upstream)
 	if err != nil {
 		return nil, err
 	}
-	f := &flow{client: src, conn: conn, last: time.Now()}
+	f := &flow{key: key, client: src, conn: conn, shard: shard, last: time.Now()}
 	t.flows[key] = f
 	t.wg.Add(1)
 	go t.returnPath(f)
 	return f, nil
+}
+
+// promoteLocked finds key in either generation and moves it into the live
+// one. Caller holds t.mu.
+func (t *flowTable) promoteLocked(key string) *flow {
+	if f, ok := t.flows[key]; ok {
+		return f
+	}
+	if f, ok := t.prev[key]; ok {
+		delete(t.prev, key)
+		t.flows[key] = f
+		return f
+	}
+	return nil
 }
 
 // returnPath relays upstream replies on f's socket back to f's client and
@@ -105,6 +132,12 @@ func (t *flowTable) returnPath(f *flow) {
 		t.mu.Lock()
 		if !t.closed {
 			f.last = time.Now()
+			// A reply is activity: rescue the flow from the aging
+			// generation so the next swap doesn't retire it.
+			if t.prev[f.key] == f {
+				delete(t.prev, f.key)
+				t.flows[f.key] = f
+			}
 		}
 		t.mu.Unlock()
 		if _, err := t.listen.WriteToUDP(buf[:n], f.client); err != nil {
@@ -113,10 +146,13 @@ func (t *flowTable) returnPath(f *flow) {
 	}
 }
 
-// janitor evicts flows idle beyond the TTL.
+// janitor swaps generations every ttl: the previous generation — flows with
+// no activity for at least one full ttl — is retired wholesale, the live
+// generation starts aging, and a fresh live map takes over. The critical
+// section is a pointer swap; socket teardown runs unlocked.
 func (t *flowTable) janitor() {
 	defer t.wg.Done()
-	period := t.ttl / 4
+	period := t.ttl
 	if period < 10*time.Millisecond {
 		period = 10 * time.Millisecond
 	}
@@ -126,15 +162,15 @@ func (t *flowTable) janitor() {
 		select {
 		case <-t.stop:
 			return
-		case now := <-tick.C:
+		case <-tick.C:
 			t.mu.Lock()
-			for key, f := range t.flows {
-				if now.Sub(f.last) > t.ttl {
-					delete(t.flows, key)
-					f.conn.Close()
-				}
-			}
+			retired := t.prev
+			t.prev = t.flows
+			t.flows = make(map[string]*flow)
 			t.mu.Unlock()
+			for _, f := range retired {
+				f.conn.Close()
+			}
 		}
 	}
 }
@@ -142,15 +178,22 @@ func (t *flowTable) janitor() {
 // evictIdlestLocked drops the longest-idle flow to make room. Caller holds
 // t.mu.
 func (t *flowTable) evictIdlestLocked() {
-	var oldestKey string
 	var oldest *flow
-	for key, f := range t.flows {
+	for _, f := range t.prev {
 		if oldest == nil || f.last.Before(oldest.last) {
-			oldestKey, oldest = key, f
+			oldest = f
+		}
+	}
+	if oldest == nil { // prev empty right after a swap: scan the live set
+		for _, f := range t.flows {
+			if oldest == nil || f.last.Before(oldest.last) {
+				oldest = f
+			}
 		}
 	}
 	if oldest != nil {
-		delete(t.flows, oldestKey)
+		delete(t.prev, oldest.key)
+		delete(t.flows, oldest.key)
 		oldest.conn.Close()
 	}
 }
@@ -160,32 +203,38 @@ func (t *flowTable) evictIdlestLocked() {
 func (t *flowTable) snapshot() []hpfq.FlowInfo {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]hpfq.FlowInfo, 0, len(t.flows))
-	for _, f := range t.flows {
-		info := hpfq.FlowInfo{Client: f.client.String(), LastActive: f.last}
-		if addr := f.conn.LocalAddr(); addr != nil {
-			info.LocalAddr = addr.String()
+	out := make([]hpfq.FlowInfo, 0, len(t.flows)+len(t.prev))
+	for _, m := range []map[string]*flow{t.flows, t.prev} {
+		for _, f := range m {
+			info := hpfq.FlowInfo{Client: f.key, LastActive: f.last, Shard: f.shard}
+			if addr := f.conn.LocalAddr(); addr != nil {
+				info.LocalAddr = addr.String()
+			}
+			out = append(out, info)
 		}
-		out = append(out, info)
 	}
 	return out
 }
 
-// has reports whether src already owns a flow, without creating one or
-// refreshing its TTL — the gateway's brownout gate distinguishes returning
-// clients (kept) from new ones (refused) with this.
+// has reports whether src already owns a flow in either generation, without
+// creating or promoting one — the gateway's brownout gate distinguishes
+// returning clients (kept) from new ones (refused) with this.
 func (t *flowTable) has(src *net.UDPAddr) bool {
+	key := src.String()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	_, ok := t.flows[src.String()]
+	if _, ok := t.flows[key]; ok {
+		return true
+	}
+	_, ok := t.prev[key]
 	return ok
 }
 
-// count returns the live flow count.
+// count returns the live flow count across both generations.
 func (t *flowTable) count() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.flows)
+	return len(t.flows) + len(t.prev)
 }
 
 // close evicts every flow, stops the janitor, and waits for the return-path
@@ -198,9 +247,11 @@ func (t *flowTable) close() {
 	}
 	t.closed = true
 	close(t.stop)
-	for key, f := range t.flows {
-		delete(t.flows, key)
-		f.conn.Close()
+	for _, m := range []map[string]*flow{t.flows, t.prev} {
+		for key, f := range m {
+			delete(m, key)
+			f.conn.Close()
+		}
 	}
 	t.mu.Unlock()
 	t.wg.Wait()

@@ -39,61 +39,90 @@ type gwConfig struct {
 	fecClasses   []int              // -fec protected classes, for decode-stats feedback
 }
 
-// gateway forwards UDP datagrams from a listen socket to an upstream peer,
-// pacing egress through an hpfq.Dataplane. Each client gets a NAT-style flow
-// — a dedicated connected upstream socket plus a return-path relay — tracked
-// in a TTL-evicted flow table, so replies reach the client that sent the
-// request however many clients interleave. The ingress reader runs under a
-// crash-only supervisor: a panic (e.g. out of a classifier on a hostile
-// payload) costs that one datagram, the loop restarts, and the restart is
-// counted.
+// gateway forwards UDP datagrams from its listen sockets to an upstream
+// peer, pacing egress through an hpfq.ShardedDataplane. Each client gets a
+// NAT-style flow — a dedicated connected upstream socket plus a return-path
+// relay — tracked in a shared epoch-swept flow table, so replies reach the
+// client that sent the request however many clients interleave.
+//
+// Sharding: the gateway runs one ingress reader per listen socket. With N
+// SO_REUSEPORT sockets over N shards (kernel-hash mode) reader i pins its
+// traffic to shard i — the kernel's 4-tuple hash is the classifier and the
+// whole path is shard-local. With a single socket over N shards the reader
+// places each datagram by a consistent hash of the client endpoint
+// (hpfq.FlowKeyAddr), so a flow is sticky to its shard either way. Each
+// reader runs under its own crash-only supervisor: a panic (e.g. out of a
+// classifier on a hostile payload) costs that one datagram, the loop
+// restarts, and the restart is counted.
 type gateway struct {
-	dp       *hpfq.Dataplane
-	listen   *net.UDPConn
+	dp       *hpfq.ShardedDataplane
+	listens  []*net.UDPConn // one per reader; listens[0] sources the return path
 	ft       *flowTable
 	classify classifier
 	fault    []faultconn.Option
 	pool     *hpfq.BufferPool
-	src      *listenSource
-	rd       hpfq.PacketReader // g.src, or the faultconn wrapper around it
+	readers  []*gwReader
 	restarts atomic.Int64
-	// readFaults counts transient ingress read errors the supervised loop
+	// readFaults counts transient ingress read errors the supervised loops
 	// absorbed (injected by -fault.ingress, or real EAGAIN-class errors).
 	readFaults atomic.Int64
-
-	// FEC receive side (-fec.decode): the ingress loop unwraps protected
-	// datagrams and reconstructs erasures before classification. Only the
-	// single supervised ingress goroutine touches these fields.
-	dec        *hpfq.FECDecoder
-	fecClasses []int  // local protected classes fed decode-stats feedback
-	fecSeen    uint64 // FEC datagrams since start, for feedback cadence
-	lastRec    uint64 // Stats().Recovered already reported
-	lastUnrec  uint64 // Stats().Unrecoverable already reported
+	fecClasses []int // local protected classes fed decode-stats feedback
 
 	closeOnce sync.Once
 	closeErr  error
 }
 
-func newGateway(dp *hpfq.Dataplane, listen *net.UDPConn, upstream *net.UDPAddr, classify classifier, cfg gwConfig) *gateway {
+// gwReader is one supervised ingress loop over one listen socket. All its
+// fields are touched only by its own goroutine.
+type gwReader struct {
+	g    *gateway
+	conn *net.UDPConn
+	// shard pins every datagram this reader ingests (kernel-hash mode:
+	// SO_REUSEPORT already partitioned the flows). -1 selects software
+	// placement by consistent hash of the client endpoint per datagram.
+	shard int
+	src   *listenSource
+	rd    hpfq.PacketReader // src, or the faultconn wrapper around it
+
+	// FEC receive side (-fec.decode): the loop unwraps protected datagrams
+	// and reconstructs erasures before classification. Per reader, because
+	// with SO_REUSEPORT each flow's FEC blocks arrive on one socket.
+	dec       *hpfq.FECDecoder
+	fecSeen   uint64 // FEC datagrams since start, for feedback cadence
+	lastRec   uint64 // Stats().Recovered already reported
+	lastUnrec uint64 // Stats().Unrecoverable already reported
+}
+
+// newGateway wires listens to dp. Pass one socket (software placement when
+// dp has multiple shards) or exactly dp.Shards() SO_REUSEPORT sockets
+// (reader i feeds shard i).
+func newGateway(dp *hpfq.ShardedDataplane, listens []*net.UDPConn, upstream *net.UDPAddr, classify classifier, cfg gwConfig) *gateway {
 	g := &gateway{
-		dp:       dp,
-		listen:   listen,
-		ft:       newFlowTable(listen, upstream, cfg.flowTTL, cfg.maxFlows),
-		classify: classify,
-		fault:    cfg.fault,
-		pool:     cfg.pool,
+		dp:         dp,
+		listens:    listens,
+		ft:         newFlowTable(listens[0], upstream, cfg.flowTTL, cfg.maxFlows),
+		classify:   classify,
+		fault:      cfg.fault,
+		pool:       cfg.pool,
+		fecClasses: cfg.fecClasses,
 	}
 	if g.pool == nil {
 		g.pool = hpfq.SharedBufferPool()
 	}
-	g.src = &listenSource{conn: listen}
-	g.rd = g.src
-	if len(cfg.ingressFault) > 0 {
-		g.rd = faultconn.NewReader(g.src, cfg.ingressFault...)
-	}
-	if cfg.decodeFEC {
-		g.dec = hpfq.NewFECDecoder()
-		g.fecClasses = cfg.fecClasses
+	for i, conn := range listens {
+		r := &gwReader{g: g, conn: conn, shard: i}
+		if len(listens) == 1 && dp.Shards() > 1 {
+			r.shard = -1 // single socket over many shards: hash per datagram
+		}
+		r.src = &listenSource{conn: conn}
+		r.rd = r.src
+		if len(cfg.ingressFault) > 0 {
+			r.rd = faultconn.NewReader(r.src, cfg.ingressFault...)
+		}
+		if cfg.decodeFEC {
+			r.dec = hpfq.NewFECDecoder()
+		}
+		g.readers = append(g.readers, r)
 	}
 	return g
 }
@@ -298,22 +327,48 @@ func faultOptions(seed int64, errRate, short, drop float64, gilbert []float64, l
 	return opts
 }
 
-// run starts the paced egress pump, then reads the listen socket under the
-// crash-only supervisor until the socket is closed. Queue-full and
+// run starts every shard's paced egress pump (each with its own egress
+// writer and fault plan instance), then reads each listen socket under its
+// own crash-only supervisor until the sockets are closed. Queue-full and
 // unknown-class drops are deliberate policy (recorded in the metrics), and
 // transient read errors (injected by -fault.ingress, or real EAGAIN-class
-// conditions) are absorbed and counted, so only hard socket errors end the
-// loop.
+// conditions) are absorbed and counted, so only hard socket errors end a
+// loop. A hard error on any reader closes the other sockets, so run returns
+// the first error instead of limping on with a partial listener set.
 func (g *gateway) run() error {
-	if err := g.dp.Start(newEgress(g.fault)); err != nil {
+	if err := g.dp.Start(func(int) hpfq.PacketWriter { return newEgress(g.fault) }); err != nil {
 		return err
 	}
+	if len(g.readers) == 1 {
+		return g.readers[0].loop()
+	}
+	errc := make(chan error, len(g.readers))
+	for _, r := range g.readers {
+		go func(r *gwReader) { errc <- r.loop() }(r)
+	}
+	var first error
+	for range g.readers {
+		if err := <-errc; err != nil {
+			if first == nil {
+				first = err
+			}
+			for _, c := range g.listens {
+				c.Close() // unblock the sibling readers
+			}
+		}
+	}
+	return first
+}
+
+// loop is one reader's supervisor: restart after recovered panics, exit on
+// clean close or hard socket error.
+func (r *gwReader) loop() error {
 	for {
-		err, panicked := g.readOnce()
+		err, panicked := r.readOnce()
 		if !panicked {
 			return err
 		}
-		g.restarts.Add(1)
+		r.g.restarts.Add(1)
 	}
 }
 
@@ -322,16 +377,17 @@ func (g *gateway) run() error {
 // Datagrams are read straight into pooled buffers and handed to the engine
 // without copying: ownership transfers on successful ingest, and a rejected
 // datagram's buffer is reused for the next read.
-func (g *gateway) readOnce() (err error, panicked bool) {
+func (r *gwReader) readOnce() (err error, panicked bool) {
+	g := r.g
 	defer func() {
-		if r := recover(); r != nil {
+		if p := recover(); p != nil {
 			panicked = true
-			fmt.Fprintf(errOut, "hpfqgw: ingress panic recovered, restarting reader: %v\n", r)
+			fmt.Fprintf(errOut, "hpfqgw: ingress panic recovered, restarting reader: %v\n", p)
 		}
 	}()
 	buf := g.pool.Get()
 	for {
-		n, err := g.rd.ReadPacket(buf)
+		n, err := r.rd.ReadPacket(buf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil, false
@@ -345,14 +401,21 @@ func (g *gateway) readOnce() (err error, panicked bool) {
 		if n == 0 {
 			continue
 		}
-		src := g.src.src
-		if g.dp.HealthState() >= hpfq.Overloaded && !g.ft.has(src) {
+		src := r.src.src
+		shard := r.shard
+		if shard < 0 {
+			shard = g.dp.ShardOf(hpfq.FlowKeyAddr(src.IP, src.Port))
+		}
+		eng := g.dp.Shard(shard)
+		if eng.HealthState() >= hpfq.Overloaded && !g.ft.has(src) {
 			// Brownout: existing flows keep their service, new clients are
 			// refused until pressure recedes. Accounted as a "shed" drop.
-			g.dp.RecordShed(g.classify(src, buf[:n]), n, hpfq.ShedBrownout)
+			// The gate is per shard — one overloaded shard refuses its new
+			// clients while the others keep admitting theirs.
+			eng.RecordShed(g.classify(src, buf[:n]), n, hpfq.ShedBrownout)
 			continue
 		}
-		f, err := g.ft.lookup(src)
+		f, err := g.ft.lookup(src, shard)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil, false
@@ -360,15 +423,15 @@ func (g *gateway) readOnce() (err error, panicked bool) {
 			continue // transient flow-setup failure: drop this datagram
 		}
 		b := buf[:n]
-		if g.dec != nil && hpfq.IsFECDatagram(b) {
+		if r.dec != nil && hpfq.IsFECDatagram(b) {
 			// FEC receive side: unwrap sources, absorb repairs, and forward
 			// whatever the decoder delivers — the unwrapped source plus any
 			// erased datagrams it reconstructed. Repairs and duplicates
 			// deliver nothing; malformed headers are dropped here.
-			outs, derr := g.dec.Push(b)
+			outs, derr := r.dec.Push(b)
 			delivered := false
 			for _, ob := range outs {
-				switch err := g.dp.IngestCtx(g.classify(src, ob), ob, f); {
+				switch err := eng.IngestCtx(g.classify(src, ob), ob, f); {
 				case err == nil:
 					delivered = true
 				case errors.Is(err, hpfq.ErrDataplaneClosed):
@@ -381,11 +444,11 @@ func (g *gateway) readOnce() (err error, panicked bool) {
 				buf = g.pool.Get()
 			}
 			if derr == nil {
-				g.maybeFECFeedback()
+				r.maybeFECFeedback()
 			}
 			continue
 		}
-		if err := g.dp.IngestCtx(g.classify(src, b), b, f); err == nil {
+		if err := eng.IngestCtx(g.classify(src, b), b, f); err == nil {
 			buf = g.pool.Get() // the engine owns b now
 		} else if errors.Is(err, hpfq.ErrDataplaneClosed) {
 			return nil, false
@@ -395,39 +458,42 @@ func (g *gateway) readOnce() (err error, panicked bool) {
 	}
 }
 
-// maybeFECFeedback periodically reports the ingress decoder's results to the
-// data-plane: recovered/unrecoverable counts land in the metrics, and the
-// decoder's loss estimate drives the adaptive controller of every locally
-// protected class (-fec with -fec.adapt). Loss observed toward us is a proxy
-// for loss on the path we send over — the right signal when the two
-// directions share fate, and a no-op when no local class is protected.
-func (g *gateway) maybeFECFeedback() {
-	g.fecSeen++
-	if g.fecSeen%64 != 0 {
+// maybeFECFeedback periodically reports this reader's decoder results to the
+// data-plane: recovered/unrecoverable counts land in the metrics (once), and
+// the decoder's loss estimate drives the adaptive controller of every
+// locally protected class on every shard (-fec with -fec.adapt). Loss
+// observed toward us is a proxy for loss on the path we send over — the
+// right signal when the two directions share fate, and a no-op when no local
+// class is protected.
+func (r *gwReader) maybeFECFeedback() {
+	r.fecSeen++
+	if r.fecSeen%64 != 0 {
 		return
 	}
-	st := g.dec.Stats()
-	rec := int(st.Recovered - g.lastRec)
-	unrec := int(st.Unrecoverable - g.lastUnrec)
-	g.lastRec, g.lastUnrec = st.Recovered, st.Unrecoverable
-	est := g.dec.LossEstimate()
-	if len(g.fecClasses) == 0 {
+	st := r.dec.Stats()
+	rec := int(st.Recovered - r.lastRec)
+	unrec := int(st.Unrecoverable - r.lastUnrec)
+	r.lastRec, r.lastUnrec = st.Recovered, st.Unrecoverable
+	est := r.dec.LossEstimate()
+	if len(r.g.fecClasses) == 0 {
 		return
 	}
-	for _, c := range g.fecClasses {
-		g.dp.FECFeedback(c, rec, unrec, est) // best-effort: errors only say "not protected"
-		rec, unrec = 0, 0                    // counts land once; the estimate reaches every class
+	for _, c := range r.g.fecClasses {
+		r.g.dp.FECFeedback(c, rec, unrec, est) // best-effort: errors only say "not protected"
+		rec, unrec = 0, 0                      // counts land once; the estimate reaches every class
 	}
 }
 
 // close stops intake and drains the paced backlog, waiting at most drain (0
-// = forever) before giving up; the deadline bounds shutdown when the queue
-// holds more than the link can flush in time. The flow table and its sockets
+// = forever) before giving up; the deadline bounds shutdown when the queues
+// hold more than the link can flush in time. The flow table and its sockets
 // are torn down either way. Idempotent — concurrent and repeated calls share
 // one shutdown and its result.
 func (g *gateway) close(drain time.Duration) error {
 	g.closeOnce.Do(func() {
-		g.listen.Close()
+		for _, c := range g.listens {
+			c.Close()
+		}
 		done := make(chan error, 1)
 		go func() { done <- g.dp.Close() }()
 		if drain <= 0 {

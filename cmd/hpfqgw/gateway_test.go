@@ -34,7 +34,7 @@ func TestParseTopo(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The tree must be usable: drive a hierarchical data-plane with it.
-	d, err := hpfq.NewDataplane(hpfq.WF2QPlus, 1e6, hpfq.WithTopology(top))
+	d, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 1e6, 1, hpfq.WithTopology(top))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestClassifiers(t *testing.T) {
 // testGateway assembles a loopback gateway: an upstream receiver socket, a
 // listen socket, and a started gateway forwarding between them. Callers get
 // the pieces plus a cleanup-checked run-exit channel.
-func testGateway(t *testing.T, dp *hpfq.Dataplane, cfg gwConfig, classify classifier) (gw *gateway, recv, listen *net.UDPConn, runDone chan error) {
+func testGateway(t *testing.T, dp *hpfq.ShardedDataplane, cfg gwConfig, classify classifier) (gw *gateway, recv, listen *net.UDPConn, runDone chan error) {
 	t.Helper()
 	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
@@ -107,7 +107,7 @@ func testGateway(t *testing.T, dp *hpfq.Dataplane, cfg gwConfig, classify classi
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw = newGateway(dp, listen, recv.LocalAddr().(*net.UDPAddr), classify, cfg)
+	gw = newGateway(dp, []*net.UDPConn{listen}, recv.LocalAddr().(*net.UDPAddr), classify, cfg)
 	runDone = make(chan error, 1)
 	go func() { runDone <- gw.run() }()
 	return gw, recv, listen, runDone
@@ -128,7 +128,7 @@ func dialClient(t *testing.T, listen *net.UDPConn) *net.UDPConn {
 // upstream socket → upstream receiver, plus the reply relay back through the
 // flow table to the client.
 func TestGatewayForwards(t *testing.T) {
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.WithDataplaneMetrics())
+	dp, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 5e7, 1, hpfq.WithDataplaneMetrics())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestGatewayForwards(t *testing.T) {
 // reply to the client that owns the flow — the regression the NAT-style
 // table fixes over the old last-client-wins relay.
 func TestGatewayMultiClientReturnPath(t *testing.T) {
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7)
+	dp, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 5e7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestGatewayMultiClientReturnPath(t *testing.T) {
 // TestFlowTTLEviction: idle flows are evicted after the TTL and their
 // return-path readers exit.
 func TestFlowTTLEviction(t *testing.T) {
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7)
+	dp, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 5e7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +293,7 @@ func TestFlowTTLEviction(t *testing.T) {
 // TestFlowTableMaxFlows: at capacity the idlest flow is evicted to admit a
 // new client.
 func TestFlowTableMaxFlows(t *testing.T) {
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7)
+	dp, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 5e7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +330,7 @@ func TestGatewayReaderPanicRestart(t *testing.T) {
 	errOut = io.Discard // the recovered panic is expected noise here
 	defer func() { errOut = prevOut }()
 
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7)
+	dp, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 5e7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +385,7 @@ func TestGatewayReaderPanicRestart(t *testing.T) {
 // hold shutdown hostage — close returns the deadline error once the drain
 // window expires.
 func TestGatewayDrainDeadline(t *testing.T) {
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 1000) // 1 kbit/s: ~1.6s per datagram
+	dp, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 1000, 1) // 1 kbit/s: ~1.6s per datagram
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +424,7 @@ func TestGatewayDrainDeadline(t *testing.T) {
 // end: with seeded transient faults on ~30% of egress writes, retry/backoff
 // still delivers every datagram to the upstream.
 func TestGatewayFaultInjectionDelivers(t *testing.T) {
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.WithDataplaneMetrics(),
+	dp, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 5e7, 1, hpfq.WithDataplaneMetrics(),
 		hpfq.WithWriteRetry(10, 100*time.Microsecond, time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
@@ -464,7 +464,7 @@ func TestGatewayFaultInjectionDelivers(t *testing.T) {
 // fault (the error fires before the socket is touched), so everything sent
 // still reaches the upstream, and no restart is charged (transient ≠ panic).
 func TestGatewayIngressFaultTolerated(t *testing.T) {
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 5e7, hpfq.WithDataplaneMetrics())
+	dp, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 5e7, 1, hpfq.WithDataplaneMetrics())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -62,6 +62,19 @@
 // reconstructs erased datagrams from the repairs; -fec.adapt retunes each
 // protected class's geometry to the loss the decoder reports back.
 //
+// Multi-core scaling: -shards N (0 = one per CPU) partitions the data plane
+// into N independent engines — each with its own scheduler tree, token
+// bucket, staging queues and pump over a 1/N slice of the link — so the
+// packet path takes no cross-shard locks. On Linux the gateway opens N
+// SO_REUSEPORT listen sockets and the kernel's 4-tuple hash pins each flow
+// to one shard; elsewhere (or if the reuseport binds fail) a single socket
+// places each datagram by a consistent hash of the client endpoint. A rate
+// splitter re-lends idle shards' pacing budget to backlogged ones every few
+// milliseconds, keeping the aggregate link work-conserving. The admin
+// surface stays whole-gateway: /api/status aggregates across shards,
+// /api/shards serves the per-shard drill-down, and every mutation fans out
+// to all shards.
+//
 // The data path is batch-oriented and allocation-free at steady state:
 // datagrams are read into buffers recycled through the shared hpfq
 // BufferPool, and egress releases are written in batches of up to -batch
@@ -83,6 +96,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"syscall"
 	"time"
@@ -112,6 +126,7 @@ func run(args []string) error {
 		batchSize    = fs.Int("batch", hpfq.DefaultBatchSize, "max datagrams per batched egress write")
 		metrics      = fs.Bool("metrics", false, "print per-class metric tables on shutdown")
 		adminAddr    = fs.String("admin", "", "HTTP admin address for live introspection and reconfiguration (e.g. 127.0.0.1:9090; empty = disabled)")
+		shards       = fs.Int("shards", 1, "per-CPU data-plane shards (0 = one per CPU; >1 uses SO_REUSEPORT listeners when available, else one socket with software flow placement)")
 
 		drain    = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline (0 = wait forever)")
 		flowTTL  = fs.Duration("flowttl", defaultFlowTTL, "evict client flows idle longer than this")
@@ -194,7 +209,14 @@ func run(args []string) error {
 		}
 		opts = append(opts, hpfq.WithTopology(top))
 	}
-	dp, err := hpfq.NewDataplane(hpfq.Algorithm(*algo), *rate, opts...)
+	nShards := *shards
+	if nShards == 0 {
+		nShards = runtime.GOMAXPROCS(0)
+	}
+	if nShards < 1 {
+		return fmt.Errorf("-shards %d: want 0 (auto) or a positive count", *shards)
+	}
+	dp, err := hpfq.NewShardedDataplane(hpfq.Algorithm(*algo), *rate, nShards, opts...)
 	if err != nil {
 		return err
 	}
@@ -218,9 +240,20 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-listen %q: %v", *listenAddr, err)
 	}
-	listen, err := net.ListenUDP("udp", laddr)
-	if err != nil {
-		return err
+	var listens []*net.UDPConn
+	if nShards > 1 && reusePortAvailable {
+		listens, err = listenReusePort(laddr.String(), nShards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpfqgw: %v; falling back to one socket with software flow placement\n", err)
+			listens = nil
+		}
+	}
+	if listens == nil {
+		listen, err := net.ListenUDP("udp", laddr)
+		if err != nil {
+			return err
+		}
+		listens = []*net.UDPConn{listen}
 	}
 	uaddr, err := net.ResolveUDPAddr("udp", *upstreamAddr)
 	if err != nil {
@@ -247,9 +280,9 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "hpfqgw: ingress fault injection ENABLED (testing only)")
 		}
 	}
-	gw := newGateway(dp, listen, uaddr, classify, cfg)
+	gw := newGateway(dp, listens, uaddr, classify, cfg)
 	if *adminAddr != "" {
-		admin := hpfq.NewAdminServer(dp, hpfq.WithAdminFlows(gw.ft.snapshot))
+		admin := hpfq.NewShardedAdminServer(dp, hpfq.WithAdminFlows(gw.ft.snapshot))
 		bound, err := admin.Start(*adminAddr)
 		if err != nil {
 			return err
@@ -272,8 +305,12 @@ func run(args []string) error {
 		}
 	}()
 
-	fmt.Fprintf(os.Stderr, "hpfqgw: %s %s → %s at %g bit/s, classes %v\n",
-		*algo, listen.LocalAddr(), *upstreamAddr, *rate, dp.Classes())
+	mode := "1 socket"
+	if len(listens) > 1 {
+		mode = fmt.Sprintf("%d reuseport sockets", len(listens))
+	}
+	fmt.Fprintf(os.Stderr, "hpfqgw: %s %s → %s at %g bit/s, %d shard(s) over %s, classes %v\n",
+		*algo, listens[0].LocalAddr(), *upstreamAddr, *rate, nShards, mode, dp.Classes())
 	runErr := gw.run()
 	closeErr := gw.close(*drain)
 	if runErr == nil {

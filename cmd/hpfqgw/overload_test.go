@@ -48,9 +48,9 @@ func TestParseStall(t *testing.T) {
 // overloadedGateway assembles a loopback gateway over a deliberately tiny
 // link with fast-reacting overload control, plus a background flooder that
 // keeps the staging queue pinned until stopped.
-func overloadedGateway(t *testing.T) (gw *gateway, dp *hpfq.Dataplane, listen *net.UDPConn, stopFlood func()) {
+func overloadedGateway(t *testing.T) (gw *gateway, dp *hpfq.ShardedDataplane, listen *net.UDPConn, stopFlood func()) {
 	t.Helper()
-	dp, err := hpfq.NewDataplane(hpfq.WF2QPlus, 1e5,
+	dp, err := hpfq.NewShardedDataplane(hpfq.WF2QPlus, 1e5, 1,
 		hpfq.WithDataplaneMetrics(), hpfq.WithQueueCap(8),
 		hpfq.WithOverload(hpfq.OverloadConfig{
 			SampleInterval: 2 * time.Millisecond,

@@ -1,0 +1,53 @@
+//go:build linux
+
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// reusePortAvailable gates -shards auto-detection: on Linux the gateway can
+// open one listen socket per shard with SO_REUSEPORT and let the kernel's
+// 4-tuple hash spread flows across them.
+const reusePortAvailable = true
+
+// soReusePort is SO_REUSEPORT, which the stdlib syscall package does not
+// export on Linux (it lives in x/sys/unix, a dependency this repo avoids).
+// The value is 0x0f on every Linux architecture.
+const soReusePort = 0x0f
+
+// listenReusePort opens n UDP sockets bound to the same address, each with
+// SO_REUSEPORT set before bind so the kernel load-balances flows across
+// them. The first bind resolves a ":0" (or unspecified-port) address to a
+// concrete port that the remaining sockets then share. On error every
+// already-open socket is closed.
+func listenReusePort(addr string, n int) ([]*net.UDPConn, error) {
+	lc := net.ListenConfig{Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		if err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	conns := make([]*net.UDPConn, 0, n)
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("reuseport listener %d/%d on %s: %w", i+1, n, addr, err)
+		}
+		uc := pc.(*net.UDPConn)
+		conns = append(conns, uc)
+		if i == 0 {
+			addr = uc.LocalAddr().String() // pin the siblings to the resolved port
+		}
+	}
+	return conns, nil
+}

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package main
+
+import (
+	"errors"
+	"net"
+)
+
+// reusePortAvailable gates -shards auto-detection: without SO_REUSEPORT
+// kernel-hash spreading, a multi-shard gateway falls back to one listen
+// socket with software flow placement.
+const reusePortAvailable = false
+
+func listenReusePort(addr string, n int) ([]*net.UDPConn, error) {
+	return nil, errors.New("SO_REUSEPORT is not supported on this platform")
+}

@@ -15,6 +15,8 @@
 //	GET /api/status   full engine snapshot as JSON (dataplane.Status)
 //	GET /api/nodes    per-node scheduler metrics over a topology (404 flat)
 //	GET /api/flows    the gateway's client flow table (404 when not wired)
+//	GET /api/shards   per-shard engine snapshots when the engine is a
+//	                  sharded front (404 for a monolithic engine)
 //	GET /api/policies registered scheduling policy names
 //
 // Mutation side (POST, query-string parameters, JSON replies):
@@ -71,12 +73,21 @@ type Engine interface {
 	SetPolicyName(node, policy string) error
 }
 
+// ShardViewer is the optional Engine extension a sharded front
+// (internal/shard) exposes: per-shard Status drill-down. When the engine
+// implements it, GET /api/shards serves the per-shard rows and /status
+// reports the shard count; a monolithic engine leaves /api/shards at 404.
+type ShardViewer interface {
+	ShardStatuses() []dataplane.Status
+}
+
 // FlowInfo is one row of the gateway's client flow table, published on
 // /api/flows when the gateway wires a FlowSource.
 type FlowInfo struct {
 	Client     string    // client address (the flow key)
 	LocalAddr  string    // upstream-facing local address of the flow's socket
 	LastActive time.Time // last datagram in either direction
+	Shard      int       // owning shard (kernel-hash gateways); 0 when unsharded
 }
 
 // FlowSource supplies the current flow table; it must be safe for
@@ -113,6 +124,7 @@ func New(eng Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("/api/status", s.statusJSON)
 	s.mux.HandleFunc("/api/nodes", s.nodes)
 	s.mux.HandleFunc("/api/flows", s.flowsJSON)
+	s.mux.HandleFunc("/api/shards", s.shardsJSON)
 	s.mux.HandleFunc("/api/policies", s.policies)
 	s.mux.HandleFunc("/api/class/add", s.mutate(s.classAdd))
 	s.mux.HandleFunc("/api/class/remove", s.mutate(s.classRemove))
@@ -217,6 +229,17 @@ func (s *Server) flowsJSON(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, fl)
 }
 
+// shardsJSON serves per-shard engine snapshots when the engine is a
+// sharded front (GET /api/shards); a monolithic engine replies 404.
+func (s *Server) shardsJSON(w http.ResponseWriter, r *http.Request) {
+	sv, ok := s.eng.(ShardViewer)
+	if !ok {
+		http.Error(w, "engine is not sharded", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, sv.ShardStatuses())
+}
+
 func (s *Server) policies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, pifo.Names())
 }
@@ -227,6 +250,9 @@ func (s *Server) statusText(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Status()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "%s  %s  rate %s", st.Algorithm, st.Mode, rate(st.Rate))
+	if st.Shards > 1 {
+		fmt.Fprintf(w, "  shards %d", st.Shards)
+	}
 	if st.Borrowing {
 		fmt.Fprintf(w, "  [htb borrowing]")
 	}

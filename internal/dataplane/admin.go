@@ -351,6 +351,7 @@ type Status struct {
 	Rate      float64 // link rate, bits/sec
 	Mode      string  // "flat" or "topology"
 	Borrowing bool    // HTB rate/ceil borrowing active
+	Shards    int     // engines behind a sharding front; 0 for a bare engine
 	Started   bool
 	Closed    bool
 	Restarts  int // pump panic-recoveries

@@ -81,6 +81,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hpfq/internal/fec"
@@ -237,6 +238,8 @@ type config struct {
 	ov        *overload.Config // overload control (nil = off unless watchdog)
 	shedOrder []int            // explicit shed order (nil = derive)
 	watchdog  time.Duration    // pump watchdog timeout (0 = off)
+
+	scale float64 // shard divisor for absolute-rate knobs (0/1 = none)
 }
 
 // Option configures a Dataplane at construction.
@@ -366,6 +369,21 @@ func WithNodeCeil(name string, ceil float64) Option {
 	}
 }
 
+// WithShardScale divides every absolute-capacity knob configured so far —
+// the burst depth and all class/node ceilings (option- and topo-supplied) —
+// by n, so that N identically-configured shards jointly present the
+// user-facing totals. The sharding layer (internal/shard) appends it after
+// the caller's options; it is not meant for direct use. Packet/byte queue
+// caps are deliberately NOT scaled: they bound per-shard memory, and a
+// shard must absorb a full burst that hashes onto it alone.
+func WithShardScale(n int) Option {
+	return func(c *config) {
+		if n > 1 {
+			c.scale = float64(n)
+		}
+	}
+}
+
 // WithAQM enables a per-class drop policy as graceful degradation under
 // overload. kind selects the policy:
 //
@@ -413,6 +431,14 @@ type Dataplane struct {
 	clock wallclock.Clock
 	epoch time.Time
 	retry retryPolicy
+
+	// pace is the live token-refill rate in bits/sec (Float64bits), read
+	// lock-free by the pump every batch. It starts equal to rate and only
+	// moves under a sharding front's rate splitter (SetPaceRate), which
+	// lends an idle shard's slice to busy ones; scheduler virtual-time
+	// rates, HTB buckets, and class guarantees stay pinned to rate so
+	// fairness WITHIN the shard is unaffected by the loan.
+	pace atomic.Uint64
 
 	aqmKind  string
 	target   time.Duration
@@ -524,6 +550,23 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 		return nil, fmt.Errorf("dataplane: unknown AQM kind %q (want %q or %q)",
 			cfg.aqmKind, AQMCoDel, AQMRED)
 	}
+	scale := cfg.scale
+	if scale < 1 {
+		scale = 1
+	}
+	if scale > 1 {
+		// Shard scaling: absolute-capacity knobs were specified against the
+		// whole link; each of the N shards gets its 1/N slice. The default
+		// burst needs no scaling — it derives from the (already per-shard)
+		// rate below.
+		cfg.burst /= scale
+		for id, ceil := range cfg.ceils {
+			cfg.ceils[id] = ceil / scale
+		}
+		for name, ceil := range cfg.nodeCeils {
+			cfg.nodeCeils[name] = ceil / scale
+		}
+	}
 	d := &Dataplane{
 		rate:      rate,
 		burst:     cfg.burst,
@@ -546,6 +589,7 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 	if d.burst <= 0 {
 		d.burst = rate * 0.005 // 5 ms of egress per batch
 	}
+	d.pace.Store(math.Float64bits(rate))
 	if d.batch <= 0 {
 		d.batch = DefaultBatchSize
 	}
@@ -595,9 +639,9 @@ func New(algorithm string, rate float64, opts ...Option) (*Dataplane, error) {
 				return
 			}
 			if n.IsLeaf() {
-				d.ceils[n.Session] = n.Ceil
+				d.ceils[n.Session] = n.Ceil / scale
 			} else if n.Name != "" {
-				d.nodeCeils[n.Name] = n.Ceil
+				d.nodeCeils[n.Name] = n.Ceil / scale
 			} else if ceilErr == nil {
 				ceilErr = fmt.Errorf("dataplane: ceil on unnamed interior node")
 			}
@@ -854,6 +898,26 @@ func (d *Dataplane) IngestCtx(class int, b []byte, ctx any) error {
 	return nil
 }
 
+// PaceRate returns the live token-refill rate in bits/sec. It equals the
+// configured rate unless a rate splitter is lending bandwidth between
+// shards. Lock-free.
+func (d *Dataplane) PaceRate() float64 {
+	return math.Float64frombits(d.pace.Load())
+}
+
+// SetPaceRate retargets the token-refill rate without touching scheduler
+// or HTB state: the pump's next batch refills at r bits/sec. Invalid rates
+// are ignored. The pump is nudged so a shard parked on a long pacing sleep
+// recomputes its wait against the new rate immediately. Lock-free and safe
+// from any goroutine; intended for the sharding layer's rate splitter.
+func (d *Dataplane) SetPaceRate(r float64) {
+	if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return
+	}
+	d.pace.Store(math.Float64bits(r))
+	d.signal()
+}
+
 // signal nudges the pump without blocking; a pending nudge is enough.
 func (d *Dataplane) signal() {
 	select {
@@ -999,7 +1063,7 @@ func (d *Dataplane) pump() {
 			// Out of tokens, or the remaining backlog is parked at HTB
 			// gates: sleep until the link bucket covers the deficit (or,
 			// when tokens are flush, until the earliest gate refill).
-			wait := time.Duration(-tokens / d.rate * float64(time.Second))
+			wait := time.Duration(-tokens / d.PaceRate() * float64(time.Second))
 			if tokens >= 0 && d.gateWait > 0 {
 				wait = d.gateWait
 			}
@@ -1033,7 +1097,7 @@ func (d *Dataplane) collectBatch(tokens float64, last *time.Time) (float64, int,
 	d.inflight = d.inflight[:0] // the previous release was fully disposed of
 	d.infHead = 0
 	now := d.clock.Now()
-	tokens += now.Sub(*last).Seconds() * d.rate
+	tokens += now.Sub(*last).Seconds() * d.PaceRate()
 	*last = now
 	if tokens > d.burst {
 		tokens = d.burst

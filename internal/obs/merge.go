@@ -1,0 +1,111 @@
+package obs
+
+import "sort"
+
+// Merge combines per-shard Metrics snapshots into one aggregate view, the
+// read side of the sharded data-plane: each input is internally consistent
+// (frozen under its shard's lock), so summing conserved quantities yields a
+// conserved aggregate — no torn reads, because nothing is ever read live
+// across shards.
+//
+// Counters, queue depths, batch/FEC/shed/drop/retry tallies, and the
+// per-reason maps all sum. Per-session slices merge by session id (rates
+// and counters sum — the same class exists on every shard with 1/N of the
+// guaranteed rate). Delay histograms add bucket-wise and the extremes
+// combine exactly. Two quantities are approximations by construction:
+// MaxQueueLen sums the per-shard peaks (an upper bound — the peaks need
+// not coincide in time), and WFI takes the worst shard's index (each
+// shard's fairness bound holds against its own 1/N rates; there is no
+// cross-shard virtual time to compare against).
+//
+// Merging zero snapshots returns a zero Metrics.
+func Merge(ms ...Metrics) Metrics {
+	var out Metrics
+	sessions := make(map[int]*SessionMetrics)
+	for _, m := range ms {
+		if out.Name == "" {
+			out.Name = m.Name
+		}
+		out.Rate += m.Rate
+		out.Enabled = out.Enabled || m.Enabled
+		addCounter(&out.Enqueued, m.Enqueued)
+		addCounter(&out.Dequeued, m.Dequeued)
+		addCounter(&out.Dropped, m.Dropped)
+		addCounter(&out.Retried, m.Retried)
+		addCounter(&out.Shed, m.Shed)
+		out.QueueLen += m.QueueLen
+		out.MaxQueueLen += m.MaxQueueLen
+		out.BatchWrites += m.BatchWrites
+		out.BatchedPackets += m.BatchedPackets
+		out.FECEncoded += m.FECEncoded
+		out.FECRepairSent += m.FECRepairSent
+		out.FECRecovered += m.FECRecovered
+		out.FECUnrecoverable += m.FECUnrecoverable
+		out.BrownoutTransitions += m.BrownoutTransitions
+		out.WatchdogStalls += m.WatchdogStalls
+		out.DropReasons = mergeReasons(out.DropReasons, m.DropReasons)
+		out.RetryReasons = mergeReasons(out.RetryReasons, m.RetryReasons)
+		out.ShedReasons = mergeReasons(out.ShedReasons, m.ShedReasons)
+		for _, s := range m.Sessions {
+			dst := sessions[s.ID]
+			if dst == nil {
+				dst = &SessionMetrics{ID: s.ID}
+				sessions[s.ID] = dst
+			}
+			dst.Rate += s.Rate
+			addCounter(&dst.Enqueued, s.Enqueued)
+			addCounter(&dst.Dequeued, s.Dequeued)
+			addCounter(&dst.Dropped, s.Dropped)
+			addCounter(&dst.Retried, s.Retried)
+			dst.QueueLen += s.QueueLen
+			dst.MaxQueueLen += s.MaxQueueLen
+			mergeDelay(&dst.Delay, s.Delay)
+			if s.WFI > dst.WFI {
+				dst.WFI = s.WFI
+			}
+		}
+	}
+	out.Sessions = make([]SessionMetrics, 0, len(sessions))
+	for _, s := range sessions {
+		out.Sessions = append(out.Sessions, *s)
+	}
+	sort.Slice(out.Sessions, func(i, j int) bool { return out.Sessions[i].ID < out.Sessions[j].ID })
+	return out
+}
+
+func addCounter(dst *Counter, src Counter) {
+	dst.Packets += src.Packets
+	dst.Bits += src.Bits
+}
+
+func mergeReasons(dst, src map[string]Counter) map[string]Counter {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]Counter, len(src))
+	}
+	for reason, c := range src {
+		agg := dst[reason]
+		addCounter(&agg, c)
+		dst[reason] = agg
+	}
+	return dst
+}
+
+func mergeDelay(dst *DelayStats, src DelayStats) {
+	if src.Count == 0 {
+		return
+	}
+	if dst.Count == 0 || src.Min < dst.Min {
+		dst.Min = src.Min
+	}
+	if src.Max > dst.Max {
+		dst.Max = src.Max
+	}
+	dst.Count += src.Count
+	dst.Sum += src.Sum
+	for i := range src.Hist {
+		dst.Hist[i] += src.Hist[i]
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMergeCountersAndSessions: conserved quantities sum, per-session rows
+// fold by id (sorted), WFI takes the worst shard, and the reason maps merge
+// without losing a tag.
+func TestMergeCountersAndSessions(t *testing.T) {
+	a := Metrics{
+		Name: "WF2Q+", Rate: 5e5, Enabled: true,
+		Enqueued: Counter{Packets: 10, Bits: 1e4},
+		Dequeued: Counter{Packets: 8, Bits: 8e3},
+		Dropped:  Counter{Packets: 1, Bits: 100},
+		QueueLen: 2, MaxQueueLen: 5,
+		BatchWrites: 3, BatchedPackets: 8,
+		FECEncoded: 4, FECRepairSent: 2,
+		DropReasons: map[string]Counter{DropTail: {Packets: 1, Bits: 100}},
+		Sessions: []SessionMetrics{
+			{ID: 0, Rate: 3e5, Enqueued: Counter{Packets: 6, Bits: 6e3}, WFI: 0.002},
+			{ID: 1, Rate: 2e5, Enqueued: Counter{Packets: 4, Bits: 4e3}, WFI: 0.010},
+		},
+	}
+	b := Metrics{
+		Name: "WF2Q+", Rate: 5e5, Enabled: true,
+		Enqueued: Counter{Packets: 20, Bits: 2e4},
+		Dequeued: Counter{Packets: 20, Bits: 2e4},
+		Dropped:  Counter{Packets: 2, Bits: 200},
+		QueueLen: 0, MaxQueueLen: 7,
+		BrownoutTransitions: 1, WatchdogStalls: 2,
+		DropReasons: map[string]Counter{
+			DropTail:     {Packets: 1, Bits: 150},
+			DropDraining: {Packets: 1, Bits: 50},
+		},
+		Sessions: []SessionMetrics{
+			// Session 2 exists only on this shard; session 0 on both.
+			{ID: 2, Rate: 1e5, Enqueued: Counter{Packets: 5, Bits: 5e3}, WFI: 0.001},
+			{ID: 0, Rate: 3e5, Enqueued: Counter{Packets: 15, Bits: 1.5e4}, WFI: 0.004},
+		},
+	}
+	m := Merge(a, b)
+
+	if m.Name != "WF2Q+" || !m.Enabled || m.Rate != 1e6 {
+		t.Fatalf("header: %q enabled=%v rate=%g", m.Name, m.Enabled, m.Rate)
+	}
+	if m.Enqueued.Packets != 30 || m.Enqueued.Bits != 3e4 {
+		t.Fatalf("enqueued = %+v", m.Enqueued)
+	}
+	if m.Dequeued.Packets != 28 || m.Dropped.Packets != 3 {
+		t.Fatalf("dequeued/dropped = %+v/%+v", m.Dequeued, m.Dropped)
+	}
+	// QueueLen sums exactly; MaxQueueLen sums as an upper bound.
+	if m.QueueLen != 2 || m.MaxQueueLen != 12 {
+		t.Fatalf("queue = %d/%d, want 2/12", m.QueueLen, m.MaxQueueLen)
+	}
+	if m.BatchWrites != 3 || m.BatchedPackets != 8 || m.FECEncoded != 4 || m.FECRepairSent != 2 {
+		t.Fatal("batch/FEC tallies did not carry through")
+	}
+	if m.BrownoutTransitions != 1 || m.WatchdogStalls != 2 {
+		t.Fatal("overload event counters did not sum")
+	}
+	wantReasons := map[string]Counter{
+		DropTail:     {Packets: 2, Bits: 250},
+		DropDraining: {Packets: 1, Bits: 50},
+	}
+	if !reflect.DeepEqual(m.DropReasons, wantReasons) {
+		t.Fatalf("drop reasons = %v, want %v", m.DropReasons, wantReasons)
+	}
+
+	if len(m.Sessions) != 3 {
+		t.Fatalf("%d sessions, want 3", len(m.Sessions))
+	}
+	for i, want := range []int{0, 1, 2} {
+		if m.Sessions[i].ID != want {
+			t.Fatalf("sessions not sorted by id: %+v", m.Sessions)
+		}
+	}
+	s0, _ := m.Session(0)
+	if s0.Rate != 6e5 || s0.Enqueued.Packets != 21 {
+		t.Fatalf("session 0 = %+v, want summed rate 6e5 and 21 packets", s0)
+	}
+	if s0.WFI != 0.004 {
+		t.Fatalf("session 0 WFI = %g, want the worst shard's 0.004", s0.WFI)
+	}
+	s2, ok := m.Session(2)
+	if !ok || s2.Enqueued.Packets != 5 {
+		t.Fatalf("session seen on one shard only: %+v ok=%v", s2, ok)
+	}
+
+	// The merged snapshot of conserved inputs is itself conserved.
+	if m.Enqueued.Packets != m.Dequeued.Packets+int64(m.QueueLen) {
+		t.Fatal("merge broke the conservation law")
+	}
+}
+
+// TestMergeDelayHistograms: bucket counts add, extremes combine exactly, and
+// an empty histogram neither poisons the min nor inflates the count.
+func TestMergeDelayHistograms(t *testing.T) {
+	var a, b SessionMetrics
+	a.ID, b.ID = 0, 0
+	a.Delay.Count = 2
+	a.Delay.Sum = 0.030
+	a.Delay.Min, a.Delay.Max = 0.010, 0.020
+	a.Delay.Hist[3] = 2
+	b.Delay.Count = 1
+	b.Delay.Sum = 0.005
+	b.Delay.Min, b.Delay.Max = 0.005, 0.005
+	b.Delay.Hist[1] = 1
+
+	m := Merge(
+		Metrics{Sessions: []SessionMetrics{a}},
+		Metrics{Sessions: []SessionMetrics{{ID: 0}}}, // empty: no samples
+		Metrics{Sessions: []SessionMetrics{b}},
+	)
+	d := m.Sessions[0].Delay
+	if d.Count != 3 || d.Sum < 0.0349 || d.Sum > 0.0351 {
+		t.Fatalf("count/sum = %d/%g, want 3/0.035", d.Count, d.Sum)
+	}
+	if d.Min != 0.005 || d.Max != 0.020 {
+		t.Fatalf("min/max = %g/%g, want 0.005/0.020", d.Min, d.Max)
+	}
+	if d.Hist[3] != 2 || d.Hist[1] != 1 {
+		t.Fatalf("hist = %v", d.Hist)
+	}
+	if mean := d.Mean(); mean < 0.0116 || mean > 0.0117 {
+		t.Fatalf("mean = %g, want 0.035/3", mean)
+	}
+}
+
+// TestMergeZeroAndIdentity: merging nothing is a zero snapshot, and merging
+// one snapshot reproduces it.
+func TestMergeZeroAndIdentity(t *testing.T) {
+	if z := Merge(); z.Offered() != 0 || z.Enabled || len(z.Sessions) != 0 {
+		t.Fatalf("Merge() = %+v, want zero", z)
+	}
+	in := Metrics{
+		Name: "DRR", Rate: 1e6, Enabled: true,
+		Enqueued: Counter{Packets: 5, Bits: 5e3},
+		Dequeued: Counter{Packets: 5, Bits: 5e3},
+		Sessions: []SessionMetrics{{ID: 4, Rate: 1e6, WFI: 0.5}},
+	}
+	out := Merge(in)
+	if out.Name != in.Name || out.Rate != in.Rate || out.Enqueued != in.Enqueued {
+		t.Fatalf("identity merge mutated the snapshot: %+v", out)
+	}
+	if !reflect.DeepEqual(out.Sessions, in.Sessions) {
+		t.Fatalf("identity merge sessions = %+v", out.Sessions)
+	}
+}

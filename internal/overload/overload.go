@@ -77,6 +77,20 @@ func (s State) String() string {
 	return fmt.Sprintf("state(%d)", int(s))
 }
 
+// Worst returns the most severe of the given states (Healthy when none are
+// given) — the gateway-level rollup of per-shard health: one wedged shard
+// makes the whole gateway wedged, because traffic hashed onto it is stuck
+// regardless of how the others feel.
+func Worst(states ...State) State {
+	worst := Healthy
+	for _, s := range states {
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
 // Signals is one sample of raw pressure inputs. All *Frac fields are
 // fractions in [0,1]; the Tracker clamps out-of-range values.
 type Signals struct {

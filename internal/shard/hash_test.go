@@ -1,0 +1,89 @@
+package shard
+
+import "testing"
+
+// TestJumpDeterministicInRange: the classifier contract's first half — a
+// (key, n) pair always lands on the same shard, inside [0, n).
+func TestJumpDeterministicInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8, 16} {
+		for key := uint64(0); key < 4096; key++ {
+			got := jump(key, n)
+			if got < 0 || got >= n {
+				t.Fatalf("jump(%d, %d) = %d, out of range", key, n, got)
+			}
+			if again := jump(key, n); again != got {
+				t.Fatalf("jump(%d, %d) flapped: %d then %d", key, n, got, again)
+			}
+		}
+	}
+}
+
+// TestJumpCoversAllShards: every shard receives keys — a hash that strands a
+// shard would silently cut the aggregate link rate by its slice.
+func TestJumpCoversAllShards(t *testing.T) {
+	const n = 8
+	hit := make([]int, n)
+	for key := uint64(0); key < 10000; key++ {
+		hit[jump(Key([]byte{byte(key), byte(key >> 8)}), n)]++
+	}
+	for i, c := range hit {
+		if c == 0 {
+			t.Errorf("shard %d received no keys", i)
+		}
+	}
+}
+
+// TestJumpResizeMovesFewKeys: the classifier contract's second half — growing
+// n to n+1 moves only ~1/(n+1) of the keys. A modulo hash would move
+// ~n/(n+1) of them and reorder nearly every in-flight flow on a resize.
+func TestJumpResizeMovesFewKeys(t *testing.T) {
+	const (
+		keys = 100000
+		n    = 8
+	)
+	moved := 0
+	for key := uint64(0); key < keys; key++ {
+		if jump(key, n) != jump(key, n+1) {
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	ideal := 1.0 / (n + 1)
+	if frac < ideal/2 || frac > ideal*2 {
+		t.Fatalf("resize %d→%d moved %.3f of keys, want ≈%.3f", n, n+1, frac, ideal)
+	}
+}
+
+// TestKeyAddrFamilies: the same client seen as 4-byte IPv4 and as an
+// IPv4-mapped IPv6 address must produce the same flow key — the kernel hands
+// ReadFromUDP 16-byte mapped addresses while configuration and tests resolve
+// 4-byte ones, and a family-sensitive key would split one flow across shards.
+func TestKeyAddrFamilies(t *testing.T) {
+	ip4 := []byte{10, 0, 0, 1}
+	mapped := []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 10, 0, 0, 1}
+	if KeyAddr(ip4, 4242) != KeyAddr(mapped, 4242) {
+		t.Fatal("IPv4 and IPv4-mapped forms of the same endpoint hash differently")
+	}
+	if KeyAddr(ip4, 4242) == KeyAddr(ip4, 4243) {
+		t.Fatal("port not mixed into the flow key")
+	}
+	if KeyAddr(ip4, 4242) == KeyAddr([]byte{10, 0, 0, 2}, 4242) {
+		t.Fatal("address not mixed into the flow key")
+	}
+	// A real IPv6 address is not mapped and keeps its full 16 bytes.
+	v6 := []byte{0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	if KeyAddr(v6, 4242) == KeyAddr(v6[12:], 4242) {
+		t.Fatal("non-mapped IPv6 address truncated to 4 bytes")
+	}
+}
+
+// TestKeyDeterministic: Key is a pure function of the bytes.
+func TestKeyDeterministic(t *testing.T) {
+	a, b := []byte("client-1"), []byte("client-2")
+	if Key(a) != Key(a) {
+		t.Fatal("Key not deterministic")
+	}
+	if Key(a) == Key(b) {
+		t.Fatal("distinct inputs collided (FNV-1a over short strings)")
+	}
+}
